@@ -1,0 +1,428 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§3), plus the proposition checks, ablations and attack
+// studies indexed in DESIGN.md. Output goes to stdout as aligned tables
+// and, with -out, to CSV files for plotting.
+//
+// Usage:
+//
+//	experiments [-quick] [-trials N] [-seed S] [-out DIR] [-only LIST]
+//
+// -only selects a comma-separated subset of:
+// fig3,fig4,tab2,fig5,fig6,fig7,fig12,prop1,prop23,abl-tau,abl-w,abl-pos,abl-cost,abl-term,abl-churn,
+// cmp-rep,traj,scale,atk-int,atk-avail,atk-traffic,def-jitter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"p2panon/internal/core"
+	"p2panon/internal/experiment"
+	"p2panon/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down workload for smoke runs")
+	trials := flag.Int("trials", 5, "independent trials per data point")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	outDir := flag.String("out", "", "directory for CSV output (optional)")
+	only := flag.String("only", "", "comma-separated experiment subset")
+	flag.Parse()
+
+	base := experiment.Default()
+	if *quick {
+		base = experiment.Quick()
+	}
+	base.Seed = *seed
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	r := &runner{base: base, trials: *trials, outDir: *outDir}
+	allStrategies := []core.Strategy{core.Random, core.UtilityI, core.UtilityII}
+
+	if want("fig3") {
+		r.section("FIG3: average payoff for a non-malicious node (Utility Model I)", func() error {
+			s, err := experiment.PayoffVsMalicious(base, core.UtilityI, experiment.DefaultFractions, *trials)
+			if err != nil {
+				return err
+			}
+			return r.emit("fig3", report.SeriesTable("Fig. 3: avg good-node payoff vs f (UM-I, 95% CI)", "f", s))
+		})
+	}
+	if want("fig4") {
+		r.section("FIG4: average payoff for a non-malicious node (Utility Model II)", func() error {
+			s, err := experiment.PayoffVsMalicious(base, core.UtilityII, experiment.DefaultFractions, *trials)
+			if err != nil {
+				return err
+			}
+			return r.emit("fig4", report.SeriesTable("Fig. 4: avg good-node payoff vs f (UM-II, 95% CI)", "f", s))
+		})
+	}
+	if want("tab2") {
+		r.section("TAB2: routing efficiency for utility model I", func() error {
+			tab, err := experiment.RunTable2(base, experiment.DefaultTaus, []float64{0.1, 0.5, 0.9}, *trials)
+			if err != nil {
+				return err
+			}
+			return r.emit("table2", report.Table2Render(tab))
+		})
+	}
+	if want("fig5") {
+		r.section("FIG5: forwarder-set size by routing strategy (+ fixed-path baseline)", func() error {
+			ss, err := experiment.ForwarderSetVsMalicious(base, experiment.Fig5Strategies, experiment.DefaultFractions, *trials)
+			if err != nil {
+				return err
+			}
+			return r.emit("fig5", report.MultiSeriesTable("Fig. 5: avg ‖π‖ vs f", "f", ss))
+		})
+	}
+	for _, fig := range []struct {
+		id string
+		f  float64
+	}{{"fig6", 0.1}, {"fig7", 0.5}} {
+		fig := fig
+		if want(fig.id) {
+			r.section(fmt.Sprintf("%s: CDF of good-node payoffs at f=%g", strings.ToUpper(fig.id), fig.f), func() error {
+				cdfs, err := experiment.PayoffCDFs(base, allStrategies, fig.f, *trials, 25)
+				if err != nil {
+					return err
+				}
+				title := fmt.Sprintf("Fig. %s: payoff CDF, f=%g", fig.id[3:], fig.f)
+				if err := r.emit(fig.id, report.CDFTable(title, cdfs)); err != nil {
+					return err
+				}
+				return r.emit(fig.id+"-summary", report.CDFSummaryTable("distribution summary", cdfs))
+			})
+		}
+	}
+	if want("fig12") {
+		r.section("FIG12: Figures 1-2 scenario (scripted topology)", func() error {
+			res := experiment.RunFig12(8, 100, base.Seed)
+			t := &report.Table{
+				Title:   "Figs. 1-2: random+churn vs stable routing on the scripted topology",
+				Headers: []string{"scenario", "‖π‖", "Pr share per forwarder"},
+			}
+			t.AddRow("random, node X flapping", fmt.Sprintf("%d", res.RandomSetSize), report.F(res.RandomShare))
+			t.AddRow("stable utility routing", fmt.Sprintf("%d", res.StableSetSize), report.F(res.StableShare))
+			return r.emit("fig12", t)
+		})
+	}
+	if want("prop1") {
+		r.section("PROP1: path-reformation (new-edge) rates", func() error {
+			res, err := experiment.RunProp1(base, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Prop. 1: empirical E[X] (new-edge probability) vs analytic",
+				Headers: []string{"quantity", "value"},
+			}
+			t.AddRow("random routing, measured", report.F4(res.RandomRate))
+			t.AddRow("random routing, analytic lower bound 1-k/N", report.F4(res.RandomBound))
+			t.AddRow("utility routing, measured", report.F4(res.UtilityRate))
+			t.AddRow("utility routing, analytic prod(1-p_i)", report.F4(res.UtilityPredict))
+			return r.emit("prop1", t)
+		})
+	}
+	if want("prop23") {
+		r.section("PROP23: participation vs P_f thresholds", func() error {
+			pfs := []float64{1, 3, 5, 6.9, 7.1, 10, 25, 50, 100}
+			pts, err := experiment.RunParticipation(base, pfs, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Props. 2-3: participation response to P_f (C^p=5, C^t=2)",
+				Headers: []string{"P_f", "decline-rate", "direct-fraction", "Prop3 holds", "Prop2 threshold"},
+			}
+			for _, p := range pts {
+				t.AddRow(report.F(p.Pf), report.F4(p.DeclineRate), report.F4(p.DirectFraction),
+					fmt.Sprintf("%v", p.Prop3Satisfied), report.F(p.Prop2Threshold))
+			}
+			return r.emit("prop23", t)
+		})
+	}
+	if want("abl-tau") {
+		r.section("ABL-TAU: tau sensitivity", func() error {
+			pts, err := experiment.RunTauAblation(base, []float64{0.25, 0.5, 1, 2, 4, 8}, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Ablation: tau = P_r/P_f sweep (UM-I)",
+				Headers: []string{"tau", "avg ‖π‖", "avg payoff", "efficiency"},
+			}
+			for _, p := range pts {
+				t.AddRow(report.F(p.Tau), report.F(p.AvgSetSize), report.F(p.AvgPayoff), report.F(p.Efficiency))
+			}
+			return r.emit("abl-tau", t)
+		})
+	}
+	if want("abl-w") {
+		r.section("ABL-W: selectivity/availability weighting", func() error {
+			pts, err := experiment.RunWeightAblation(base, []float64{0, 0.25, 0.5, 0.75, 1}, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Ablation: w_s sweep (w_a = 1 − w_s, UM-I)",
+				Headers: []string{"w_s", "avg ‖π‖", "new-edge rate"},
+			}
+			for _, p := range pts {
+				t.AddRow(report.F(p.Ws), report.F(p.AvgSetSize), report.F4(p.NewEdgeRate))
+			}
+			return r.emit("abl-w", t)
+		})
+	}
+	if want("abl-pos") {
+		r.section("ABL-POS: position-aware selectivity (§2.3 predecessor differentiation)", func() error {
+			res, err := experiment.RunPositionAblation(base, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Selectivity variant (UM-I)",
+				Headers: []string{"variant", "avg ‖π‖", "new-edge rate"},
+			}
+			t.AddRow("position-agnostic", report.F(res.AgnosticSetSize), report.F4(res.AgnosticNewEdge))
+			t.AddRow("position-aware", report.F(res.AwareSetSize), report.F4(res.AwareNewEdge))
+			return r.emit("abl-pos", t)
+		})
+	}
+	if want("abl-cost") {
+		r.section("ABL-COST: uniform vs bandwidth-proportional link costs (§3)", func() error {
+			res, err := experiment.RunCostAblation(base, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Cost model (UM-I; equal mean C^t)",
+				Headers: []string{"model", "avg ‖π‖", "avg payoff", "avg net"},
+			}
+			t.AddRow("uniform C^t=2", report.F(res.UniformSetSize), report.F(res.UniformPayoff), report.F(res.UniformNet))
+			t.AddRow("bandwidth-proportional", report.F(res.BandwidthSetSize), report.F(res.BandwidthPayoff), report.F(res.BandwidthNet))
+			return r.emit("abl-cost", t)
+		})
+	}
+	if want("abl-term") {
+		r.section("ABL-TERM: hop-budget vs Crowds-coin termination", func() error {
+			pts, err := experiment.RunTerminationAblation(base, []float64{0.5, 0.66, 0.75, 0.9}, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Termination ablation (UM-I): both §2.2 modes",
+				Headers: []string{"mode", "p_f", "avg L", "avg ‖π‖", "Q(π)=L/‖π‖", "avg payoff"},
+			}
+			for _, p := range pts {
+				pf := "-"
+				if p.Mode == core.CrowdsCoin {
+					pf = report.F(p.ForwardProb)
+				}
+				t.AddRow(p.Mode.String(), pf, report.F(p.AvgLen), report.F(p.AvgSetSize),
+					report.F(p.AvgQuality), report.F(p.AvgPayoff))
+			}
+			return r.emit("abl-term", t)
+		})
+	}
+	if want("abl-churn") {
+		r.section("ABL-CHURN: churn-intensity sensitivity", func() error {
+			pts, err := experiment.RunChurnAblation(base, []float64{15, 30, 60, 120, 240}, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Median session time sweep (UM-I; paper default 60 min)",
+				Headers: []string{"median (min)", "avg ‖π‖", "avg payoff", "new-edge rate", "skipped frac"},
+			}
+			for _, p := range pts {
+				t.AddRow(report.F(p.MedianSessionMin), report.F(p.AvgSetSize),
+					report.F(p.AvgPayoff), report.F4(p.NewEdgeRate), report.F4(p.SkippedFraction))
+			}
+			return r.emit("abl-churn", t)
+		})
+	}
+	if want("cmp-rep") {
+		r.section("CMP-REP: reputation baseline vs incentive mechanism under collusion", func() error {
+			cmp, err := experiment.RunReputationComparison(base, 0.1, 400, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Colluding coalition's capture of forwarding work (coalition = 10% of nodes)",
+				Headers: []string{"system", "capture"},
+			}
+			t.AddRow("population share (fair baseline)", report.F4(cmp.PopulationShare))
+			t.AddRow("reputation routing, overall", report.F4(cmp.ReputationOverall))
+			t.AddRow("reputation routing, after inflation compounds", report.F4(cmp.ReputationLate))
+			t.AddRow("incentive mechanism (UM-I)", report.F4(cmp.IncentiveCapture))
+			return r.emit("cmp-rep", t)
+		})
+	}
+	if want("atk-int") {
+		r.section("ATK-INT: intersection attack", func() error {
+			s := base
+			s.Churn = true
+			res, err := experiment.RunIntersection(s, allStrategies, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Intersection attack under churn (per strategy)",
+				Headers: []string{"strategy", "avg final candidate set", "identified rate", "avg degree of anonymity", "avg ‖π‖ (attack surface)"},
+			}
+			for _, x := range res {
+				t.AddRow(x.Strategy.String(), report.F(x.AvgFinalSet), report.F4(x.IdentifiedRate),
+					report.F4(x.AvgDegree), report.F(x.AvgForwarderSet))
+			}
+			return r.emit("atk-int", t)
+		})
+	}
+	if want("traj") {
+		r.section("TRAJ: per-connection convergence (Prop. 1 dynamics)", func() error {
+			trajs, err := experiment.RunTrajectory(base, []core.Strategy{core.Random, core.UtilityI, core.UtilityII}, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "New-edge rate and cumulative ‖π‖ by connection index",
+				Headers: []string{"conn", "rand newE", "rand ‖π‖", "UM-I newE", "UM-I ‖π‖", "UM-II newE", "UM-II ‖π‖"},
+			}
+			rr := trajs[core.Random]
+			u1 := trajs[core.UtilityI]
+			u2 := trajs[core.UtilityII]
+			for i := range rr {
+				if i >= len(u1) || i >= len(u2) {
+					break
+				}
+				t.AddRow(fmt.Sprintf("%d", rr[i].Conn),
+					report.F4(rr[i].NewEdgeRate), report.F(rr[i].CumSetSize),
+					report.F4(u1[i].NewEdgeRate), report.F(u1[i].CumSetSize),
+					report.F4(u2[i].NewEdgeRate), report.F(u2[i].CumSetSize))
+			}
+			return r.emit("traj", t)
+		})
+	}
+	if want("scale") {
+		r.section("SCALE: population-size sweep (paper's N=40 was 'for simulation simplicity')", func() error {
+			pts, err := experiment.RunScale(base, []int{40, 80, 160, 320}, *trials, 0)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "N sweep, constant per-node load, parallel trials (UM-I vs random)",
+				Headers: []string{"N", "random ‖π‖", "UM-I ‖π‖", "separation", "UM-I payoff", "wall clock"},
+			}
+			for _, p := range pts {
+				t.AddRow(fmt.Sprintf("%d", p.N), report.F(p.RandomSetSize), report.F(p.UtilitySetSize),
+					report.F(p.SeparationRatio), report.F(p.UtilityPayoff), p.WallClock.Round(time.Millisecond).String())
+			}
+			return r.emit("scale", t)
+		})
+	}
+	if want("def-jitter") {
+		r.section("DEF-JITTER: §5 availability-attack countermeasure", func() error {
+			s := base
+			s.MaliciousFraction = 0.2
+			pts, err := experiment.RunJitterDefense(s, []int{1, 2, 3, 4}, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Top-K jitter vs always-online adversaries (f=0.2)",
+				Headers: []string{"K", "attack capture", "avg ‖π‖", "avg payoff"},
+			}
+			for _, p := range pts {
+				t.AddRow(fmt.Sprintf("%.0f", p.TopK), report.F4(p.AttackCapture),
+					report.F(p.AvgSetSize), report.F(p.AvgPayoff))
+			}
+			return r.emit("def-jitter", t)
+		})
+	}
+	if want("atk-traffic") {
+		r.section("ATK-TRAFFIC: §5 traffic-analysis attack", func() error {
+			res, err := experiment.RunTrafficAnalysis(base, 600, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Global passive observer correlating activity epochs (10-min windows)",
+				Headers: []string{"metric", "value"},
+			}
+			t.AddRow("trials scored", fmt.Sprintf("%d", res.Trials))
+			t.AddRow("initiator mean rank", report.F(res.MeanRank))
+			t.AddRow("identified (rank 1) rate", report.F4(res.IdentifiedRate))
+			t.AddRow("initiator mean correlation", report.F4(res.MeanScore))
+			t.AddRow("suspect population", fmt.Sprintf("%d", res.Population))
+			return r.emit("atk-traffic", t)
+		})
+	}
+	if want("atk-avail") {
+		r.section("ATK-AVAIL: availability attack (§5)", func() error {
+			s := base
+			s.MaliciousFraction = 0.2
+			s.Churn = true
+			res, err := experiment.RunAvailabilityAttack(s, *trials)
+			if err != nil {
+				return err
+			}
+			t := &report.Table{
+				Title:   "Availability attack: malicious share of forwarder sets (f=0.2)",
+				Headers: []string{"adversary behaviour", "capture", "cid-link guess accuracy"},
+			}
+			t.AddRow("churning (baseline)", report.F4(res.BaselineCapture), "-")
+			t.AddRow("always-online (attack)", report.F4(res.AttackCapture), report.F4(res.GuessAccuracy))
+			return r.emit("atk-avail", t)
+		})
+	}
+
+	if r.failed {
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	base   experiment.Setup
+	trials int
+	outDir string
+	failed bool
+}
+
+func (r *runner) section(title string, fn func() error) {
+	fmt.Printf("== %s ==\n", title)
+	start := time.Now()
+	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		r.failed = true
+		return
+	}
+	fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+}
+
+func (r *runner) emit(name string, t *report.Table) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if r.outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(r.outDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}

@@ -1,0 +1,167 @@
+// Command paytool drives the anonymous payment subsystem end to end and
+// narrates each step: account opening, blind withdrawal, token transfer,
+// deposit, double-spend detection, receipt verification and a full batch
+// settlement with a cheating forwarder.
+//
+// Usage:
+//
+//	paytool [-bits 1024] [-pf 50] [-pr 100]
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+
+	"p2panon/internal/payment"
+)
+
+func main() {
+	bits := flag.Int("bits", 1024, "bank RSA key size")
+	pf := flag.Int64("pf", 50, "forwarding benefit P_f (credits)")
+	pr := flag.Int64("pr", 100, "routing benefit P_r (credits)")
+	flag.Parse()
+
+	if err := run(*bits, payment.Amount(*pf), payment.Amount(*pr)); err != nil {
+		fmt.Fprintf(os.Stderr, "paytool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bits int, pf, pr payment.Amount) error {
+	fmt.Printf("== bank setup (%d-bit RSA) ==\n", bits)
+	bank, err := payment.NewBank(bits)
+	if err != nil {
+		return err
+	}
+	const (
+		initiator = payment.AccountID(1)
+		honest    = payment.AccountID(10)
+		cheater   = payment.AccountID(11)
+	)
+	for _, acct := range []struct {
+		id      payment.AccountID
+		opening payment.Amount
+		label   string
+	}{
+		{initiator, 10000, "initiator"},
+		{honest, 0, "honest forwarder"},
+		{cheater, 0, "cheating forwarder"},
+	} {
+		if err := bank.OpenAccount(acct.id, acct.opening); err != nil {
+			return err
+		}
+		fmt.Printf("  account %d (%s) opened with %d credits\n", acct.id, acct.label, acct.opening)
+	}
+
+	fmt.Println("\n== blind withdrawal (bank cannot link token to withdrawal) ==")
+	req, err := payment.NewWithdrawalRequest(bank.PublicKey(), 25, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  blinded value sent to bank: %s…\n", req.Blinded().Text(16)[:32])
+	blindSig, err := bank.Withdraw(initiator, req)
+	if err != nil {
+		return err
+	}
+	tok, err := req.Unblind(blindSig)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  token unblinded; serial %x… verifies: %v\n",
+		tok.Serial[:8], payment.VerifyToken(bank.PublicKey(), tok))
+
+	fmt.Println("\n== deposit and double-spend detection ==")
+	if err := bank.Deposit(honest, tok); err != nil {
+		return err
+	}
+	fmt.Printf("  deposit by honest forwarder accepted; balance now %d\n", mustBalance(bank, honest))
+	if err := bank.Deposit(cheater, tok); err != nil {
+		fmt.Printf("  replay by cheater rejected: %v\n", err)
+	} else {
+		return fmt.Errorf("double spend was not detected")
+	}
+
+	fmt.Println("\n== forwarding receipts ==")
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return err
+	}
+	minter, err := payment.NewReceiptMinter(secret)
+	if err != nil {
+		return err
+	}
+	// Honest forwarder handled connections 1-3; cheater handled only
+	// connection 1 but will pad its claim.
+	honestClaims := []payment.Receipt{
+		minter.Mint(1, 1, honest),
+		minter.Mint(2, 1, honest),
+		minter.Mint(3, 1, honest),
+	}
+	real := minter.Mint(1, 2, cheater)
+	cheaterClaims := []payment.Receipt{
+		real, real, real, // duplicates
+		{Conn: 9, Hop: 9, Forwarder: cheater}, // forged MAC
+	}
+	fmt.Printf("  honest claim: %d receipts -> %d accepted\n",
+		len(honestClaims), minter.CountValid(honest, honestClaims))
+	fmt.Printf("  cheater claim: %d receipts -> %d accepted (duplicates+forgeries dropped)\n",
+		len(cheaterClaims), minter.CountValid(cheater, cheaterClaims))
+
+	fmt.Printf("\n== batch settlement (P_f=%d, P_r=%d) ==\n", pf, pr)
+	settle := &payment.Settlement{Bank: bank, Minter: minter, Initiator: initiator, Pf: pf, Pr: pr}
+	payouts, err := settle.Run([]payment.Claim{
+		{Forwarder: honest, Receipts: honestClaims},
+		{Forwarder: cheater, Receipts: cheaterClaims},
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range payouts {
+		fmt.Printf("  forwarder %d: m=%d -> %d credits\n", p.Forwarder, p.Forwards, p.Amount)
+	}
+	fmt.Printf("  initiator balance: %d\n", mustBalance(bank, initiator))
+	fmt.Printf("  conservation: total balances + float = %d (tokens redeemed: %d)\n",
+		bank.TotalBalance()+bank.Float(), bank.SpentCount())
+
+	fmt.Println("\n== escrowed commitment (§2.2) ==")
+	// The initiator commits an upper bound before the next batch; the
+	// settlement draws from the lock and the remainder is refunded.
+	bank.EnableAudit()
+	commitment := 3*pf + pr
+	esc, err := bank.OpenEscrow(initiator, commitment)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  locked %d credits (forwarders can verify the commitment before working)\n", commitment)
+	nextClaims := []payment.Claim{
+		{Forwarder: honest, Receipts: []payment.Receipt{minter.Mint(10, 1, honest), minter.Mint(11, 1, honest)}},
+	}
+	escrowPayouts, refund, err := esc.SettleFromEscrow(minter, pf, pr, nextClaims)
+	if err != nil {
+		return err
+	}
+	for _, p := range escrowPayouts {
+		fmt.Printf("  forwarder %d paid %d from escrow\n", p.Forwarder, p.Amount)
+	}
+	fmt.Printf("  unused commitment refunded: %d\n", refund)
+
+	fmt.Println("\n== account statement (audit ledger) ==")
+	for _, e := range bank.Statement(initiator) {
+		fmt.Printf("  #%d %-12s amount=%4d balance=%d (peer %d)\n", e.Seq, e.Kind, e.Amount, e.Balance, e.Peer)
+	}
+	if err := bank.VerifyConservation(); err != nil {
+		return err
+	}
+	fmt.Println("  conservation verified ✓")
+	return nil
+}
+
+func mustBalance(b *payment.Bank, id payment.AccountID) payment.Amount {
+	bal, err := b.Balance(id)
+	if err != nil {
+		panic(err)
+	}
+	return bal
+}

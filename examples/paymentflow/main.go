@@ -1,0 +1,120 @@
+// Paymentflow connects the routing layer to the anonymous payment
+// infrastructure: it runs a real batch of connections through the overlay,
+// mints per-hop forwarding receipts along each realised path, and settles
+// the batch through the bank with blind tokens — including one forwarder
+// that pads its claim and is cut down to its provable forwarding count.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/payment"
+	"p2panon/internal/probe"
+)
+
+func main() {
+	rng := dist.NewSource(2024)
+
+	// Overlay + probing + incentive system.
+	net := overlay.NewNetwork(5, rng.Split())
+	for i := 0; i < 30; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	probes := probe.NewSet(net, rng.Split(), probe.DefaultPeriod)
+	for i := 0; i < 5; i++ {
+		probes.TickAll()
+	}
+	sys, err := core.NewSystem(core.DefaultConfig(), net, probes, rng.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bank with one account per node; the initiator is funded.
+	bank, err := payment.NewBank(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const initiator, responder = overlay.NodeID(0), overlay.NodeID(29)
+	for _, id := range net.AllIDs() {
+		opening := payment.Amount(0)
+		if id == initiator {
+			opening = 100000
+		}
+		if err := bank.OpenAccount(payment.AccountID(id), opening); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Batch secret -> receipt minter (travels inside the onion payload in
+	// a deployment; here the initiator keeps it).
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		log.Fatal(err)
+	}
+	minter, err := payment.NewReceiptMinter(secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the batch, minting one receipt per forwarding instance.
+	contract := core.Contract{Pf: 50, Pr: 200}
+	batch, err := sys.NewBatch(initiator, responder, contract, core.UtilityI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	receipts := make(map[overlay.NodeID][]payment.Receipt)
+	const k = 10
+	for c := 1; c <= k; c++ {
+		res := batch.RunConnection()
+		for hop, f := range res.Forwarders() {
+			r := minter.Mint(c, hop+1, payment.AccountID(f))
+			receipts[f] = append(receipts[f], r)
+		}
+	}
+	fmt.Printf("batch complete: %d connections, ‖π‖ = %d\n", k, batch.ForwarderSet().Size())
+
+	// Build claims; the first forwarder pads its claim with duplicates.
+	var claims []payment.Claim
+	cheater := overlay.None
+	for _, id := range batch.ForwarderSet().Members() {
+		rs := receipts[id]
+		if cheater == overlay.None && len(rs) > 0 {
+			cheater = id
+			rs = append(rs, rs[0], rs[0]) // padded claim
+		}
+		claims = append(claims, payment.Claim{Forwarder: payment.AccountID(id), Receipts: rs})
+	}
+	fmt.Printf("forwarder %d padded its claim with duplicate receipts\n\n", cheater)
+
+	settle := &payment.Settlement{
+		Bank: bank, Minter: minter,
+		Initiator: payment.AccountID(initiator),
+		Pf:        payment.Amount(contract.Pf), Pr: payment.Amount(contract.Pr),
+	}
+	payouts, err := settle.Run(claims)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("settlement (blind tokens; bank cannot link payer to payees):")
+	for _, p := range payouts {
+		honest := batch.Forwards(overlay.NodeID(p.Forwarder))
+		note := ""
+		if overlay.NodeID(p.Forwarder) == cheater {
+			note = fmt.Sprintf("  <- claim cut to provable m=%d", p.Forwards)
+		}
+		fmt.Printf("  forwarder %2d: actual m=%2d, paid for m=%2d -> %4d credits%s\n",
+			p.Forwarder, honest, p.Forwards, p.Amount, note)
+	}
+	initBal, _ := bank.Balance(payment.AccountID(initiator))
+	fmt.Printf("\ninitiator balance: %d; conservation total = %d; serials spent = %d\n",
+		initBal, bank.TotalBalance()+bank.Float(), bank.SpentCount())
+}

@@ -1,0 +1,49 @@
+// Recurringweb models the paper's motivating scenario: clients making
+// recurring web transactions (HTTP-style) through the anonymity overlay
+// while peers churn. It runs the same workload under all three routing
+// strategies and reports the anonymity-relevant outcome per strategy —
+// forwarder-set size, path-reformation rate, payoffs — showing why the
+// incentive mechanism matters for applications with recurring traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2panon/internal/core"
+	"p2panon/internal/experiment"
+	"p2panon/internal/stats"
+)
+
+func main() {
+	fmt.Println("recurring web transactions under churn (N=40, f=0.2, 60 pairs x <=20 connections)")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %12s %14s %16s\n",
+		"strategy", "avg ‖π‖", "Q(π)=L/‖π‖", "new-edge rate", "good payoff")
+
+	for _, strat := range []core.Strategy{core.Random, core.UtilityI, core.UtilityII} {
+		s := experiment.Default()
+		s.MaliciousFraction = 0.2
+		s.Strategy = strat
+		s.Workload.Pairs = 60
+		s.Workload.Transmissions = 1200
+		s.Seed = 7
+
+		res, err := experiment.Run(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var q stats.Accumulator
+		for _, b := range res.Batches {
+			q.Add(b.Quality)
+		}
+		fmt.Printf("%-12s %10.2f %12.3f %14.3f %16s\n",
+			strat, res.AvgSetSize(), q.Mean(),
+			stats.Mean(res.NewEdgeRates), res.AvgGoodPayoff())
+	}
+
+	fmt.Println()
+	fmt.Println("reading: utility routing keeps the forwarder set small and stable across")
+	fmt.Println("the recurring connections, which is exactly what blunts intersection")
+	fmt.Println("attacks on recurring-traffic applications (paper §2.1).")
+}

@@ -1,0 +1,3 @@
+module p2panon
+
+go 1.22

@@ -1,0 +1,36 @@
+package attack_test
+
+import (
+	"fmt"
+
+	"p2panon/internal/attack"
+	"p2panon/internal/overlay"
+)
+
+// The intersection attack of §2.1: each observation of the online
+// population at a connection time shrinks the candidate set toward the
+// initiator, who must be online every time.
+func ExampleIntersector() {
+	x := attack.NewIntersector()
+	x.Observe([]overlay.NodeID{1, 2, 3, 4, 5}) // round 1: 1-5 online
+	x.Observe([]overlay.NodeID{1, 3, 5, 7})    // round 2
+	x.Observe([]overlay.NodeID{3, 5, 9})       // round 3
+	fmt.Println(x.AnonymitySetSize())
+	fmt.Println(x.Candidates(3), x.Candidates(1))
+	// Output:
+	// 2
+	// true false
+}
+
+// The degree of anonymity is the normalised entropy of the surviving
+// candidate set: 1 with everything possible, 0 once identified.
+func ExampleIntersector_DegreeOfAnonymity() {
+	x := attack.NewIntersector()
+	x.Observe([]overlay.NodeID{1, 2, 3, 4})
+	fmt.Printf("%.3f\n", x.DegreeOfAnonymity(16))
+	x.Observe([]overlay.NodeID{2})
+	fmt.Printf("%.3f\n", x.DegreeOfAnonymity(16))
+	// Output:
+	// 0.500
+	// 0.000
+}

@@ -1,0 +1,197 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/sim"
+)
+
+func setup(t *testing.T, cfg Config, seed uint64) (*sim.Engine, *overlay.Network, *Driver) {
+	t.Helper()
+	rng := dist.NewSource(seed)
+	net := overlay.NewNetwork(5, rng.Split())
+	drv := NewDriver(cfg, net, rng.Split())
+	e := sim.NewEngine()
+	return e, net, drv
+}
+
+func TestStaticSeedsExactlyN(t *testing.T) {
+	cfg := Config{N: 40, Static: true}
+	e, net, drv := setup(t, cfg, 1)
+	drv.Start(e)
+	e.RunUntil(sim.Hours(10))
+	if net.Len() != 40 {
+		t.Fatalf("Len = %d", net.Len())
+	}
+	if net.OnlineCount() != 40 {
+		t.Fatalf("Online = %d", net.OnlineCount())
+	}
+	if drv.Departures() != 0 {
+		t.Fatal("static run had departures")
+	}
+}
+
+func TestMaliciousFractionExact(t *testing.T) {
+	cfg := Config{N: 40, MaliciousFraction: 0.5, Static: true}
+	e, net, drv := setup(t, cfg, 2)
+	drv.Start(e)
+	count := 0
+	for _, id := range net.AllIDs() {
+		if net.Node(id).Malicious {
+			count++
+		}
+	}
+	if count != 20 {
+		t.Fatalf("malicious = %d, want 20", count)
+	}
+	_ = e
+}
+
+func TestMaliciousFractionRounds(t *testing.T) {
+	cfg := Config{N: 10, MaliciousFraction: 0.25, Static: true}
+	e, net, drv := setup(t, cfg, 3)
+	drv.Start(e)
+	_ = e
+	count := 0
+	for _, id := range net.AllIDs() {
+		if net.Node(id).Malicious {
+			count++
+		}
+	}
+	if count != 3 { // round(2.5) = 3 with +0.5 rounding
+		t.Fatalf("malicious = %d, want 3", count)
+	}
+}
+
+func TestChurnProducesLeavesAndRejoins(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ArrivalRate = 0
+	e, net, drv := setup(t, cfg, 4)
+	drv.Start(e)
+	e.RunUntil(sim.Hours(24))
+	// After a day with median 60-minute sessions and 10% departure odds,
+	// there must be substantial state diversity.
+	states := map[overlay.State]int{}
+	for _, id := range net.AllIDs() {
+		states[net.Node(id).State]++
+	}
+	if states[overlay.Departed] == 0 {
+		t.Fatal("no departures after 24h")
+	}
+	if drv.Departures() != states[overlay.Departed] {
+		t.Fatalf("driver departures %d != network %d", drv.Departures(), states[overlay.Departed])
+	}
+}
+
+func TestArrivalsReplaceDepartures(t *testing.T) {
+	cfg := DefaultConfig()
+	e, net, drv := setup(t, cfg, 5)
+	drv.Start(e)
+	e.RunUntil(sim.Hours(24))
+	if net.Len() <= cfg.N {
+		t.Fatalf("no arrivals: Len=%d", net.Len())
+	}
+	if drv.Joins() != net.Len() {
+		t.Fatalf("joins %d != nodes %d", drv.Joins(), net.Len())
+	}
+}
+
+func TestSessionTimesFollowConfiguredMedian(t *testing.T) {
+	// With departures disabled and long horizon, observed availability
+	// should hover near median-session / (median-session + mean-off) — a
+	// loose sanity band, not an exact law (Pareto means are heavy-tailed).
+	cfg := Config{
+		N:           40,
+		Session:     dist.ParetoFromMedian(sim.Minutes(60).Seconds(), 1.5),
+		MeanOffTime: sim.Minutes(60).Seconds(),
+		DepartProb:  0,
+	}
+	e, net, drv := setup(t, cfg, 6)
+	drv.Start(e)
+	e.RunUntil(sim.Hours(200))
+	sum := 0.0
+	for _, id := range net.AllIDs() {
+		sum += net.Availability(e.Now(), id)
+	}
+	avg := sum / float64(net.Len())
+	if avg < 0.4 || avg > 0.95 {
+		t.Fatalf("average availability %g outside sanity band", avg)
+	}
+}
+
+func TestDeterministicChurn(t *testing.T) {
+	run := func() (int, int, int) {
+		cfg := DefaultConfig()
+		rng := dist.NewSource(77)
+		net := overlay.NewNetwork(5, rng.Split())
+		drv := NewDriver(cfg, net, rng.Split())
+		e := sim.NewEngine()
+		drv.Start(e)
+		e.RunUntil(sim.Hours(12))
+		return net.Len(), net.OnlineCount(), drv.Departures()
+	}
+	l1, o1, d1 := run()
+	l2, o2, d2 := run()
+	if l1 != l2 || o1 != o2 || d1 != d2 {
+		t.Fatalf("runs differ: (%d,%d,%d) vs (%d,%d,%d)", l1, o1, d1, l2, o2, d2)
+	}
+}
+
+func TestNewDriverValidation(t *testing.T) {
+	rng := dist.NewSource(1)
+	net := overlay.NewNetwork(5, rng.Split())
+	cases := []Config{
+		{N: 0, Static: true},
+		{N: 10, MaliciousFraction: -0.1, Static: true},
+		{N: 10, MaliciousFraction: 1.5, Static: true},
+		{N: 10}, // non-static without session distribution
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			NewDriver(cfg, net, rng)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil rng: no panic")
+			}
+		}()
+		NewDriver(Config{N: 1, Static: true}, net, nil)
+	}()
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.N != 40 {
+		t.Fatalf("N = %d", cfg.N)
+	}
+	if math.Abs(cfg.Session.Median()-3600) > 1e-6 {
+		t.Fatalf("session median = %g, want 3600s", cfg.Session.Median())
+	}
+}
+
+func TestDepartProbOneEmptiesNetwork(t *testing.T) {
+	cfg := Config{
+		N:          20,
+		Session:    dist.Pareto{Xm: 10, Alpha: 3},
+		DepartProb: 1,
+	}
+	e, net, drv := setup(t, cfg, 8)
+	drv.Start(e)
+	e.Run()
+	if net.OnlineCount() != 0 {
+		t.Fatalf("online after full departure: %d", net.OnlineCount())
+	}
+	if drv.Departures() != 20 {
+		t.Fatalf("departures = %d", drv.Departures())
+	}
+}

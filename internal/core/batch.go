@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"p2panon/internal/game"
+	"p2panon/internal/history"
+	"p2panon/internal/overlay"
+	"p2panon/internal/quality"
+)
+
+// Batch is one (I, R) pair's set of recurring connections π = {π¹ … π^k}
+// under a single contract — the unit over which the forwarder set, the
+// routing-benefit share and the payoffs are defined.
+type Batch struct {
+	ID        int
+	Initiator overlay.NodeID
+	Responder overlay.NodeID
+	Contract  Contract
+	Strategy  Strategy // routing strategy used by good nodes
+
+	sys *System
+
+	k        int // connections completed so far
+	fset     *quality.ForwarderSet
+	forwards map[overlay.NodeID]int // m per forwarder
+	edges    map[edge]struct{}      // union of directed edges over π¹…π^k
+
+	newEdges   int // edges that were not present in earlier connections
+	totalEdges int
+	declines   int // forwarding requests declined (NULL strategy plays)
+
+	// fixedPath is the FixedPath baseline's current source-routed relay
+	// sequence (excluding endpoints); rebuilt when a member goes offline.
+	fixedPath []overlay.NodeID
+}
+
+type edge struct{ from, to overlay.NodeID }
+
+// NewBatch registers a new batch on the system. Initiator and responder
+// must be distinct existing nodes.
+func (s *System) NewBatch(initiator, responder overlay.NodeID, c Contract, strat Strategy) (*Batch, error) {
+	if !s.Net.Exists(initiator) || !s.Net.Exists(responder) {
+		return nil, fmt.Errorf("core: unknown endpoint (I=%d, R=%d)", initiator, responder)
+	}
+	if initiator == responder {
+		return nil, fmt.Errorf("core: initiator and responder are both node %d", initiator)
+	}
+	if c.Pf < 0 || c.Pr < 0 {
+		return nil, fmt.Errorf("core: negative contract %+v", c)
+	}
+	s.batches++
+	return &Batch{
+		ID:        s.batches,
+		Initiator: initiator,
+		Responder: responder,
+		Contract:  c,
+		Strategy:  strat,
+		sys:       s,
+		fset:      quality.NewForwarderSet(),
+		forwards:  make(map[overlay.NodeID]int),
+		edges:     make(map[edge]struct{}),
+	}, nil
+}
+
+// Connections returns the number of completed connections k.
+func (b *Batch) Connections() int { return b.k }
+
+// ForwarderSet returns the batch's union forwarder set tracker.
+func (b *Batch) ForwarderSet() *quality.ForwarderSet { return b.fset }
+
+// Forwards returns forwarder id's forwarding-instance count m.
+func (b *Batch) Forwards(id overlay.NodeID) int { return b.forwards[id] }
+
+// Declines returns how many forwarding requests were declined so far.
+func (b *Batch) Declines() int { return b.declines }
+
+// NewEdgeRate returns the empirical E[X] of Proposition 1: the fraction of
+// traversed edges that were new (absent from all earlier connections of
+// the batch). It returns 0 before any connection runs.
+func (b *Batch) NewEdgeRate() float64 {
+	if b.totalEdges == 0 {
+		return 0
+	}
+	return float64(b.newEdges) / float64(b.totalEdges)
+}
+
+// PathResult describes one completed connection π^k.
+type PathResult struct {
+	Conn int // 1-based connection index within the batch
+	// Nodes is the full node sequence I, f₁, …, f_m, R.
+	Nodes []overlay.NodeID
+	// EdgeQualities holds q for each traversed edge as evaluated by its
+	// tail at selection time; the final (delivery) edge is 1.
+	EdgeQualities []float64
+	// NewEdges counts edges of this connection absent from all previous
+	// connections of the batch (Prop. 1's X = 1 events).
+	NewEdges int
+	// Declined counts nodes that refused to forward during formation.
+	Declined int
+	// Direct reports whether the connection fell back to I→R delivery
+	// with no forwarders at all.
+	Direct bool
+}
+
+// HopLen returns the connection's length in edges.
+func (p *PathResult) HopLen() int { return len(p.Nodes) - 1 }
+
+// Forwarders returns the interior nodes (excluding I and R) in order,
+// with duplicates when a node held the payload twice.
+func (p *PathResult) Forwarders() []overlay.NodeID {
+	if len(p.Nodes) <= 2 {
+		return nil
+	}
+	return p.Nodes[1 : len(p.Nodes)-1]
+}
+
+// RunConnection forms the next connection π^{k+1} of the batch and updates
+// all batch accounting. It never fails outright: if every neighbor
+// declines or is offline, the initiator delivers directly to R (a
+// forwarder-less connection), which models Crowds' always-available direct
+// submission.
+func (b *Batch) RunConnection() *PathResult {
+	b.k++
+	res := &PathResult{Conn: b.k}
+	budget := b.sys.cfg.MinHops
+	if span := b.sys.cfg.MaxHops - b.sys.cfg.MinHops; span > 0 {
+		budget += b.sys.rng.Intn(span + 1)
+	}
+
+	if b.Strategy == FixedPath {
+		b.runFixedPath(res, budget)
+		res.Direct = len(res.Nodes) == 2
+		b.fset.AddPath(res.Forwarders(), res.HopLen())
+		return res
+	}
+
+	// Utility Model II: solve the stage game once for this connection;
+	// every good holder then plays its SPNE prescription.
+	var spne [][]game.Decision
+	if b.Strategy == UtilityII {
+		spne = b.solveStageGame(budget)
+	}
+
+	cur := b.Initiator
+	pred := overlay.None
+	res.Nodes = append(res.Nodes, cur)
+
+	for hop := 0; ; hop++ {
+		remaining := budget - hop
+		deliver := remaining <= 0
+		// Crowds-coin termination (§2.2): interior holders flip p_f; the
+		// initiator always forwards at least once when it can. MaxHops
+		// still caps via the budget above.
+		if !deliver && hop > 0 && b.sys.cfg.Termination == CrowdsCoin &&
+			!b.sys.rng.Bernoulli(b.sys.cfg.ForwardProb) {
+			deliver = true
+		}
+		var next overlay.NodeID
+		var q float64
+		if deliver {
+			next, q = b.Responder, 1
+		} else {
+			next, q = b.chooseNext(cur, pred, remaining, spne, res)
+		}
+		b.recordHop(res, cur, pred, next, q)
+		if next == b.Responder {
+			break
+		}
+		pred, cur = cur, next
+	}
+	res.Direct = len(res.Nodes) == 2
+	b.fset.AddPath(res.Forwarders(), res.HopLen())
+	return res
+}
+
+// runFixedPath implements the FixedPath baseline: replay the stored
+// source-routed path if every member is still online, otherwise pick a
+// fresh random path (a reformation) and use that.
+func (b *Batch) runFixedPath(res *PathResult, budget int) {
+	valid := len(b.fixedPath) > 0
+	for _, id := range b.fixedPath {
+		if !b.sys.Net.Online(id) {
+			valid = false
+			break
+		}
+	}
+	if !valid {
+		b.fixedPath = b.buildSourcePath(budget)
+	}
+	cur := b.Initiator
+	pred := overlay.None
+	res.Nodes = append(res.Nodes, cur)
+	sc := b.sys.scorer(b.Initiator, b.ID)
+	for _, next := range b.fixedPath {
+		b.recordHop(res, cur, pred, next, sc.Edge(next, b.Responder, b.k))
+		pred, cur = cur, next
+	}
+	b.recordHop(res, cur, pred, b.Responder, 1)
+}
+
+// buildSourcePath picks `budget` distinct random online relays, excluding
+// the endpoints — the initiator-knows-the-path model of [13].
+func (b *Batch) buildSourcePath(budget int) []overlay.NodeID {
+	var pool []overlay.NodeID
+	for _, id := range b.sys.Net.OnlineIDs() {
+		if id != b.Initiator && id != b.Responder {
+			pool = append(pool, id)
+		}
+	}
+	if budget > len(pool) {
+		budget = len(pool)
+	}
+	shuffleIDs(b.sys.rng, pool)
+	return append([]overlay.NodeID(nil), pool[:budget]...)
+}
+
+// chooseNext picks cur's successor for the current connection, honouring
+// the holder's strategy, candidate acceptance, and the hop budget. It
+// returns the responder when no forwarding candidate is available.
+func (b *Batch) chooseNext(cur, pred overlay.NodeID, remaining int, spne [][]game.Decision, res *PathResult) (overlay.NodeID, float64) {
+	holderIsMalicious := b.sys.Net.Node(cur).Malicious
+	strat := b.Strategy
+	if holderIsMalicious {
+		strat = Random // adversaries route randomly, whatever the contract says
+	}
+
+	candidates := b.candidates(cur, pred)
+	if len(candidates) == 0 {
+		return b.Responder, 1
+	}
+
+	switch strat {
+	case Random:
+		// Uniform choice; skip decliners by resampling without
+		// replacement.
+		order := append([]overlay.NodeID(nil), candidates...)
+		shuffleIDs(b.sys.rng, order)
+		for _, v := range order {
+			if b.sys.accepts(v, b.Contract) {
+				return v, b.sys.scorer(cur, b.ID).Edge(v, b.Responder, b.k)
+			}
+			res.Declined++
+			b.declines++
+		}
+		return b.Responder, 1
+
+	case UtilityII:
+		if spne != nil && int(cur) < len(spne[remaining]) {
+			d := spne[remaining][cur]
+			// The SPNE table is computed over walks; refuse an immediate
+			// return to the predecessor (A→B→A cycling) and fall back to
+			// the local rule instead, like the candidate filter does for
+			// the other strategies.
+			if d.Next >= 0 && overlay.NodeID(d.Next) != pred {
+				next := overlay.NodeID(d.Next)
+				if next == b.Responder {
+					return b.Responder, 1
+				}
+				if b.sys.accepts(next, b.Contract) {
+					return next, b.sys.scorer(cur, b.ID).Edge(next, b.Responder, b.k)
+				}
+				res.Declined++
+				b.declines++
+				// SPNE target declined: fall through to Model I's local
+				// choice among the remaining candidates.
+			}
+		}
+		fallthrough
+
+	default: // UtilityI
+		return b.chooseUtilityI(cur, pred, candidates, res)
+	}
+}
+
+// chooseUtilityI implements Model I: evaluate U(cur, v) for every
+// candidate, walk them in descending utility (ties broken by higher edge
+// quality, then lower ID for determinism), and return the first acceptor.
+func (b *Batch) chooseUtilityI(cur, pred overlay.NodeID, candidates []overlay.NodeID, res *PathResult) (overlay.NodeID, float64) {
+	sc := b.sys.scorer(cur, b.ID)
+	type scored struct {
+		id overlay.NodeID
+		u  float64
+		q  float64
+	}
+	scoredCands := make([]scored, 0, len(candidates))
+	for _, v := range candidates {
+		var q float64
+		if b.sys.cfg.PositionAware {
+			q = sc.EdgeAt(pred, v, b.Responder, b.k)
+		} else {
+			q = sc.Edge(v, b.Responder, b.k)
+		}
+		u := b.Contract.Pf + q*b.Contract.Pr -
+			(b.sys.cfg.Cost.Participation + b.sys.cfg.Cost.Transmission(int(cur), int(v)))
+		scoredCands = append(scoredCands, scored{id: v, u: u, q: q})
+	}
+	sort.Slice(scoredCands, func(i, j int) bool {
+		a, c := scoredCands[i], scoredCands[j]
+		if a.u != c.u {
+			return a.u > c.u
+		}
+		if a.q != c.q {
+			return a.q > c.q // paper: ties broken by higher quality
+		}
+		return a.id < c.id
+	})
+	// §5 availability-attack countermeasure: jitter the argmax across the
+	// top-K candidates so an always-online adversary cannot deterministically
+	// park itself on the stable path.
+	if k := b.sys.cfg.TopKJitter; k > 1 && len(scoredCands) > 1 {
+		if k > len(scoredCands) {
+			k = len(scoredCands)
+		}
+		pick := b.sys.rng.Intn(k)
+		scoredCands[0], scoredCands[pick] = scoredCands[pick], scoredCands[0]
+	}
+	for _, s := range scoredCands {
+		if b.sys.accepts(s.id, b.Contract) {
+			return s.id, s.q
+		}
+		res.Declined++
+		b.declines++
+	}
+	return b.Responder, 1
+}
+
+// candidates returns cur's viable forwarding candidates: online neighbors
+// other than the immediate predecessor, the responder and the initiator.
+// (R is reached by explicit delivery; routing back through I would reveal
+// nothing useful and unbalance the length normalisation.)
+func (b *Batch) candidates(cur, pred overlay.NodeID) []overlay.NodeID {
+	var out []overlay.NodeID
+	for _, v := range b.sys.Net.Node(cur).Neighbors {
+		if v == pred || v == b.Responder || v == b.Initiator || v == cur {
+			continue
+		}
+		if !b.sys.Net.Online(v) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// recordHop updates history, forwarding counts and edge bookkeeping for
+// the traversal cur→next.
+func (b *Batch) recordHop(res *PathResult, cur, pred, next overlay.NodeID, q float64) {
+	res.Nodes = append(res.Nodes, next)
+	res.EdgeQualities = append(res.EdgeQualities, q)
+
+	// History: every node on the path (including I) records the hop it
+	// routed, keyed by this connection, with its predecessor for position
+	// disambiguation (§2.3, Table 1).
+	b.sys.Hist.For(cur, b.ID).Record(history.ConnID(b.k), pred, next)
+
+	// Forwarding instances are credited to interior nodes only.
+	if cur != b.Initiator {
+		b.forwards[cur]++
+	}
+
+	e := edge{cur, next}
+	b.totalEdges++
+	if _, seen := b.edges[e]; !seen {
+		// Only edges encountered in *earlier* connections count as old;
+		// an edge first seen earlier in this same connection is still new
+		// exactly once.
+		res.NewEdges++
+		b.newEdges++
+		b.edges[e] = struct{}{}
+	}
+}
+
+// solveStageGame builds and solves the L-stage path game for Utility Model
+// II over the current online overlay: vertices are all node IDs (offline
+// ones get no outgoing edges), each online node i has edges to its online
+// neighbors with q from i's own scorer, and every online node has the
+// delivery edge (i, R) with quality 1.
+func (b *Batch) solveStageGame(budget int) [][]game.Decision {
+	n := b.sys.Net.Len()
+	type key struct{ i, j int }
+	cache := make(map[key]float64, n*4)
+	eq := func(i, j int) float64 {
+		if q, ok := cache[key{i, j}]; ok {
+			return q
+		}
+		q := b.stageEdgeQuality(overlay.NodeID(i), overlay.NodeID(j))
+		cache[key{i, j}] = q
+		return q
+	}
+	g := &game.PathGame{
+		Nodes:       n,
+		Responder:   int(b.Responder),
+		EdgeQuality: eq,
+		Pf:          b.Contract.Pf,
+		Pr:          b.Contract.Pr,
+		Cost:        b.sys.cfg.Cost,
+		MaxHops:     budget,
+	}
+	return g.Solve()
+}
+
+// stageEdgeQuality returns q(i, j) for the stage game, or -1 when the edge
+// does not exist.
+func (b *Batch) stageEdgeQuality(i, j overlay.NodeID) float64 {
+	if i == j {
+		return -1
+	}
+	if !b.sys.Net.Online(i) || i == b.Responder {
+		return -1
+	}
+	if j == b.Responder {
+		return 1 // delivery edge, last-edge rule
+	}
+	if j == b.Initiator || !b.sys.Net.Online(j) {
+		return -1
+	}
+	if !b.sys.Net.IsNeighbor(i, j) {
+		return -1
+	}
+	return b.sys.scorer(i, b.ID).Edge(j, b.Responder, b.k)
+}
+
+// shuffleIDs is a tiny Fisher-Yates over node IDs using the system RNG.
+func shuffleIDs(rng interface{ Intn(int) int }, xs []overlay.NodeID) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,259 @@
+// Package core implements the paper's primary contribution: incentive-driven
+// forwarding and routing for a P2P anonymity overlay.
+//
+// An initiator I that wants a batch π of k recurring connections to a
+// responder R publishes a Contract: a forwarding benefit P_f paid per
+// forwarding instance and a routing benefit P_r shared by the whole
+// forwarder set. Forwarders pick successors to maximise their utility:
+//
+//	Model I  (edge-local):    U_i(j) = P_f + q(i,j)·P_r − (C^p_i + C^t(i,j))
+//	Model II (path-lookahead): U_i(j) = P_f + q(π(i,j,R))·P_r − (C^p_i + C^t(i,j))
+//
+// with edge quality q combining history selectivity and probed
+// availability (quality package) and Model II's path quality derived from
+// the SPNE of the L-stage path game (game package). The package tracks
+// forwarder sets, forwarding counts, reformation statistics and payoffs —
+// everything the paper's evaluation (§3) measures.
+package core
+
+import (
+	"fmt"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/game"
+	"p2panon/internal/history"
+	"p2panon/internal/overlay"
+	"p2panon/internal/probe"
+	"p2panon/internal/quality"
+)
+
+// Strategy selects how a (good) node routes. Malicious nodes always route
+// randomly regardless of the configured strategy, per the paper's
+// adversary model.
+type Strategy uint8
+
+const (
+	// Random routing: uniform choice among candidates (the baseline and
+	// the adversary behaviour).
+	Random Strategy = iota
+	// UtilityI is edge-local utility maximisation (Utility Model I).
+	UtilityI
+	// UtilityII is path-lookahead utility maximisation via the SPNE of
+	// the stage game (Utility Model II).
+	UtilityII
+	// FixedPath is the Figueiredo-Shapiro-Towsley [13] style baseline the
+	// paper's related work discusses: the initiator source-routes one
+	// fixed path and reuses it for every connection of the batch,
+	// re-forming (randomly) only when a path member goes offline. It
+	// requires the initiator to know the intermediate nodes — the
+	// limitation the paper's mechanism removes.
+	FixedPath
+)
+
+// String returns the strategy name as used in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case UtilityI:
+		return "utility-I"
+	case UtilityII:
+		return "utility-II"
+	case FixedPath:
+		return "fixed-path"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Termination selects how a connection decides to stop forwarding and
+// deliver to R. The paper notes "both Crowds like probabilistic forwarding
+// and hop-distance based forwarding are applicable to our model" (§2.2);
+// both are implemented.
+type Termination uint8
+
+const (
+	// HopBudget draws a per-connection hop budget in [MinHops, MaxHops]
+	// and delivers when it is exhausted. Because every strategy shares
+	// the drawn budget, forwarder-set comparisons are length-normalised.
+	HopBudget Termination = iota
+	// CrowdsCoin flips a coin at every interior hop: with probability
+	// ForwardProb the payload is forwarded, otherwise it is delivered to
+	// R (Crowds' p_f rule). MaxHops still caps runaway paths.
+	CrowdsCoin
+)
+
+// String returns the termination-mode name.
+func (t Termination) String() string {
+	switch t {
+	case HopBudget:
+		return "hop-budget"
+	case CrowdsCoin:
+		return "crowds-coin"
+	default:
+		return fmt.Sprintf("Termination(%d)", uint8(t))
+	}
+}
+
+// Contract is the initiator's published payment commitment for one batch.
+type Contract struct {
+	Pf float64 // forwarding benefit per forwarding instance
+	Pr float64 // routing benefit shared by the forwarder set
+}
+
+// Tau returns τ = P_r / P_f, the ratio the paper sweeps in Table 2.
+func (c Contract) Tau() float64 {
+	if c.Pf == 0 {
+		return 0
+	}
+	return c.Pr / c.Pf
+}
+
+// ContractWithTau builds a contract from a forwarding benefit and τ.
+func ContractWithTau(pf, tau float64) Contract {
+	return Contract{Pf: pf, Pr: tau * pf}
+}
+
+// Config holds the routing-mechanism parameters shared by all batches.
+type Config struct {
+	// Weights are the (w_s, w_a) edge-quality weights; the paper's
+	// experiments use 0.5/0.5.
+	Weights quality.Weights
+	// Cost is the peer cost model (C^p, C^t).
+	Cost game.CostModel
+	// MinHops and MaxHops bound the per-connection hop budget: each
+	// connection draws a budget uniformly in [MinHops, MaxHops], and the
+	// holder delivers to R when it is exhausted. All strategies share the
+	// drawn budget so forwarder-set comparisons are length-normalised, as
+	// the paper's Q(π) = L/‖π‖ metric intends.
+	MinHops, MaxHops int
+	// Termination selects hop-budget or Crowds-coin delivery (§2.2).
+	Termination Termination
+	// ForwardProb is Crowds' p_f, used when Termination is CrowdsCoin.
+	ForwardProb float64
+	// HistoryCapacity bounds per-node history profiles (0 = unlimited).
+	HistoryCapacity int
+	// Participation gates whether a good node accepts a forwarding
+	// request. When true (the default behaviour), a node declines unless
+	// Prop. 3's condition P_f > C^p + C^t holds for it. Malicious nodes
+	// always accept.
+	Participation bool
+	// PositionAware switches Utility Model I's selectivity to the
+	// predecessor-differentiated form of §2.3: a node occupying two
+	// positions on the same recurring path scores each position's
+	// outgoing edges from its own history rows only. (Model II's stage
+	// game is position-free by construction.)
+	PositionAware bool
+	// TopKJitter is the §5 availability-attack countermeasure: instead of
+	// deterministically playing the argmax neighbor, a Model-I forwarder
+	// picks uniformly among its top-K utility candidates. K = 0 or 1 is
+	// the paper's pure argmax; K > 1 trades a slightly larger forwarder
+	// set for unpredictability an always-online adversary cannot park on.
+	TopKJitter int
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	return Config{
+		Weights: quality.DefaultWeights(),
+		Cost:    game.UniformCost(5, 2),
+		MinHops: 2,
+		MaxHops: 6,
+		// History is unbounded within a batch: k ≤ 20 connections.
+		HistoryCapacity: 0,
+		Participation:   true,
+	}
+}
+
+func (c Config) validate() error {
+	if err := c.Weights.Validate(); err != nil {
+		return err
+	}
+	if c.MinHops < 1 || c.MaxHops < c.MinHops {
+		return fmt.Errorf("core: hop bounds [%d, %d]", c.MinHops, c.MaxHops)
+	}
+	if c.Termination == CrowdsCoin && (c.ForwardProb <= 0 || c.ForwardProb >= 1) {
+		return fmt.Errorf("core: Crowds forward probability %g outside (0, 1)", c.ForwardProb)
+	}
+	if c.HistoryCapacity < 0 {
+		return fmt.Errorf("core: history capacity %d", c.HistoryCapacity)
+	}
+	if c.TopKJitter < 0 {
+		return fmt.Errorf("core: top-K jitter %d", c.TopKJitter)
+	}
+	return nil
+}
+
+// System ties together the overlay, the per-node probing estimators and
+// the per-(node, batch) history profiles, and stamps out batches.
+type System struct {
+	Net    *overlay.Network
+	Probes *probe.Set
+	Hist   *history.Store
+
+	cfg     Config
+	rng     *dist.Source
+	batches int
+}
+
+// NewSystem constructs a routing system over an existing overlay. Probing
+// must be driven by the caller (probe.Set.Attach or TickAll); the system
+// only consumes the estimates.
+func NewSystem(cfg Config, net *overlay.Network, probes *probe.Set, rng *dist.Source) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if net == nil || probes == nil || rng == nil {
+		return nil, fmt.Errorf("core: nil dependency (net=%v probes=%v rng=%v)", net == nil, probes == nil, rng == nil)
+	}
+	return &System{
+		Net:    net,
+		Probes: probes,
+		Hist:   history.NewStore(cfg.HistoryCapacity),
+		cfg:    cfg,
+		rng:    rng,
+	}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// scorer returns node's edge-quality scorer for the given batch.
+func (s *System) scorer(node overlay.NodeID, batch int) *quality.Scorer {
+	return quality.NewScorer(s.cfg.Weights, s.Hist.For(node, batch), s.Probes.For(node))
+}
+
+// accepts reports whether node agrees to forward under contract c: good
+// nodes apply Prop. 3's participation condition P_f > C^p + C^t(node→next
+// best guess ≈ uniform cost); malicious nodes always accept.
+func (s *System) accepts(node overlay.NodeID, c Contract) bool {
+	if s.Net.Node(node).Malicious {
+		return true
+	}
+	if !s.cfg.Participation {
+		return true
+	}
+	// Use the node's cheapest outgoing link as C^t: a rational node that
+	// participates will forward on its cheapest acceptable link.
+	minCt := s.minTransmission(node)
+	return game.ForwardingDominant(c.Pf, s.cfg.Cost.Participation, minCt)
+}
+
+// minTransmission returns the minimum C^t over node's online neighbors
+// (or 0 when it has none — delivery to R is then its only move).
+func (s *System) minTransmission(node overlay.NodeID) float64 {
+	min := -1.0
+	for _, v := range s.Net.Node(node).Neighbors {
+		if !s.Net.Online(v) {
+			continue
+		}
+		ct := s.cfg.Cost.Transmission(int(node), int(v))
+		if min < 0 || ct < min {
+			min = ct
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any strategy, seed and malicious layout, settlement
+// conserves money (Σ incomes = initiator outlay), payoff counts match the
+// forwarder set, and every reported m matches the batch's own counter.
+func TestQuickSettlementInvariants(t *testing.T) {
+	f := func(seed uint64, stratRaw, malRaw uint8, k uint8) bool {
+		strat := Strategy(stratRaw % 4)
+		malEvery := int(malRaw%5) + 2 // every 2..6th node malicious
+		sys := testSystemQuick(t, 25, seed, malEvery)
+		b, err := sys.NewBatch(1, 24, ContractWithTau(60, 2), strat)
+		if err != nil {
+			return false
+		}
+		conns := int(k%15) + 1
+		for i := 0; i < conns; i++ {
+			b.RunConnection()
+		}
+		payoffs := b.Settle()
+		if len(payoffs) != b.ForwarderSet().Size() {
+			return false
+		}
+		var total float64
+		for _, p := range payoffs {
+			if p.Forwards != b.Forwards(p.Node) {
+				return false
+			}
+			if p.Income < 0 {
+				return false
+			}
+			total += p.Income
+		}
+		return math.Abs(total-b.TotalPaid()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: paths always start at I, end at R, use only online interior
+// nodes, and respect the hop cap, for every strategy.
+func TestQuickPathWellFormed(t *testing.T) {
+	f := func(seed uint64, stratRaw uint8) bool {
+		strat := Strategy(stratRaw % 4)
+		sys := testSystemQuick(t, 25, seed, 4)
+		b, err := sys.NewBatch(0, 24, ContractWithTau(75, 1), strat)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			res := b.RunConnection()
+			if res.Nodes[0] != 0 || res.Nodes[len(res.Nodes)-1] != 24 {
+				return false
+			}
+			if res.HopLen() > sys.Config().MaxHops+1 {
+				return false
+			}
+			for _, fw := range res.Forwarders() {
+				if fw == 0 || fw == 24 || !sys.Net.Online(fw) {
+					return false
+				}
+			}
+			if len(res.EdgeQualities) != res.HopLen() {
+				return false
+			}
+			for _, q := range res.EdgeQualities {
+				if q < 0 || q > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NewEdgeRate is a valid probability and non-increasing "in the
+// large": the cumulative rate after 2k connections never exceeds the rate
+// after k by more than noise allows (reuse only accumulates).
+func TestQuickNewEdgeRateBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		sys := testSystemQuick(t, 25, seed, 0)
+		b, err := sys.NewBatch(0, 24, ContractWithTau(75, 4), UtilityI)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			b.RunConnection()
+		}
+		early := b.NewEdgeRate()
+		for i := 0; i < 10; i++ {
+			b.RunConnection()
+		}
+		late := b.NewEdgeRate()
+		if early < 0 || early > 1 || late < 0 || late > 1 {
+			return false
+		}
+		// Cumulative new-edge rate can only fall as stable reuse piles up
+		// (allowing a small epsilon for paths forced through new nodes).
+		return late <= early+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testSystemQuick mirrors testSystem but avoids t.Helper noise inside
+// quick.Check closures.
+func testSystemQuick(t *testing.T, n int, seed uint64, maliciousEvery int) *System {
+	sys := testSystem(t, n, seed, maliciousEvery)
+	return sys
+}
+
+// Property: batches are isolated — running a second batch never changes
+// the first batch's settled payoffs.
+func TestQuickBatchIsolation(t *testing.T) {
+	f := func(seed uint64) bool {
+		sys := testSystemQuick(t, 25, seed, 0)
+		b1, err := sys.NewBatch(0, 24, ContractWithTau(75, 2), UtilityI)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 6; i++ {
+			b1.RunConnection()
+		}
+		before := b1.Settle()
+		b2, err := sys.NewBatch(2, 20, ContractWithTau(50, 4), Random)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 6; i++ {
+			b2.RunConnection()
+		}
+		after := b1.Settle()
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

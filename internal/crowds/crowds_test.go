@@ -1,0 +1,234 @@
+package crowds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2panon/internal/dist"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{N: 20, C: 2, Pf: 0.75}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 0, C: 0, Pf: 0.5},
+		{N: 5, C: -1, Pf: 0.5},
+		{N: 5, C: 5, Pf: 0.5},
+		{N: 5, C: 1, Pf: 0},
+		{N: 5, C: 1, Pf: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestExpectedPathLength(t *testing.T) {
+	// pf = 0.75: 2 + 3 = 5 edges.
+	if got := ExpectedPathLength(0.75); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("E[len] = %g", got)
+	}
+	if got := ExpectedPathLength(0.5); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("E[len] = %g", got)
+	}
+}
+
+func TestPathLengthPMFSumsToOne(t *testing.T) {
+	const pf = 0.7
+	sum := 0.0
+	for k := 2; k < 500; k++ {
+		sum += PathLengthPMF(pf, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %g", sum)
+	}
+	if PathLengthPMF(pf, 1) != 0 || PathLengthPMF(pf, 0) != 0 {
+		t.Fatal("impossible lengths have nonzero mass")
+	}
+}
+
+func TestPMFMeanMatchesExpectation(t *testing.T) {
+	const pf = 0.6
+	mean := 0.0
+	for k := 2; k < 1000; k++ {
+		mean += float64(k) * PathLengthPMF(pf, k)
+	}
+	if math.Abs(mean-ExpectedPathLength(pf)) > 1e-6 {
+		t.Fatalf("PMF mean %g != E[len] %g", mean, ExpectedPathLength(pf))
+	}
+}
+
+func TestFirstCollaboratorSeesInitiator(t *testing.T) {
+	// Reiter-Rubin example regime: n=20, c=2, pf=0.75:
+	// P = 1 - 0.75*17/20 = 0.3625.
+	p := Params{N: 20, C: 2, Pf: 0.75}
+	got, err := p.FirstCollaboratorSeesInitiator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3625) > 1e-12 {
+		t.Fatalf("P = %g", got)
+	}
+}
+
+func TestProbableInnocenceBoundary(t *testing.T) {
+	// pf = 3/4: threshold n = 3(c+1). c=2 -> n >= 9.
+	ok, err := (Params{N: 9, C: 2, Pf: 0.75}).ProbableInnocence()
+	if err != nil || !ok {
+		t.Fatalf("n=9 should hold: %v %v", ok, err)
+	}
+	ok, err = (Params{N: 8, C: 2, Pf: 0.75}).ProbableInnocence()
+	if err != nil || ok {
+		t.Fatalf("n=8 should fail: %v %v", ok, err)
+	}
+	// pf <= 1/2 can never give probable innocence.
+	ok, err = (Params{N: 1000, C: 1, Pf: 0.4}).ProbableInnocence()
+	if err != nil || ok {
+		t.Fatal("pf<=1/2 should never hold")
+	}
+}
+
+func TestProbableInnocenceMatchesPosterior(t *testing.T) {
+	// Whenever probable innocence holds, the posterior must be <= 1/2.
+	for n := 3; n < 60; n++ {
+		for c := 1; c < n-1; c++ {
+			p := Params{N: n, C: c, Pf: 0.8}
+			ok, err := p.ProbableInnocence()
+			if err != nil {
+				t.Fatal(err)
+			}
+			post, err := p.FirstCollaboratorSeesInitiator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok && post > 0.5+1e-12 {
+				t.Fatalf("n=%d c=%d: innocence claimed but posterior %g", n, c, post)
+			}
+			if !ok && post < 0.5-1e-12 {
+				t.Fatalf("n=%d c=%d: innocence denied but posterior %g", n, c, post)
+			}
+		}
+	}
+}
+
+func TestMinCrowdForInnocence(t *testing.T) {
+	n, err := MinCrowdForInnocence(2, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("min crowd %d, want 9", n)
+	}
+	if _, err := MinCrowdForInnocence(2, 0.5); err == nil {
+		t.Fatal("pf=0.5 accepted")
+	}
+	if _, err := MinCrowdForInnocence(-1, 0.75); err == nil {
+		t.Fatal("negative c accepted")
+	}
+	// The returned n must actually satisfy the condition, n-1 must not.
+	ok, _ := (Params{N: n, C: 2, Pf: 0.75}).ProbableInnocence()
+	if !ok {
+		t.Fatal("returned minimum does not satisfy innocence")
+	}
+	ok, _ = (Params{N: n - 1, C: 2, Pf: 0.75}).ProbableInnocence()
+	if ok {
+		t.Fatal("n-1 also satisfies innocence; not minimal")
+	}
+}
+
+func TestCollaboratorOnPath(t *testing.T) {
+	p := Params{N: 20, C: 0, Pf: 0.75}
+	got, err := p.CollaboratorOnPath()
+	if err != nil || got != 0 {
+		t.Fatalf("c=0 probability %g, err %v", got, err)
+	}
+	p.C = 2
+	got, err = p.CollaboratorOnPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got > 1 {
+		t.Fatalf("probability %g", got)
+	}
+}
+
+// Monte-Carlo validation: simulate Crowds forwarding directly and compare
+// the analytic path-length mean and predecessor probability.
+func TestMonteCarloAgreesWithTheory(t *testing.T) {
+	const (
+		n      = 20
+		c      = 3
+		pf     = 0.75
+		trials = 200000
+	)
+	rng := dist.NewSource(99)
+	collab := func(id int) bool { return id < c } // ids 0..c-1 collude
+	var totalLen int
+	seenCollab := 0
+	firstSeesInitiator := 0
+	const initiator = n - 1 // a non-collaborator
+	for i := 0; i < trials; i++ {
+		length := 1 // I -> first jondo
+		prev := initiator
+		cur := rng.Intn(n)
+		firstCollabFound := false
+		for {
+			if !firstCollabFound && collab(cur) {
+				firstCollabFound = true
+				seenCollab++
+				if prev == initiator {
+					firstSeesInitiator++
+				}
+			}
+			if rng.Float64() < pf {
+				length++
+				prev = cur
+				cur = rng.Intn(n)
+			} else {
+				length++ // delivery edge
+				break
+			}
+		}
+		totalLen += length
+	}
+	meanLen := float64(totalLen) / trials
+	if math.Abs(meanLen-ExpectedPathLength(pf)) > 0.05 {
+		t.Fatalf("simulated mean length %g, theory %g", meanLen, ExpectedPathLength(pf))
+	}
+	p := Params{N: n, C: c, Pf: pf}
+	want, _ := p.FirstCollaboratorSeesInitiator()
+	got := float64(firstSeesInitiator) / float64(seenCollab)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("simulated predecessor probability %g, theory %g", got, want)
+	}
+}
+
+// Property: posterior is within (0, 1] and decreasing in n.
+func TestQuickPosteriorBounds(t *testing.T) {
+	f := func(nRaw, cRaw, pfRaw uint8) bool {
+		n := int(nRaw%100) + 3
+		c := int(cRaw) % (n - 1)
+		pf := 0.01 + 0.98*float64(pfRaw)/255
+		p := Params{N: n, C: c, Pf: pf}
+		post, err := p.FirstCollaboratorSeesInitiator()
+		if err != nil {
+			return false
+		}
+		if post <= 0 || post > 1 {
+			return false
+		}
+		bigger := Params{N: n + 10, C: c, Pf: pf}
+		post2, err := bigger.FirstCollaboratorSeesInitiator()
+		if err != nil {
+			return false
+		}
+		return post2 <= post+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package crowds_test
+
+import (
+	"fmt"
+
+	"p2panon/internal/crowds"
+)
+
+// With forwarding probability 0.75, Crowds paths average five edges.
+func ExampleExpectedPathLength() {
+	fmt.Printf("%.1f\n", crowds.ExpectedPathLength(0.75))
+	// Output: 5.0
+}
+
+// Reiter-Rubin's probable-innocence bound: against 2 collaborators at
+// p_f = 0.75, a crowd of at least 9 keeps the initiator probably
+// innocent.
+func ExampleMinCrowdForInnocence() {
+	n, _ := crowds.MinCrowdForInnocence(2, 0.75)
+	fmt.Println(n)
+	ok, _ := crowds.Params{N: n, C: 2, Pf: 0.75}.ProbableInnocence()
+	fmt.Println(ok)
+	// Output:
+	// 9
+	// true
+}
+
+// The first collaborating forwarder sees the true initiator as its
+// predecessor with probability 1 − p_f(n−c−1)/n.
+func ExampleParams_FirstCollaboratorSeesInitiator() {
+	p := crowds.Params{N: 20, C: 2, Pf: 0.75}
+	post, _ := p.FirstCollaboratorSeesInitiator()
+	fmt.Printf("%.4f\n", post)
+	// Output: 0.3625
+}

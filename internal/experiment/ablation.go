@@ -1,0 +1,344 @@
+package experiment
+
+import (
+	"fmt"
+
+	"p2panon/internal/adversary"
+	"p2panon/internal/attack"
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/probe"
+	"p2panon/internal/quality"
+	"p2panon/internal/sim"
+	"p2panon/internal/stats"
+)
+
+// TauAblationPoint summarises one τ position of the ABL-TAU sweep: how the
+// routing/forwarding benefit ratio shapes forwarder-set size, payoff and
+// routing efficiency (§2.2's discussion of the P_f/P_r relationship).
+type TauAblationPoint struct {
+	Tau        float64
+	AvgSetSize float64
+	AvgPayoff  float64
+	Efficiency float64
+}
+
+// RunTauAblation sweeps τ on the base setup with Utility Model I.
+func RunTauAblation(base Setup, taus []float64, trials int) ([]TauAblationPoint, error) {
+	var out []TauAblationPoint
+	for _, tau := range taus {
+		s := base
+		s.Strategy = core.UtilityI
+		s.Workload.Tau = tau
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return nil, fmt.Errorf("tau=%g: %w", tau, err)
+		}
+		var pay stats.Accumulator
+		pay.AddAll(PoolPayoffs(rs))
+		size := stats.Mean(PoolSetSizes(rs))
+		pt := TauAblationPoint{Tau: tau, AvgSetSize: size, AvgPayoff: pay.Mean()}
+		if size > 0 {
+			pt.Efficiency = pay.Mean() / size
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WeightAblationPoint summarises one (w_s, w_a) split of the ABL-W sweep
+// (§2.3's discussion of the selectivity/availability weighting).
+type WeightAblationPoint struct {
+	Ws          float64
+	AvgSetSize  float64
+	NewEdgeRate float64
+}
+
+// RunWeightAblation sweeps w_s (w_a = 1 − w_s) on the base setup.
+func RunWeightAblation(base Setup, ws []float64, trials int) ([]WeightAblationPoint, error) {
+	var out []WeightAblationPoint
+	for _, w := range ws {
+		s := base
+		s.Strategy = core.UtilityI
+		s.Core.Weights = quality.Weights{Selectivity: w, Availability: 1 - w}
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return nil, fmt.Errorf("ws=%g: %w", w, err)
+		}
+		var edges stats.Accumulator
+		for _, r := range rs {
+			edges.AddAll(r.NewEdgeRates)
+		}
+		out = append(out, WeightAblationPoint{
+			Ws:          w,
+			AvgSetSize:  stats.Mean(PoolSetSizes(rs)),
+			NewEdgeRate: edges.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// IntersectionResult summarises the ATK-INT study for one strategy: how
+// fast the intersection attack's candidate set collapses and how often
+// the initiator is identified within the batch.
+type IntersectionResult struct {
+	Strategy       core.Strategy
+	AvgFinalSet    float64 // mean candidate-set size after all rounds
+	IdentifiedRate float64 // fraction of batches where C = {I}
+	AvgDegree      float64 // mean degree of anonymity at the end
+	// AvgForwarderSet is the strategy-dependent channel: the average
+	// ‖π‖ the attacker would have to own to sit on the paths. The
+	// active-set channel above is strategy-independent by construction
+	// (it depends only on churn), which is itself a finding the paper's
+	// §2.1 argument predicts: the mechanism defends by shrinking ‖π‖.
+	AvgForwarderSet float64
+}
+
+// RunIntersection mounts the §2.1 intersection attack against simulated
+// batches: the attacker snapshots the online population at each connection
+// time of a batch and intersects. Because the initiator must be online to
+// connect, it always survives; churn removes other candidates. Utility
+// routing's value shows up in the *forwarder-set* channel of the attack
+// (fewer distinct forwarders to correlate); this study reports the
+// active-set channel for each strategy under identical churn.
+func RunIntersection(base Setup, strategies []core.Strategy, trials int) ([]IntersectionResult, error) {
+	var out []IntersectionResult
+	for _, strat := range strategies {
+		var finals, degrees, fsets stats.Accumulator
+		identified := 0
+		batches := 0
+		for trial := 0; trial < trials; trial++ {
+			s := base
+			s.Strategy = strat
+			s.Seed = base.Seed + uint64(trial)*7919
+			r, runRes, err := runWithIntersection(s)
+			if err != nil {
+				return nil, err
+			}
+			for _, ia := range r {
+				finals.Add(float64(ia.size))
+				degrees.Add(ia.degree)
+				if ia.identified {
+					identified++
+				}
+				batches++
+			}
+			fsets.AddAll(runRes.SetSizes)
+		}
+		res := IntersectionResult{
+			Strategy:        strat,
+			AvgFinalSet:     finals.Mean(),
+			AvgDegree:       degrees.Mean(),
+			AvgForwarderSet: fsets.Mean(),
+		}
+		if batches > 0 {
+			res.IdentifiedRate = float64(identified) / float64(batches)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+type intersectionOutcome struct {
+	size       int
+	degree     float64
+	identified bool
+}
+
+// runWithIntersection runs the simulation with one Intersector per batch,
+// observing the online population at every connection event, and returns
+// both the attack outcomes and the ordinary run result.
+func runWithIntersection(s Setup) ([]intersectionOutcome, *Result, error) {
+	h, err := newHarness(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	intersectors := make([]*attack.Intersector, len(h.pairs))
+	for i := range intersectors {
+		intersectors[i] = attack.NewIntersector()
+	}
+	h.beforeConnection = func(pairIdx int) {
+		intersectors[pairIdx].Observe(h.net.OnlineIDs())
+	}
+	if err := h.run(); err != nil {
+		return nil, nil, err
+	}
+	var out []intersectionOutcome
+	for i, x := range intersectors {
+		if x.Rounds() == 0 {
+			continue
+		}
+		out = append(out, intersectionOutcome{
+			size:       x.AnonymitySetSize(),
+			degree:     x.DegreeOfAnonymity(h.net.Len()),
+			identified: x.Identified(h.pairs[i].Initiator),
+		})
+	}
+	return out, h.result(), nil
+}
+
+// AvailabilityAttackResult summarises the §5 availability attack: the
+// share of forwarding instances captured by the always-online malicious
+// coalition, with and without the attack behaviour.
+type AvailabilityAttackResult struct {
+	BaselineCapture float64 // malicious share of forwarder-set slots, churning adversaries
+	AttackCapture   float64 // same with always-online adversaries
+	GuessAccuracy   float64 // cid-linking initiator-guess accuracy under attack
+}
+
+// RunAvailabilityAttack compares adversary path capture with and without
+// the high-availability behaviour (malicious fraction from the base
+// setup; utility-I routing, churn enabled).
+func RunAvailabilityAttack(base Setup, trials int) (*AvailabilityAttackResult, error) {
+	capture := func(alwaysOn bool) (float64, float64, error) {
+		var capt stats.Accumulator
+		var acc stats.Accumulator
+		for trial := 0; trial < trials; trial++ {
+			s := base
+			s.Strategy = core.UtilityI
+			s.Churn = true
+			s.Seed = base.Seed + uint64(trial)*104729
+			h, err := newHarness(s)
+			if err != nil {
+				return 0, 0, err
+			}
+			if alwaysOn {
+				adversary.AttachHighAvailability(h.engine, h.net, h.s.ProbePeriod)
+			}
+			var members []overlay.NodeID
+			for _, id := range h.net.AllIDs() {
+				if h.net.Node(id).Malicious {
+					members = append(members, id)
+				}
+			}
+			coalition := adversary.NewCoalition(members)
+			// The coalition's cid-linking analysis is per batch —
+			// connection ids are batch-scoped — so track one target pair.
+			h.afterConnection = func(pairIdx int, res *core.PathResult) {
+				if pairIdx == 0 {
+					coalition.ObservePath(res)
+				}
+			}
+			if err := h.run(); err != nil {
+				return 0, 0, err
+			}
+			mal, tot := 0, 0
+			for _, b := range h.batches {
+				for _, id := range b.ForwarderSet().Members() {
+					tot++
+					if h.net.Node(id).Malicious {
+						mal++
+					}
+				}
+			}
+			if tot > 0 {
+				capt.Add(float64(mal) / float64(tot))
+			}
+			// Guess accuracy against the first pair's initiator.
+			if len(h.pairs) > 0 {
+				acc.Add(coalition.GuessAccuracy(h.pairs[0].Initiator))
+			}
+		}
+		return capt.Mean(), acc.Mean(), nil
+	}
+	baseCapt, _, err := capture(false)
+	if err != nil {
+		return nil, err
+	}
+	atkCapt, guess, err := capture(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AvailabilityAttackResult{
+		BaselineCapture: baseCapt,
+		AttackCapture:   atkCapt,
+		GuessAccuracy:   guess,
+	}, nil
+}
+
+// Fig12Result reproduces the scenario of the paper's Figures 1 and 2 on a
+// scripted 8-node topology: random routing plus one unavailable node
+// inflates the forwarder set; stable utility routing keeps it at the path
+// size.
+type Fig12Result struct {
+	RandomSetSize int
+	StableSetSize int
+	RandomShare   float64 // per-forwarder routing-benefit share Pr/‖π‖
+	StableShare   float64
+}
+
+// RunFig12 builds the figures' topology (I with two first hops, a middle
+// layer, and R) and runs k connections under both behaviours.
+func RunFig12(k int, pr float64, seed uint64) *Fig12Result {
+	build := func() (*core.System, *overlay.Network) {
+		rng := dist.NewSource(seed)
+		net := overlay.NewNetwork(3, rng.Split())
+		for i := 0; i < 10; i++ {
+			net.Join(0, false)
+		}
+		// 0 = I, 9 = R; two parallel 3-hop lanes plus cross links, echoing
+		// Figure 1's P/X/Y layout.
+		net.Node(0).Neighbors = []overlay.NodeID{1, 2}
+		net.Node(1).Neighbors = []overlay.NodeID{3, 4}
+		net.Node(2).Neighbors = []overlay.NodeID{4, 5}
+		net.Node(3).Neighbors = []overlay.NodeID{6}
+		net.Node(4).Neighbors = []overlay.NodeID{6, 7}
+		net.Node(5).Neighbors = []overlay.NodeID{7}
+		net.Node(6).Neighbors = []overlay.NodeID{8}
+		net.Node(7).Neighbors = []overlay.NodeID{8}
+		net.Node(8).Neighbors = []overlay.NodeID{6, 7}
+		probes := probe.NewSet(net, rng.Split(), 60)
+		for i := 0; i < 3; i++ {
+			probes.TickAll()
+		}
+		cfg := core.DefaultConfig()
+		cfg.MinHops, cfg.MaxHops = 3, 3
+		sys, err := core.NewSystem(cfg, net, probes, rng.Split())
+		if err != nil {
+			panic(err)
+		}
+		return sys, net
+	}
+
+	contract := core.Contract{Pf: 75, Pr: pr}
+
+	// Random routing with node 4 (the figures' X) flapping offline on odd
+	// connections.
+	sysR, netR := build()
+	bR, err := sysR.NewBatch(0, 9, contract, core.Random)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < k; i++ {
+		now := sim.Time(i * 100)
+		if i%2 == 1 && netR.Online(4) {
+			netR.Leave(now, 4, false)
+		} else if i%2 == 0 && !netR.Online(4) {
+			netR.Rejoin(now, 4)
+		}
+		bR.RunConnection()
+	}
+
+	// Stable utility routing, everyone available.
+	sysS, _ := build()
+	bS, err := sysS.NewBatch(0, 9, contract, core.UtilityI)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < k; i++ {
+		bS.RunConnection()
+	}
+
+	res := &Fig12Result{
+		RandomSetSize: bR.ForwarderSet().Size(),
+		StableSetSize: bS.ForwarderSet().Size(),
+	}
+	if res.RandomSetSize > 0 {
+		res.RandomShare = pr / float64(res.RandomSetSize)
+	}
+	if res.StableSetSize > 0 {
+		res.StableShare = pr / float64(res.StableSetSize)
+	}
+	return res
+}

@@ -1,0 +1,373 @@
+package experiment
+
+import (
+	"fmt"
+
+	"p2panon/internal/adversary"
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/game"
+	"p2panon/internal/overlay"
+	"p2panon/internal/reputation"
+	"p2panon/internal/stats"
+)
+
+// TerminationPoint is one row of the ABL-TERM study: the same incentive
+// mechanism under the two termination rules the paper says apply (§2.2) —
+// hop-budget and Crowds-coin forwarding.
+type TerminationPoint struct {
+	Mode        core.Termination
+	ForwardProb float64 // 0 for hop-budget
+	AvgLen      float64
+	AvgSetSize  float64
+	AvgQuality  float64 // Q(π) = L/‖π‖, the length-normalised metric
+	AvgPayoff   float64
+}
+
+// RunTerminationAblation compares hop-budget termination against
+// Crowds-coin termination for several p_f values, all with Utility
+// Model I routing. Q(π) normalises by path length, so the comparison is
+// meaningful even though the coin draws different lengths.
+func RunTerminationAblation(base Setup, forwardProbs []float64, trials int) ([]TerminationPoint, error) {
+	measure := func(s Setup) (TerminationPoint, error) {
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return TerminationPoint{}, err
+		}
+		var pay stats.Accumulator
+		pay.AddAll(PoolPayoffs(rs))
+		var lens, quals stats.Accumulator
+		for _, r := range rs {
+			for _, b := range r.Batches {
+				lens.Add(b.AvgLen)
+				quals.Add(b.Quality)
+			}
+		}
+		return TerminationPoint{
+			Mode:        s.Core.Termination,
+			ForwardProb: s.Core.ForwardProb,
+			AvgLen:      lens.Mean(),
+			AvgSetSize:  stats.Mean(PoolSetSizes(rs)),
+			AvgQuality:  quals.Mean(),
+			AvgPayoff:   pay.Mean(),
+		}, nil
+	}
+
+	var out []TerminationPoint
+	s := base
+	s.Strategy = core.UtilityI
+	pt, err := measure(s)
+	if err != nil {
+		return nil, fmt.Errorf("hop-budget: %w", err)
+	}
+	out = append(out, pt)
+	for _, pf := range forwardProbs {
+		s := base
+		s.Strategy = core.UtilityI
+		s.Core.Termination = core.CrowdsCoin
+		s.Core.ForwardProb = pf
+		s.Core.MaxHops = 12 // cap runaway coin sequences
+		pt, err := measure(s)
+		if err != nil {
+			return nil, fmt.Errorf("crowds p_f=%g: %w", pf, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ReputationComparison is the CMP-REP study: how much of the forwarding
+// work a colluding coalition captures under (a) reputation-based
+// forwarder selection with fake mutual praise, versus (b) the paper's
+// incentive mechanism where only provable forwarding pays and routing is
+// utility-driven.
+type ReputationComparison struct {
+	CoalitionFraction float64
+	PopulationShare   float64 // coalition share of eligible relays
+	// ReputationOverall / ReputationLate: coalition slot share under
+	// score-weighted routing, overall and in the final quarter (after
+	// inflation compounds).
+	ReputationOverall float64
+	ReputationLate    float64
+	// IncentiveCapture: coalition share of forwarder-set slots under
+	// UM-I incentive routing (the coalition is malicious and routes
+	// randomly but cannot inflate anything).
+	IncentiveCapture float64
+}
+
+// RunReputationComparison runs both systems over equivalent populations.
+func RunReputationComparison(base Setup, coalitionFraction float64, rounds, trials int) (*ReputationComparison, error) {
+	if coalitionFraction <= 0 || coalitionFraction >= 1 {
+		return nil, fmt.Errorf("experiment: coalition fraction %g", coalitionFraction)
+	}
+	out := &ReputationComparison{CoalitionFraction: coalitionFraction}
+
+	// (a) Reputation system with colluders inflating scores.
+	var repAll, repLate stats.Accumulator
+	for trial := 0; trial < trials; trial++ {
+		rng := dist.NewSource(base.Seed + uint64(trial)*31337)
+		net := overlay.NewNetwork(base.Degree, rng.Split())
+		for i := 0; i < base.N; i++ {
+			net.Join(0, false)
+		}
+		k := int(coalitionFraction*float64(base.N) + 0.5)
+		members := make([]overlay.NodeID, k)
+		for i := range members {
+			members[i] = overlay.NodeID(i)
+		}
+		sim := &reputation.CaptureSim{
+			Net:       net,
+			Table:     reputation.NewTable(1),
+			Coalition: reputation.NewCoalition(members, 5),
+			Rng:       rng.Split(),
+			Hops:      4,
+		}
+		res, err := sim.Run(rounds)
+		if err != nil {
+			return nil, err
+		}
+		repAll.Add(res.Overall)
+		repLate.Add(res.Late)
+	}
+	out.ReputationOverall = repAll.Mean()
+	out.ReputationLate = repLate.Mean()
+	out.PopulationShare = float64(int(coalitionFraction*float64(base.N)+0.5)) / float64(base.N-2)
+
+	// (b) Incentive mechanism: the coalition is the malicious fraction.
+	var capt stats.Accumulator
+	for trial := 0; trial < trials; trial++ {
+		s := base
+		s.Strategy = core.UtilityI
+		s.MaliciousFraction = coalitionFraction
+		s.Seed = base.Seed + uint64(trial)*104729
+		h, err := newHarness(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.run(); err != nil {
+			return nil, err
+		}
+		mal, tot := 0, 0
+		for _, b := range h.batches {
+			for _, id := range b.ForwarderSet().Members() {
+				tot++
+				if h.net.Node(id).Malicious {
+					mal++
+				}
+			}
+		}
+		if tot > 0 {
+			capt.Add(float64(mal) / float64(tot))
+		}
+	}
+	out.IncentiveCapture = capt.Mean()
+	return out, nil
+}
+
+// Fig5Strategies is the full strategy set for the extended Figure 5,
+// including the FixedPath source-routed baseline of [13].
+var Fig5Strategies = []core.Strategy{core.Random, core.UtilityI, core.UtilityII, core.FixedPath}
+
+// PositionAblationResult compares position-agnostic vs position-aware
+// (§2.3 predecessor-differentiated) selectivity under Utility Model I.
+type PositionAblationResult struct {
+	AgnosticSetSize float64
+	AwareSetSize    float64
+	AgnosticNewEdge float64
+	AwareNewEdge    float64
+}
+
+// RunPositionAblation runs the ABL-POS study.
+func RunPositionAblation(base Setup, trials int) (*PositionAblationResult, error) {
+	measure := func(aware bool) (float64, float64, error) {
+		s := base
+		s.Strategy = core.UtilityI
+		s.Core.PositionAware = aware
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return 0, 0, err
+		}
+		var edges stats.Accumulator
+		for _, r := range rs {
+			edges.AddAll(r.NewEdgeRates)
+		}
+		return stats.Mean(PoolSetSizes(rs)), edges.Mean(), nil
+	}
+	agSet, agEdge, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	awSet, awEdge, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	return &PositionAblationResult{
+		AgnosticSetSize: agSet, AwareSetSize: awSet,
+		AgnosticNewEdge: agEdge, AwareNewEdge: awEdge,
+	}, nil
+}
+
+// CostAblationResult compares the uniform cost model against §3's
+// bandwidth-proportional link costs under Utility Model I.
+type CostAblationResult struct {
+	UniformSetSize   float64
+	BandwidthSetSize float64
+	UniformPayoff    float64
+	BandwidthPayoff  float64
+	UniformNet       float64 // mean net payoff (income − cost)
+	BandwidthNet     float64
+}
+
+// RunCostAblation runs the ABL-COST study.
+func RunCostAblation(base Setup, trials int) (*CostAblationResult, error) {
+	measure := func(cost game.CostModel) (setSize, payoff, net float64, err error) {
+		s := base
+		s.Strategy = core.UtilityI
+		s.Core.Cost = cost
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var pay stats.Accumulator
+		pay.AddAll(PoolPayoffs(rs))
+		var nets stats.Accumulator
+		for _, r := range rs {
+			for _, b := range r.Batches {
+				nets.AddAll(b.GoodNets)
+			}
+		}
+		return stats.Mean(PoolSetSizes(rs)), pay.Mean(), nets.Mean(), nil
+	}
+	uSet, uPay, uNet, err := measure(game.UniformCost(5, 2))
+	if err != nil {
+		return nil, err
+	}
+	// Bandwidth-proportional costs with the same mean (C^t uniform in
+	// [0.5, 3.5], mean 2).
+	bSet, bPay, bNet, err := measure(game.BandwidthCost(5, 0.5, 3.5, base.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &CostAblationResult{
+		UniformSetSize: uSet, BandwidthSetSize: bSet,
+		UniformPayoff: uPay, BandwidthPayoff: bPay,
+		UniformNet: uNet, BandwidthNet: bNet,
+	}, nil
+}
+
+// ChurnPoint is one churn-intensity position of the ABL-CHURN study.
+type ChurnPoint struct {
+	MedianSessionMin float64
+	AvgSetSize       float64
+	AvgPayoff        float64
+	NewEdgeRate      float64
+	SkippedFraction  float64 // connections lost to offline endpoints
+}
+
+// RunChurnAblation sweeps the median session time — the churn intensity
+// knob the paper takes from Saroiu et al. (60 min) — and measures how the
+// mechanism degrades as churn sharpens. This quantifies the paper's
+// motivating claim that churn "unavoidably affects the quality of provided
+// anonymity" and how much the incentive mechanism claws back.
+func RunChurnAblation(base Setup, medianMinutes []float64, trials int) ([]ChurnPoint, error) {
+	var out []ChurnPoint
+	for _, med := range medianMinutes {
+		if med <= 0 {
+			return nil, fmt.Errorf("experiment: median session %g min", med)
+		}
+		s := base
+		s.Strategy = core.UtilityI
+		s.Churn = true
+		s.ChurnConfig.Session = dist.ParetoFromMedian(med*60, 1.5)
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return nil, fmt.Errorf("median=%gmin: %w", med, err)
+		}
+		var pay, edges stats.Accumulator
+		pay.AddAll(PoolPayoffs(rs))
+		skipped, attempted := 0, 0
+		for _, r := range rs {
+			edges.AddAll(r.NewEdgeRates)
+			skipped += r.Skipped
+			for _, b := range r.Batches {
+				attempted += b.Pair.Connections
+			}
+			attempted += r.Skipped
+		}
+		pt := ChurnPoint{
+			MedianSessionMin: med,
+			AvgSetSize:       stats.Mean(PoolSetSizes(rs)),
+			AvgPayoff:        pay.Mean(),
+			NewEdgeRate:      edges.Mean(),
+		}
+		if attempted > 0 {
+			pt.SkippedFraction = float64(skipped) / float64(attempted)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// JitterDefensePoint is one K of the DEF-JITTER study: the §5
+// availability-attack countermeasure traded against forwarder-set growth.
+type JitterDefensePoint struct {
+	TopK          float64 // 1 = pure argmax (the paper's rule)
+	AttackCapture float64 // always-online coalition's forwarder-set share
+	AvgSetSize    float64
+	AvgPayoff     float64
+}
+
+// RunJitterDefense measures how top-K jitter blunts the availability
+// attack: for each K, always-online malicious nodes (fraction from base)
+// try to park on stable paths; we record their capture alongside the
+// ‖π‖/payoff cost of the jitter.
+func RunJitterDefense(base Setup, ks []int, trials int) ([]JitterDefensePoint, error) {
+	var out []JitterDefensePoint
+	for _, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("experiment: top-K %d", k)
+		}
+		var capt, sizes, pays stats.Accumulator
+		for trial := 0; trial < trials; trial++ {
+			s := base
+			s.Strategy = core.UtilityI
+			s.Churn = true
+			s.Core.TopKJitter = k
+			s.Seed = base.Seed + uint64(trial)*86243
+			h, err := newHarness(s)
+			if err != nil {
+				return nil, err
+			}
+			adversary.AttachHighAvailability(h.engine, h.net, h.s.ProbePeriod)
+			if err := h.run(); err != nil {
+				return nil, err
+			}
+			mal, tot := 0, 0
+			for _, b := range h.batches {
+				for _, id := range b.ForwarderSet().Members() {
+					tot++
+					if h.net.Node(id).Malicious {
+						mal++
+					}
+				}
+			}
+			if tot > 0 {
+				capt.Add(float64(mal) / float64(tot))
+			}
+			res := h.result()
+			sizes.AddAll(res.SetSizes)
+			var pay stats.Accumulator
+			pay.AddAll(res.GoodPayoffs)
+			if pay.N() > 0 {
+				pays.Add(pay.Mean())
+			}
+		}
+		out = append(out, JitterDefensePoint{
+			TopK:          float64(k),
+			AttackCapture: capt.Mean(),
+			AvgSetSize:    sizes.Mean(),
+			AvgPayoff:     pays.Mean(),
+		})
+	}
+	return out, nil
+}

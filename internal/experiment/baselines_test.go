@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"testing"
+
+	"p2panon/internal/core"
+)
+
+func TestTerminationAblation(t *testing.T) {
+	pts, err := RunTerminationAblation(Quick(), []float64{0.5, 0.8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // hop-budget + two coin settings
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[0].Mode != core.HopBudget {
+		t.Fatal("first point should be hop-budget")
+	}
+	for _, p := range pts {
+		if p.AvgLen <= 1 {
+			t.Fatalf("avg length %g", p.AvgLen)
+		}
+		if p.AvgSetSize <= 0 || p.AvgQuality <= 0 || p.AvgPayoff <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// Higher p_f must yield longer average paths.
+	if pts[2].AvgLen <= pts[1].AvgLen {
+		t.Fatalf("p_f=0.8 length %g not above p_f=0.5 length %g", pts[2].AvgLen, pts[1].AvgLen)
+	}
+}
+
+func TestReputationComparison(t *testing.T) {
+	base := Quick()
+	cmp, err := RunReputationComparison(base, 0.1, 150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline related-work claim: colluders inflate their capture
+	// under reputation routing well above their population share, while
+	// the incentive mechanism keeps capture near the share.
+	if cmp.ReputationLate <= cmp.PopulationShare*1.5 {
+		t.Fatalf("reputation late capture %g did not inflate above share %g",
+			cmp.ReputationLate, cmp.PopulationShare)
+	}
+	if cmp.IncentiveCapture >= cmp.ReputationLate {
+		t.Fatalf("incentive capture %g not below inflated reputation capture %g",
+			cmp.IncentiveCapture, cmp.ReputationLate)
+	}
+	if cmp.IncentiveCapture < 0 || cmp.IncentiveCapture > 1 {
+		t.Fatalf("incentive capture %g", cmp.IncentiveCapture)
+	}
+}
+
+func TestReputationComparisonValidation(t *testing.T) {
+	if _, err := RunReputationComparison(Quick(), 0, 10, 1); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+	if _, err := RunReputationComparison(Quick(), 1, 10, 1); err == nil {
+		t.Fatal("fraction 1 accepted")
+	}
+}
+
+func TestFig5WithFixedPath(t *testing.T) {
+	series, err := ForwarderSetVsMalicious(Quick(), Fig5Strategies, []float64{0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series %d", len(series))
+	}
+	byName := map[string]float64{}
+	for _, s := range series {
+		byName[s.Name] = s.Points[0].Mean
+	}
+	// Fixed-path reuses one static path in the static Quick overlay:
+	// the smallest possible set, below even UM-I.
+	if byName["setsize-fixed-path"] > byName["setsize-utility-I"] {
+		t.Fatalf("fixed-path ‖π‖ %g above UM-I %g (static overlay)",
+			byName["setsize-fixed-path"], byName["setsize-utility-I"])
+	}
+	if byName["setsize-fixed-path"] >= byName["setsize-random"] {
+		t.Fatal("fixed-path not below random")
+	}
+}
+
+func TestCDFSeriesFairnessPopulated(t *testing.T) {
+	cdfs, err := PayoffCDFs(Quick(), []core.Strategy{core.Random, core.UtilityI}, 0.1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CDFSeries{}
+	for _, c := range cdfs {
+		byName[c.Name] = c
+		if c.Gini < 0 || c.Gini > 1 || c.Jain <= 0 || c.Jain > 1 {
+			t.Fatalf("%s fairness out of range: gini=%g jain=%g", c.Name, c.Gini, c.Jain)
+		}
+	}
+	// The paper's skew claim in fairness terms: UM-I concentrates payoffs
+	// more than random routing.
+	if byName["utility-I"].Gini <= byName["random"].Gini {
+		t.Fatalf("UM-I Gini %g not above random %g",
+			byName["utility-I"].Gini, byName["random"].Gini)
+	}
+	if byName["utility-I"].Jain >= byName["random"].Jain {
+		t.Fatalf("UM-I Jain %g not below random %g",
+			byName["utility-I"].Jain, byName["random"].Jain)
+	}
+}
+
+func TestPositionAblation(t *testing.T) {
+	res, err := RunPositionAblation(Quick(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both variants must work and stay in the same regime: position
+	// awareness refines scoring but does not change the mechanism.
+	if res.AgnosticSetSize <= 0 || res.AwareSetSize <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	ratio := res.AwareSetSize / res.AgnosticSetSize
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("position awareness changed ‖π‖ regime: %+v", res)
+	}
+	for _, e := range []float64{res.AgnosticNewEdge, res.AwareNewEdge} {
+		if e < 0 || e > 1 {
+			t.Fatalf("new-edge rate %g", e)
+		}
+	}
+}
+
+func TestCostAblation(t *testing.T) {
+	res, err := RunCostAblation(Quick(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniformSetSize <= 0 || res.BandwidthSetSize <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.UniformPayoff <= 0 || res.BandwidthPayoff <= 0 {
+		t.Fatalf("bad payoffs %+v", res)
+	}
+	// Net payoffs must be below gross payoffs (costs are positive).
+	if res.UniformNet >= res.UniformPayoff || res.BandwidthNet >= res.BandwidthPayoff {
+		t.Fatalf("net not below gross: %+v", res)
+	}
+}
+
+func TestChurnAblation(t *testing.T) {
+	base := Quick()
+	base.ChurnConfig = Default().ChurnConfig
+	pts, err := RunChurnAblation(base, []float64{15, 120}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	sharp, calm := pts[0], pts[1]
+	// Sharper churn (shorter sessions) loses more connections to offline
+	// endpoints and breaks more paths.
+	if sharp.SkippedFraction <= calm.SkippedFraction {
+		t.Fatalf("skips: sharp %g <= calm %g", sharp.SkippedFraction, calm.SkippedFraction)
+	}
+	if sharp.NewEdgeRate <= calm.NewEdgeRate {
+		t.Fatalf("reformation: sharp %g <= calm %g", sharp.NewEdgeRate, calm.NewEdgeRate)
+	}
+	for _, p := range pts {
+		if p.AvgSetSize <= 0 || p.AvgPayoff <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestChurnAblationValidation(t *testing.T) {
+	if _, err := RunChurnAblation(Quick(), []float64{0}, 1); err == nil {
+		t.Fatal("zero median accepted")
+	}
+}
+
+func TestJitterDefense(t *testing.T) {
+	base := Quick()
+	base.MaliciousFraction = 0.2
+	base.ChurnConfig = Default().ChurnConfig
+	pts, err := RunJitterDefense(base, []int{1, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	pure, jit := pts[0], pts[1]
+	// Jitter must spread the forwarder set (the cost of the defence).
+	if jit.AvgSetSize <= pure.AvgSetSize {
+		t.Fatalf("jitter ‖π‖ %g not above argmax %g", jit.AvgSetSize, pure.AvgSetSize)
+	}
+	for _, p := range pts {
+		if p.AttackCapture < 0 || p.AttackCapture > 1 {
+			t.Fatalf("capture %g", p.AttackCapture)
+		}
+		if p.AvgPayoff <= 0 {
+			t.Fatalf("payoff %g", p.AvgPayoff)
+		}
+	}
+}
+
+func TestJitterDefenseValidation(t *testing.T) {
+	if _, err := RunJitterDefense(Quick(), []int{0}, 1); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}

@@ -1,0 +1,390 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"p2panon/internal/core"
+)
+
+func TestRunQuickSmoke(t *testing.T) {
+	r, err := Run(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Batches) == 0 {
+		t.Fatal("no batches completed")
+	}
+	if len(r.GoodPayoffs) == 0 {
+		t.Fatal("no payoff samples")
+	}
+	iv := r.AvgGoodPayoff()
+	if math.IsNaN(iv.Mean) || iv.Mean <= 0 {
+		t.Fatalf("avg payoff %v", iv)
+	}
+	if r.AvgSetSize() <= 0 {
+		t.Fatalf("avg set size %g", r.AvgSetSize())
+	}
+	if r.RoutingEfficiency() <= 0 {
+		t.Fatalf("efficiency %g", r.RoutingEfficiency())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.GoodPayoffs) != len(b.GoodPayoffs) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.GoodPayoffs), len(b.GoodPayoffs))
+	}
+	for i := range a.GoodPayoffs {
+		if a.GoodPayoffs[i] != b.GoodPayoffs[i] {
+			t.Fatalf("payoff %d differs", i)
+		}
+	}
+	if a.AvgSetSize() != b.AvgSetSize() {
+		t.Fatal("set sizes differ")
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	s1 := Quick()
+	s2 := Quick()
+	s2.Seed = 999
+	a, err := Run(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgGoodPayoff().Mean == b.AvgGoodPayoff().Mean &&
+		a.AvgSetSize() == b.AvgSetSize() {
+		t.Fatal("different seeds produced identical aggregates")
+	}
+}
+
+func TestRunWithChurnCompletes(t *testing.T) {
+	s := Quick()
+	s.Churn = true
+	s.ChurnConfig = Default().ChurnConfig
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Batches) == 0 {
+		t.Fatal("no batches under churn")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := Quick()
+	s.N = 1
+	if _, err := Run(s); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := RunTrials(Quick(), 0); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+}
+
+func TestStrategyOrderingFig5(t *testing.T) {
+	// The headline result: utility routing yields much smaller forwarder
+	// sets than random routing (Fig. 5's shape), with churn on.
+	means := map[core.Strategy]float64{}
+	for _, strat := range []core.Strategy{core.Random, core.UtilityI, core.UtilityII} {
+		s := Quick()
+		s.Churn = true
+		s.ChurnConfig = Default().ChurnConfig
+		s.MaliciousFraction = 0.1
+		s.Strategy = strat
+		rs, err := RunTrials(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		sizes := PoolSetSizes(rs)
+		for _, v := range sizes {
+			sum += v
+		}
+		means[strat] = sum / float64(len(sizes))
+	}
+	if means[core.UtilityI] >= means[core.Random] {
+		t.Fatalf("UM-I ‖π‖ %g not below random %g", means[core.UtilityI], means[core.Random])
+	}
+	if means[core.UtilityII] >= means[core.Random] {
+		t.Fatalf("UM-II ‖π‖ %g not below random %g", means[core.UtilityII], means[core.Random])
+	}
+}
+
+func TestPayoffDecreasesWithMalicious(t *testing.T) {
+	// Fig. 3's shape: payoff at f=0 well above payoff at f=0.8.
+	run := func(f float64) float64 {
+		s := Quick()
+		s.MaliciousFraction = f
+		rs, err := RunTrials(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := PoolPayoffs(rs)
+		sum := 0.0
+		for _, v := range pool {
+			sum += v
+		}
+		return sum / float64(len(pool))
+	}
+	low, high := run(0), run(0.8)
+	if high >= low {
+		t.Fatalf("payoff at f=0.8 (%g) not below f=0 (%g)", high, low)
+	}
+}
+
+func TestPayoffVsMaliciousSeries(t *testing.T) {
+	series, err := PayoffVsMalicious(Quick(), core.UtilityI, []float64{0.1, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 2 {
+		t.Fatalf("points %v", series.Points)
+	}
+	for _, p := range series.Points {
+		if p.Mean <= 0 || p.N == 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+		if p.CI < 0 {
+			t.Fatalf("negative CI %+v", p)
+		}
+	}
+	if series.Name != "payoff-utility-I" {
+		t.Fatalf("name %q", series.Name)
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	tab, err := RunTable2(Quick(), []float64{0.5, 2}, []float64{0.1, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cells) != 4 {
+		t.Fatalf("cells %d", len(tab.Cells))
+	}
+	if len(tab.Means) != 2 {
+		t.Fatalf("means %v", tab.Means)
+	}
+	if _, ok := tab.Cell(2, 0.1); !ok {
+		t.Fatal("cell lookup failed")
+	}
+	if _, ok := tab.Cell(99, 0.1); ok {
+		t.Fatal("phantom cell")
+	}
+	// Mean is the average of the column's cells.
+	c1, _ := tab.Cell(0.5, 0.1)
+	c2, _ := tab.Cell(0.5, 0.5)
+	if math.Abs(tab.Means[0]-(c1+c2)/2) > 1e-9 {
+		t.Fatalf("column mean %g != %g", tab.Means[0], (c1+c2)/2)
+	}
+}
+
+func TestTable2EfficiencyFallsWithF(t *testing.T) {
+	tab, err := RunTable2(Quick(), []float64{2}, []float64{0.1, 0.9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := tab.Cell(2, 0.1)
+	hi, _ := tab.Cell(2, 0.9)
+	if hi >= lo {
+		t.Fatalf("efficiency at f=0.9 (%g) not below f=0.1 (%g)", hi, lo)
+	}
+}
+
+func TestForwarderSetSeries(t *testing.T) {
+	series, err := ForwarderSetVsMalicious(Quick(), []core.Strategy{core.Random, core.UtilityI}, []float64{0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series %d", len(series))
+	}
+	if series[0].Points[0].Mean <= series[1].Points[0].Mean {
+		t.Fatalf("random ‖π‖ %g should exceed UM-I %g",
+			series[0].Points[0].Mean, series[1].Points[0].Mean)
+	}
+}
+
+func TestPayoffCDFsShape(t *testing.T) {
+	// Figs. 6-7 claims: UM-I has the largest max and the largest variance;
+	// random has the smallest variance.
+	cdfs, err := PayoffCDFs(Quick(), []core.Strategy{core.Random, core.UtilityI, core.UtilityII}, 0.1, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdfs) != 3 {
+		t.Fatalf("cdfs %d", len(cdfs))
+	}
+	byName := map[string]CDFSeries{}
+	for _, c := range cdfs {
+		byName[c.Name] = c
+		if len(c.Points) != 20 {
+			t.Fatalf("%s has %d points", c.Name, len(c.Points))
+		}
+		last := c.Points[len(c.Points)-1]
+		if math.Abs(last.F-1) > 1e-9 {
+			t.Fatalf("%s CDF does not reach 1", c.Name)
+		}
+	}
+	if byName["utility-I"].Max <= byName["random"].Max {
+		t.Fatalf("UM-I max %g not above random %g", byName["utility-I"].Max, byName["random"].Max)
+	}
+	if byName["utility-I"].StdDev <= byName["random"].StdDev {
+		t.Fatalf("UM-I stddev %g not above random %g", byName["utility-I"].StdDev, byName["random"].StdDev)
+	}
+}
+
+func TestProp1Experiment(t *testing.T) {
+	res, err := RunProp1(Quick(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UtilityRate >= res.RandomRate {
+		t.Fatalf("utility new-edge rate %g not below random %g", res.UtilityRate, res.RandomRate)
+	}
+	if res.RandomBound <= 0 || res.RandomBound > 1 {
+		t.Fatalf("random bound %g", res.RandomBound)
+	}
+	if res.UtilityPredict < 0 || res.UtilityPredict > 1 {
+		t.Fatalf("utility prediction %g", res.UtilityPredict)
+	}
+}
+
+func TestParticipationSweep(t *testing.T) {
+	// Default cost: C^p=5, C^t=2 → Prop-3 threshold at 7. Below it all
+	// good nodes decline; above it none do.
+	pts, err := RunParticipation(Quick(), []float64{3, 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	low, high := pts[0], pts[1]
+	if low.Prop3Satisfied {
+		t.Fatal("P_f=3 should not satisfy Prop 3")
+	}
+	if !high.Prop3Satisfied {
+		t.Fatal("P_f=50 should satisfy Prop 3")
+	}
+	if low.DirectFraction != 1 {
+		t.Fatalf("below threshold, direct fraction %g, want 1", low.DirectFraction)
+	}
+	if high.DirectFraction != 0 {
+		t.Fatalf("above threshold, direct fraction %g, want 0", high.DirectFraction)
+	}
+	if low.DeclineRate == 0 {
+		t.Fatal("below threshold, no declines recorded")
+	}
+	if high.DeclineRate != 0 {
+		t.Fatalf("above threshold, decline rate %g", high.DeclineRate)
+	}
+}
+
+func TestTauAblation(t *testing.T) {
+	pts, err := RunTauAblation(Quick(), []float64{0.5, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.AvgPayoff <= 0 || p.AvgSetSize <= 0 || p.Efficiency <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// Higher τ pays more routing benefit: payoff must rise with τ.
+	if pts[1].AvgPayoff <= pts[0].AvgPayoff {
+		t.Fatalf("payoff at τ=4 (%g) not above τ=0.5 (%g)", pts[1].AvgPayoff, pts[0].AvgPayoff)
+	}
+}
+
+func TestWeightAblation(t *testing.T) {
+	pts, err := RunWeightAblation(Quick(), []float64{0, 0.5, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.AvgSetSize <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+		if p.NewEdgeRate < 0 || p.NewEdgeRate > 1 {
+			t.Fatalf("new-edge rate %g", p.NewEdgeRate)
+		}
+	}
+	// Pure selectivity (w_s=1) must lock paths harder than pure
+	// availability: lower or equal new-edge rate.
+	if pts[2].NewEdgeRate > pts[0].NewEdgeRate+0.05 {
+		t.Fatalf("w_s=1 rate %g above w_s=0 rate %g", pts[2].NewEdgeRate, pts[0].NewEdgeRate)
+	}
+}
+
+func TestIntersectionStudy(t *testing.T) {
+	s := Quick()
+	s.Churn = true
+	s.ChurnConfig = Default().ChurnConfig
+	res, err := RunIntersection(s, []core.Strategy{core.Random, core.UtilityI}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results %d", len(res))
+	}
+	for _, r := range res {
+		if r.AvgFinalSet < 1 {
+			t.Fatalf("%v: candidate set %g below 1 (initiator must survive)", r.Strategy, r.AvgFinalSet)
+		}
+		if r.AvgDegree < 0 || r.AvgDegree > 1 {
+			t.Fatalf("degree %g", r.AvgDegree)
+		}
+	}
+}
+
+func TestAvailabilityAttackStudy(t *testing.T) {
+	s := Quick()
+	s.MaliciousFraction = 0.2
+	s.Churn = true
+	s.ChurnConfig = Default().ChurnConfig
+	res, err := RunAvailabilityAttack(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackCapture < res.BaselineCapture {
+		t.Fatalf("always-on capture %g below churning capture %g",
+			res.AttackCapture, res.BaselineCapture)
+	}
+	if res.GuessAccuracy < 0 || res.GuessAccuracy > 1 {
+		t.Fatalf("guess accuracy %g", res.GuessAccuracy)
+	}
+}
+
+func TestFig12Scenario(t *testing.T) {
+	res := RunFig12(8, 100, 3)
+	if res.StableSetSize != 3 {
+		t.Fatalf("stable ‖π‖ = %d, want 3 (Figure 2)", res.StableSetSize)
+	}
+	if res.RandomSetSize <= res.StableSetSize {
+		t.Fatalf("random ‖π‖ = %d not above stable %d (Figure 1)",
+			res.RandomSetSize, res.StableSetSize)
+	}
+	if res.StableShare <= res.RandomShare {
+		t.Fatalf("stable share %g not above random share %g",
+			res.StableShare, res.RandomShare)
+	}
+}

@@ -1,0 +1,282 @@
+package experiment
+
+import (
+	"fmt"
+
+	"p2panon/internal/core"
+	"p2panon/internal/game"
+	"p2panon/internal/stats"
+)
+
+// FigPoint is one x-position of a figure series: a mean with a 95% CI.
+type FigPoint struct {
+	X    float64 // malicious fraction f (or sweep variable)
+	Mean float64
+	CI   float64
+	N    int
+}
+
+// Series is a named sequence of figure points.
+type Series struct {
+	Name   string
+	Points []FigPoint
+}
+
+// DefaultFractions is the malicious-fraction sweep used by Figs. 3-5.
+var DefaultFractions = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// DefaultTaus is the paper's τ sweep (§3, Table 2).
+var DefaultTaus = []float64{0.5, 1, 2, 4}
+
+// PayoffVsMalicious produces Fig. 3 (strategy = UtilityI) or Fig. 4
+// (strategy = UtilityII): the average payoff of a non-malicious node, with
+// 95% confidence intervals, for each malicious fraction.
+func PayoffVsMalicious(base Setup, strategy core.Strategy, fractions []float64, trials int) (Series, error) {
+	s := base
+	s.Strategy = strategy
+	series := Series{Name: "payoff-" + strategy.String()}
+	for _, f := range fractions {
+		s.MaliciousFraction = f
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return Series{}, fmt.Errorf("f=%g: %w", f, err)
+		}
+		var a stats.Accumulator
+		a.AddAll(PoolPayoffs(rs))
+		series.Points = append(series.Points, FigPoint{X: f, Mean: a.Mean(), CI: a.CI95(), N: a.N()})
+	}
+	return series, nil
+}
+
+// Table2Cell is one (τ, f) cell of Table 2: the routing efficiency for
+// Utility Model I.
+type Table2Cell struct {
+	Tau, F     float64
+	Efficiency float64
+}
+
+// Table2 reproduces the paper's Table 2: routing efficiency (average
+// payoff / average number of forwarders) for Utility Model I over the
+// τ × f grid, plus the per-τ column means.
+type Table2 struct {
+	Taus      []float64
+	Fractions []float64
+	Cells     []Table2Cell // row-major: f outer, τ inner
+	Means     []float64    // column means, one per τ
+}
+
+// Cell returns the efficiency at (τ, f).
+func (t *Table2) Cell(tau, f float64) (float64, bool) {
+	for _, c := range t.Cells {
+		if c.Tau == tau && c.F == f {
+			return c.Efficiency, true
+		}
+	}
+	return 0, false
+}
+
+// RunTable2 sweeps the grid. The paper uses f ∈ {0.1, 0.5, 0.9} and
+// τ ∈ {0.5, 1, 2, 4}.
+func RunTable2(base Setup, taus, fractions []float64, trials int) (*Table2, error) {
+	t := &Table2{Taus: taus, Fractions: fractions}
+	sums := make([]float64, len(taus))
+	for _, f := range fractions {
+		for ti, tau := range taus {
+			s := base
+			s.Strategy = core.UtilityI
+			s.MaliciousFraction = f
+			s.Workload.Tau = tau
+			rs, err := RunTrials(s, trials)
+			if err != nil {
+				return nil, fmt.Errorf("tau=%g f=%g: %w", tau, f, err)
+			}
+			var pay stats.Accumulator
+			pay.AddAll(PoolPayoffs(rs))
+			size := stats.Mean(PoolSetSizes(rs))
+			eff := 0.0
+			if size > 0 {
+				eff = pay.Mean() / size
+			}
+			t.Cells = append(t.Cells, Table2Cell{Tau: tau, F: f, Efficiency: eff})
+			sums[ti] += eff
+		}
+	}
+	t.Means = make([]float64, len(taus))
+	for i := range taus {
+		t.Means[i] = sums[i] / float64(len(fractions))
+	}
+	return t, nil
+}
+
+// ForwarderSetVsMalicious produces Fig. 5: the average forwarder-set size
+// ‖π‖ for each routing strategy across malicious fractions.
+func ForwarderSetVsMalicious(base Setup, strategies []core.Strategy, fractions []float64, trials int) ([]Series, error) {
+	var out []Series
+	for _, strat := range strategies {
+		s := base
+		s.Strategy = strat
+		series := Series{Name: "setsize-" + strat.String()}
+		for _, f := range fractions {
+			s.MaliciousFraction = f
+			rs, err := RunTrials(s, trials)
+			if err != nil {
+				return nil, fmt.Errorf("%v f=%g: %w", strat, f, err)
+			}
+			var a stats.Accumulator
+			a.AddAll(PoolSetSizes(rs))
+			series.Points = append(series.Points, FigPoint{X: f, Mean: a.Mean(), CI: a.CI95(), N: a.N()})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// CDFSeries is one strategy's payoff CDF curve (Figs. 6 and 7), with the
+// concentration metrics behind the paper's skew discussion.
+type CDFSeries struct {
+	Name   string
+	Points []stats.Point
+	Mean   float64
+	Max    float64
+	StdDev float64
+	Gini   float64 // payoff concentration (0 = equal, →1 = concentrated)
+	Jain   float64 // Jain fairness index (1 = equal, →1/n = concentrated)
+}
+
+// PayoffCDFs produces Fig. 6 (f = 0.1) or Fig. 7 (f = 0.5): the CDF of
+// good-node payoffs for each strategy at the given malicious fraction,
+// sampled at `points` x-positions. The population is per-good-node total
+// income across the run — including the zeros of nodes never selected —
+// which is what makes utility routing's concentration visible exactly as
+// the paper describes ("if a peer is selected ... it is very likely that
+// it will be selected again ... a skewed distribution of the payoffs").
+func PayoffCDFs(base Setup, strategies []core.Strategy, f float64, trials, points int) ([]CDFSeries, error) {
+	var out []CDFSeries
+	for _, strat := range strategies {
+		s := base
+		s.Strategy = strat
+		s.MaliciousFraction = f
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", strat, err)
+		}
+		pool := PoolNodeTotals(rs)
+		cdf := stats.NewCDF(pool)
+		var a stats.Accumulator
+		a.AddAll(pool)
+		out = append(out, CDFSeries{
+			Name:   strat.String(),
+			Points: cdf.Curve(points),
+			Mean:   a.Mean(),
+			Max:    a.Max(),
+			StdDev: a.StdDev(),
+			Gini:   stats.Gini(pool),
+			Jain:   stats.Jain(pool),
+		})
+	}
+	return out, nil
+}
+
+// Prop1Result compares empirical new-edge rates (Prop. 1's E[X]) between
+// random and utility routing, alongside the paper's analytic expressions.
+type Prop1Result struct {
+	RandomRate     float64 // measured, random routing
+	UtilityRate    float64 // measured, utility routing
+	RandomBound    float64 // analytic lower bound 1 − k/N
+	UtilityPredict float64 // analytic ∏(1 − p_i) with p_i from reuse stats
+}
+
+// RunProp1 measures reformation behaviour on the base setup.
+func RunProp1(base Setup, trials int) (*Prop1Result, error) {
+	measure := func(strat core.Strategy) (float64, error) {
+		s := base
+		s.Strategy = strat
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return 0, err
+		}
+		var a stats.Accumulator
+		for _, r := range rs {
+			a.AddAll(r.NewEdgeRates)
+		}
+		return a.Mean(), nil
+	}
+	randRate, err := measure(core.Random)
+	if err != nil {
+		return nil, err
+	}
+	utilRate, err := measure(core.UtilityI)
+	if err != nil {
+		return nil, err
+	}
+	k := base.Workload.MaxConnections
+	// Reuse probability proxy: after the first connection, utility
+	// routing reuses an edge unless its forwarder churned away; use the
+	// measured utility rate itself for the analytic product's p_i.
+	reuse := make([]float64, k-1)
+	for i := range reuse {
+		p := 1 - utilRate
+		if p < 0 {
+			p = 0
+		}
+		reuse[i] = p
+	}
+	return &Prop1Result{
+		RandomRate:     randRate,
+		UtilityRate:    utilRate,
+		RandomBound:    game.RandomRoutingNewEdgeLB(k, base.N),
+		UtilityPredict: game.UtilityRoutingNewEdge(reuse),
+	}, nil
+}
+
+// ParticipationPoint is one P_f position of the Props. 2-3 sweep.
+type ParticipationPoint struct {
+	Pf             float64
+	DeclineRate    float64 // declines per connection attempt
+	DirectFraction float64 // batches that ended with zero forwarders
+	Prop3Satisfied bool    // P_f > C^p + C^t
+	Prop2Threshold float64 // C^p·N/(L·k) + C^t for this setup
+}
+
+// RunParticipation sweeps P_f across the Prop. 2/3 thresholds and
+// measures how peer participation responds (PROP23 in DESIGN.md).
+func RunParticipation(base Setup, pfs []float64, trials int) ([]ParticipationPoint, error) {
+	var out []ParticipationPoint
+	cp := base.Core.Cost.Participation
+	ct := base.Core.Cost.Transmission(0, 1) // uniform in the default model
+	l := float64(base.Core.MinHops+base.Core.MaxHops) / 2
+	for _, pf := range pfs {
+		s := base
+		s.Strategy = core.UtilityI
+		s.Workload.PfLo = pf
+		s.Workload.PfHi = pf + 1e-9
+		rs, err := RunTrials(s, trials)
+		if err != nil {
+			return nil, fmt.Errorf("pf=%g: %w", pf, err)
+		}
+		totalDecl, totalConn, direct, batches := 0, 0, 0, 0
+		for _, r := range rs {
+			totalDecl += r.TotalDeclines
+			for _, b := range r.Batches {
+				totalConn += b.Pair.Connections
+				batches++
+				if b.SetSize == 0 {
+					direct++
+				}
+			}
+		}
+		pt := ParticipationPoint{
+			Pf:             pf,
+			Prop3Satisfied: game.ForwardingDominant(pf, cp, ct),
+			Prop2Threshold: game.ParticipationThreshold(cp, ct, base.N, l, base.Workload.MaxConnections),
+		}
+		if totalConn > 0 {
+			pt.DeclineRate = float64(totalDecl) / float64(totalConn)
+		}
+		if batches > 0 {
+			pt.DirectFraction = float64(direct) / float64(batches)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

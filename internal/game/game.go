@@ -1,0 +1,483 @@
+// Package game implements the game-theoretic machinery of §2.4: finite
+// normal-form games with dominant-strategy and Nash-equilibrium checks,
+// the L-stage path-formation game whose subgame-perfect Nash equilibrium
+// (SPNE) is computed by backward induction (Utility Model II), the
+// forwarding/routing strategy space, the cost model, and the paper's
+// Propositions 1–3 as checkable conditions.
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// ---------------------------------------------------------------------------
+// Strategy space (§2.4): SS_i = {1, …, i−1, i+1, …, N, NULL}.
+// ---------------------------------------------------------------------------
+
+// Choice is one of the three per-stage options the paper gives a node.
+type Choice uint8
+
+const (
+	// NotParticipate is the NULL strategy: decline to forward.
+	NotParticipate Choice = iota
+	// RouteRandom forwards to a uniformly random neighbor (the adversary
+	// model, and the baseline strategy).
+	RouteRandom
+	// RouteUtility forwards to the utility-maximising neighbor.
+	RouteUtility
+)
+
+// String returns the choice name.
+func (c Choice) String() string {
+	switch c {
+	case NotParticipate:
+		return "null"
+	case RouteRandom:
+		return "random"
+	case RouteUtility:
+		return "utility"
+	default:
+		return fmt.Sprintf("Choice(%d)", uint8(c))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (§2.4.1).
+// ---------------------------------------------------------------------------
+
+// CostModel captures the two peer costs: a one-time participation cost C^p
+// per session, and a per-forwarding transmission cost C^t = b·l where b is
+// the payload size and l the per-unit cost of the link used.
+type CostModel struct {
+	// Participation is C^p, the cost of running the application software
+	// for a peer session.
+	Participation float64
+	// PayloadSize is b in C^t = b·l.
+	PayloadSize float64
+	// LinkUnitCost returns l for the directed link (i, j), in cost per
+	// payload unit. The paper models it as proportional to (inverse)
+	// communication bandwidth.
+	LinkUnitCost func(i, j int) float64
+}
+
+// Transmission returns C^t(i, j) = b·l(i, j).
+func (c CostModel) Transmission(i, j int) float64 {
+	if c.LinkUnitCost == nil {
+		return 0
+	}
+	return c.PayloadSize * c.LinkUnitCost(i, j)
+}
+
+// UniformCost returns a CostModel with constant participation cost cp and
+// constant transmission cost ct on every link, the setting of Prop. 2.
+func UniformCost(cp, ct float64) CostModel {
+	return CostModel{
+		Participation: cp,
+		PayloadSize:   1,
+		LinkUnitCost:  func(int, int) float64 { return ct },
+	}
+}
+
+// BandwidthCost models §3's "transmission cost between two peers as being
+// proportional to the communication bandwidth between them": every
+// unordered pair (i, j) gets a deterministic pseudo-random bandwidth, and
+// the per-unit link cost is ctLo..ctHi scaled inversely with it (slow
+// links cost more to push a payload through). The mapping is a pure
+// function of (seed, i, j), so both endpoints and every re-run agree.
+func BandwidthCost(cp, ctLo, ctHi float64, seed uint64) CostModel {
+	if ctHi < ctLo {
+		panic(fmt.Sprintf("game: BandwidthCost range [%g, %g]", ctLo, ctHi))
+	}
+	return CostModel{
+		Participation: cp,
+		PayloadSize:   1,
+		LinkUnitCost: func(i, j int) float64 {
+			if i > j {
+				i, j = j, i
+			}
+			// SplitMix64-style hash of (seed, i, j) → uniform in [0, 1).
+			x := seed ^ uint64(i)*0x9e3779b97f4a7c15 ^ uint64(j)*0xbf58476d1ce4e5b9
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			u := float64(x>>11) / (1 << 53)
+			return ctLo + (ctHi-ctLo)*u
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Propositions 2 and 3: participation and dominance thresholds.
+// ---------------------------------------------------------------------------
+
+// ParticipationThreshold returns the right-hand side of Prop. 2:
+// C^p·N/(L·k) + C^t. Forwarding benefit P_f above this induces peers to
+// participate: over a batch of k connections with average length L, an
+// expected L·k/N forwarding instances per peer recoup the one-time
+// participation cost.
+func ParticipationThreshold(cp, ct float64, n int, l float64, k int) float64 {
+	if n <= 0 || l <= 0 || k <= 0 {
+		panic(fmt.Sprintf("game: ParticipationThreshold(n=%d, L=%g, k=%d)", n, l, k))
+	}
+	return cp*float64(n)/(l*float64(k)) + ct
+}
+
+// InducesParticipation reports Prop. 2's condition
+// P_f > C^p·N/(L·k) + C^t.
+func InducesParticipation(pf, cp, ct float64, n int, l float64, k int) bool {
+	return pf > ParticipationThreshold(cp, ct, n, l, k)
+}
+
+// ForwardingDominant reports Prop. 3's condition P_f > C^p + C^t, under
+// which forwarding is a dominant strategy for the forwarding stage: the
+// per-instance benefit alone covers the total per-instance cost, whatever
+// the other players do.
+func ForwardingDominant(pf, cp, ct float64) bool {
+	return pf > cp+ct
+}
+
+// ---------------------------------------------------------------------------
+// Finite normal-form games: dominance and Nash equilibria.
+// ---------------------------------------------------------------------------
+
+// NormalForm is a finite n-player normal-form game. Player p has
+// NumStrategies[p] pure strategies indexed from 0; Payoff returns each
+// player's payoff for a full strategy profile.
+type NormalForm struct {
+	NumStrategies []int
+	Payoff        func(profile []int) []float64
+}
+
+// Validate panics unless the game is well-formed.
+func (g *NormalForm) Validate() {
+	if len(g.NumStrategies) == 0 {
+		panic("game: no players")
+	}
+	for p, n := range g.NumStrategies {
+		if n < 1 {
+			panic(fmt.Sprintf("game: player %d has %d strategies", p, n))
+		}
+	}
+	if g.Payoff == nil {
+		panic("game: nil payoff function")
+	}
+}
+
+// forEachProfile enumerates every full strategy profile, invoking fn with
+// a reused slice (fn must not retain it).
+func (g *NormalForm) forEachProfile(fn func(profile []int)) {
+	profile := make([]int, len(g.NumStrategies))
+	var rec func(p int)
+	rec = func(p int) {
+		if p == len(profile) {
+			fn(profile)
+			return
+		}
+		for s := 0; s < g.NumStrategies[p]; s++ {
+			profile[p] = s
+			rec(p + 1)
+		}
+	}
+	rec(0)
+}
+
+// IsDominant reports whether strategy s is a (weakly) dominant strategy
+// for player p: for every profile of the opponents, s yields a payoff at
+// least as high as every alternative — and strictly higher against at
+// least one opponent profile for at least one alternative, unless the
+// player has a single strategy.
+func (g *NormalForm) IsDominant(p, s int) bool {
+	g.Validate()
+	if g.NumStrategies[p] == 1 {
+		return true
+	}
+	anyStrict := false
+	ok := true
+	g.forEachOpponentProfile(p, func(profile []int) {
+		profile[p] = s
+		us := g.Payoff(profile)[p]
+		for alt := 0; alt < g.NumStrategies[p]; alt++ {
+			if alt == s {
+				continue
+			}
+			profile[p] = alt
+			ua := g.Payoff(profile)[p]
+			if us < ua-1e-12 {
+				ok = false
+			}
+			if us > ua+1e-12 {
+				anyStrict = true
+			}
+		}
+	})
+	return ok && anyStrict
+}
+
+// forEachOpponentProfile enumerates profiles over all players; player p's
+// entry is left for the callback to set.
+func (g *NormalForm) forEachOpponentProfile(p int, fn func(profile []int)) {
+	profile := make([]int, len(g.NumStrategies))
+	var rec func(q int)
+	rec = func(q int) {
+		if q == len(profile) {
+			fn(profile)
+			return
+		}
+		if q == p {
+			rec(q + 1)
+			return
+		}
+		for s := 0; s < g.NumStrategies[q]; s++ {
+			profile[q] = s
+			rec(q + 1)
+		}
+	}
+	rec(0)
+}
+
+// IsNash reports whether profile is a pure-strategy Nash equilibrium: no
+// player can strictly improve by a unilateral deviation.
+func (g *NormalForm) IsNash(profile []int) bool {
+	g.Validate()
+	if len(profile) != len(g.NumStrategies) {
+		panic("game: profile length mismatch")
+	}
+	work := append([]int(nil), profile...)
+	base := g.Payoff(work)
+	for p := range g.NumStrategies {
+		orig := work[p]
+		for s := 0; s < g.NumStrategies[p]; s++ {
+			if s == orig {
+				continue
+			}
+			work[p] = s
+			if g.Payoff(work)[p] > base[p]+1e-12 {
+				return false
+			}
+		}
+		work[p] = orig
+	}
+	return true
+}
+
+// PureNash enumerates all pure-strategy Nash equilibria.
+func (g *NormalForm) PureNash() [][]int {
+	g.Validate()
+	var out [][]int
+	g.forEachProfile(func(profile []int) {
+		if g.IsNash(profile) {
+			out = append(out, append([]int(nil), profile...))
+		}
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// The L-stage path-formation game (§2.4.3) and its SPNE.
+// ---------------------------------------------------------------------------
+
+// PathGame is the sequential game played during path formation under
+// Utility Model II: at each stage the current holder of the payload picks
+// a successor, and its utility is
+//
+//	U_i(j) = P_f + q(π(i, j, R))·P_r − (C^p_i + C^t(i, j))
+//
+// where q(π(i,j,R)) is the quality of the best continuation path from i
+// through j to the responder, computed as the sum of edge qualities
+// (§2.3). The game has at most MaxHops stages.
+type PathGame struct {
+	// Nodes is the number of vertices; vertex indices are 0..Nodes-1.
+	Nodes int
+	// Responder is the terminal vertex R.
+	Responder int
+	// EdgeQuality returns q(i, j), or a negative value if the edge (i, j)
+	// does not exist.
+	EdgeQuality func(i, j int) float64
+	// Pf, Pr are the contract's forwarding and routing benefits.
+	Pf, Pr float64
+	// Cost is the cost model used for C^p and C^t.
+	Cost CostModel
+	// MaxHops caps the number of stages L.
+	MaxHops int
+}
+
+// Decision is the SPNE prescription at one information set: the successor
+// to choose from node Node with budget hops remaining, and the utility and
+// continuation quality it secures.
+type Decision struct {
+	Node    int
+	Next    int // -1 when no feasible continuation exists (play NULL)
+	Utility float64
+	Quality float64 // q of the best path Node→…→R (sum of edge qualities)
+}
+
+// negInf marks "no path" in the induction table.
+var negInf = math.Inf(-1)
+
+// Solve computes the SPNE by backward induction: quality-to-go
+// V(i, h) = max_j [ q(i,j) + V(j, h−1) ], with V(R, ·) = 0, and converts
+// the optimal continuation quality into the stage utility. The returned
+// table is indexed [hops][node]; table[h][i] is the prescription for a
+// node holding the payload with h hops of budget left.
+//
+// This *is* the equilibrium derivation the paper defers to its technical
+// report: each subgame G_l is solved exactly given optimal play in later
+// stages, so the assembled profile is subgame perfect by construction (the
+// one-shot deviation principle for finite games).
+func (g *PathGame) Solve() [][]Decision {
+	if g.Nodes < 1 || g.Responder < 0 || g.Responder >= g.Nodes {
+		panic(fmt.Sprintf("game: PathGame with Nodes=%d Responder=%d", g.Nodes, g.Responder))
+	}
+	if g.MaxHops < 1 {
+		panic(fmt.Sprintf("game: PathGame with MaxHops=%d", g.MaxHops))
+	}
+	if g.EdgeQuality == nil {
+		panic("game: PathGame with nil EdgeQuality")
+	}
+	table := make([][]Decision, g.MaxHops+1)
+	// h = 0: only R itself has a (trivially) complete path.
+	table[0] = make([]Decision, g.Nodes)
+	for i := 0; i < g.Nodes; i++ {
+		q := negInf
+		if i == g.Responder {
+			q = 0
+		}
+		table[0][i] = Decision{Node: i, Next: -1, Utility: negInf, Quality: q}
+	}
+	for h := 1; h <= g.MaxHops; h++ {
+		table[h] = make([]Decision, g.Nodes)
+		for i := 0; i < g.Nodes; i++ {
+			if i == g.Responder {
+				// R holds the payload: the path is complete.
+				table[h][i] = Decision{Node: i, Next: -1, Utility: negInf, Quality: 0}
+				continue
+			}
+			best := Decision{Node: i, Next: -1, Utility: negInf, Quality: negInf}
+			for j := 0; j < g.Nodes; j++ {
+				if j == i {
+					continue
+				}
+				q := g.EdgeQuality(i, j)
+				if q < 0 {
+					continue // no edge
+				}
+				cont := table[h-1][j].Quality
+				if math.IsInf(cont, -1) {
+					continue // j cannot reach R in h-1 hops
+				}
+				pathQ := q + cont
+				u := g.Pf + pathQ*g.Pr - (g.Cost.Participation + g.Cost.Transmission(i, j))
+				// Maximise utility; break ties toward higher quality as
+				// §2.2 prescribes, then toward the lower index for
+				// determinism.
+				if u > best.Utility+1e-12 ||
+					(math.Abs(u-best.Utility) <= 1e-12 && pathQ > best.Quality+1e-12) {
+					best = Decision{Node: i, Next: j, Utility: u, Quality: pathQ}
+				}
+			}
+			table[h][i] = best
+		}
+	}
+	return table
+}
+
+// BestPath extracts the SPNE path from start to the responder using at
+// most MaxHops hops. It returns nil when no path exists within the budget.
+func (g *PathGame) BestPath(start int) []int {
+	table := g.Solve()
+	return extractPath(table, start, g.Responder, g.MaxHops)
+}
+
+func extractPath(table [][]Decision, start, responder, hops int) []int {
+	if start == responder {
+		return []int{start}
+	}
+	path := []int{start}
+	cur := start
+	for h := hops; h > 0; h-- {
+		d := table[h][cur]
+		if d.Next == -1 {
+			return nil
+		}
+		path = append(path, d.Next)
+		cur = d.Next
+		if cur == responder {
+			return path
+		}
+	}
+	return nil
+}
+
+// BruteForceBestQuality exhaustively searches all simple paths from start
+// to the responder of length <= maxHops and returns the maximum
+// edge-quality sum, or -Inf when unreachable. Exponential; used only by
+// tests to validate the backward induction.
+func (g *PathGame) BruteForceBestQuality(start, maxHops int) float64 {
+	visited := make([]bool, g.Nodes)
+	var rec func(i, hops int) float64
+	rec = func(i, hops int) float64 {
+		if i == g.Responder {
+			return 0
+		}
+		if hops == 0 {
+			return negInf
+		}
+		best := negInf
+		visited[i] = true
+		for j := 0; j < g.Nodes; j++ {
+			if j == i || visited[j] {
+				continue
+			}
+			q := g.EdgeQuality(i, j)
+			if q < 0 {
+				continue
+			}
+			cont := rec(j, hops-1)
+			if math.IsInf(cont, -1) {
+				continue
+			}
+			if q+cont > best {
+				best = q + cont
+			}
+		}
+		visited[i] = false
+		return best
+	}
+	return rec(start, maxHops)
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 1: expected new-edge probability.
+// ---------------------------------------------------------------------------
+
+// RandomRoutingNewEdgeLB returns the paper's lower bound on E[X] — the
+// probability that an edge of the k-th connection is new (not in
+// ⋃_{i<k} π^i) — under random routing: 1 − k/N.
+func RandomRoutingNewEdgeLB(k, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("game: RandomRoutingNewEdgeLB(n=%d)", n))
+	}
+	lb := 1 - float64(k)/float64(n)
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// UtilityRoutingNewEdge returns the paper's expression for E[X] under
+// utility-based routing: ∏_{i<k} (1 − p_i), where p_i is the probability
+// that an edge of π^i is available for reuse in π^k. As availability
+// weights w_a > 0 drive p_i → 1, the product → 0: reformations vanish.
+func UtilityRoutingNewEdge(reuseProbs []float64) float64 {
+	e := 1.0
+	for _, p := range reuseProbs {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("game: reuse probability %g out of range", p))
+		}
+		e *= 1 - p
+	}
+	return e
+}

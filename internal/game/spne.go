@@ -1,0 +1,74 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeviationReport describes one profitable one-shot deviation found in a
+// solved PathGame table — evidence that a prescription is *not* subgame
+// perfect.
+type DeviationReport struct {
+	Hops       int     // remaining hop budget at the information set
+	Node       int     // deciding player
+	Prescribed int     // the table's move (-1 = NULL)
+	Better     int     // the strictly better move
+	Gain       float64 // utility improvement of the deviation
+}
+
+// String renders the deviation.
+func (d DeviationReport) String() string {
+	return fmt.Sprintf("at (hops=%d, node=%d): prescribed %d, deviation to %d gains %.6f",
+		d.Hops, d.Node, d.Prescribed, d.Better, d.Gain)
+}
+
+// VerifySubgamePerfect checks a solved table against the one-shot
+// deviation principle: for every information set (remaining hops h, node
+// i), no single-move deviation followed by a return to the prescribed
+// strategy strictly improves the deciding node's utility. For finite
+// multi-stage games this is necessary and sufficient for subgame
+// perfection, so a nil return certifies the table is an SPNE of the path
+// game.
+func (g *PathGame) VerifySubgamePerfect(table [][]Decision) []DeviationReport {
+	var out []DeviationReport
+	const eps = 1e-9
+	for h := 1; h < len(table); h++ {
+		for i := 0; i < g.Nodes; i++ {
+			if i == g.Responder {
+				continue
+			}
+			prescribed := table[h][i]
+			for j := 0; j < g.Nodes; j++ {
+				if j == i {
+					continue
+				}
+				q := g.EdgeQuality(i, j)
+				if q < 0 {
+					continue
+				}
+				cont := table[h-1][j].Quality
+				if math.IsInf(cont, -1) {
+					continue
+				}
+				u := g.Pf + (q+cont)*g.Pr - (g.Cost.Participation + g.Cost.Transmission(i, j))
+				base := prescribed.Utility
+				if math.IsInf(base, -1) {
+					base = 0 // NULL play earns nothing
+					// A feasible move with positive utility beats NULL.
+					if u > eps {
+						out = append(out, DeviationReport{
+							Hops: h, Node: i, Prescribed: -1, Better: j, Gain: u,
+						})
+					}
+					continue
+				}
+				if u > base+eps {
+					out = append(out, DeviationReport{
+						Hops: h, Node: i, Prescribed: prescribed.Next, Better: j, Gain: u - base,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2panon/internal/dist"
+)
+
+func randomPathGame(seed uint64) *PathGame {
+	rng := dist.NewSource(seed)
+	n := 4 + rng.Intn(5)
+	edges := make(map[[2]int]float64)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bernoulli(0.5) {
+				edges[[2]int{i, j}] = rng.Float64()
+			}
+		}
+	}
+	return &PathGame{
+		Nodes:     n,
+		Responder: n - 1,
+		EdgeQuality: func(i, j int) float64 {
+			if q, ok := edges[[2]int{i, j}]; ok {
+				return q
+			}
+			return -1
+		},
+		Pf: 10, Pr: 20,
+		Cost:    UniformCost(1, 1),
+		MaxHops: n,
+	}
+}
+
+func TestSolvedTableIsSubgamePerfect(t *testing.T) {
+	g := linePathGame(6, 0.5)
+	table := g.Solve()
+	if devs := g.VerifySubgamePerfect(table); len(devs) != 0 {
+		t.Fatalf("deviations found: %v", devs)
+	}
+}
+
+func TestCorruptedTableFailsVerification(t *testing.T) {
+	g := linePathGame(6, 0.5)
+	table := g.Solve()
+	// Corrupt one interior prescription: claim a much lower utility so a
+	// deviation appears. Node 1 with 4 hops left can feasibly continue
+	// 1→2→3→4→5 in the 6-node line.
+	h := 4
+	node := 1
+	table[h][node].Utility -= 100
+	devs := g.VerifySubgamePerfect(table)
+	found := false
+	for _, d := range devs {
+		if d.Hops == h && d.Node == node {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corruption not detected; devs = %v", devs)
+	}
+	if devs[0].String() == "" {
+		t.Fatal("empty deviation string")
+	}
+}
+
+func TestNullPrescriptionDeviationDetected(t *testing.T) {
+	g := linePathGame(4, 0.5)
+	table := g.Solve()
+	// Force node 0 to NULL even though forwarding is profitable.
+	table[g.MaxHops][0] = Decision{Node: 0, Next: -1, Utility: math.Inf(-1), Quality: math.Inf(-1)}
+	devs := g.VerifySubgamePerfect(table)
+	found := false
+	for _, d := range devs {
+		if d.Node == 0 && d.Prescribed == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("NULL deviation not detected: %v", devs)
+	}
+}
+
+// Property: Solve always produces a table with no profitable one-shot
+// deviation, on arbitrary random games.
+func TestQuickSolveAlwaysSPNE(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomPathGame(seed)
+		table := g.Solve()
+		return len(g.VerifySubgamePerfect(table)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

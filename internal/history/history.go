@@ -1,0 +1,227 @@
+// Package history implements the per-node connection history profile of
+// §2.3 (Table 1): every node s stores, for each connection that passed
+// through it, the connection identifier together with the predecessor and
+// successor hops. H^{k-1}(s) — the entries accumulated over connections
+// π¹…π^{k-1} of a batch — yields the *selectivity* of an outgoing edge:
+//
+//	σ(s, v) = (# past connections of the batch routed s→v) / (k − 1)
+//
+// The predecessor is stored so that a node occupying two different
+// positions on the same path can distinguish its two outgoing edges.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"p2panon/internal/overlay"
+)
+
+// ConnID identifies one connection π^i within a batch π.
+type ConnID int
+
+// Entry is one row of a node's history profile (the paper's Table 1).
+type Entry struct {
+	Conn        ConnID
+	Predecessor overlay.NodeID // overlay.None when the recording node was first hop after I
+	Successor   overlay.NodeID
+}
+
+// Profile is the history store of a single node for a single (I, R) batch.
+// The zero value is not usable; construct with NewProfile.
+type Profile struct {
+	owner   overlay.NodeID
+	entries []Entry
+	// edgeCount[successor] counts distinct connections that used the edge
+	// owner→successor; a connection that visits the node twice with the
+	// same successor is still one connection.
+	edgeConns map[overlay.NodeID]map[ConnID]struct{}
+	conns     map[ConnID]struct{}
+	capacity  int // max entries retained, 0 = unlimited
+}
+
+// NewProfile creates an empty history profile for the given node.
+// capacity bounds the number of retained entries (oldest evicted first);
+// 0 means unlimited. The paper notes the amount of stored history
+// influences edge quality — capacity models that knob.
+func NewProfile(owner overlay.NodeID, capacity int) *Profile {
+	if capacity < 0 {
+		panic(fmt.Sprintf("history: capacity %d", capacity))
+	}
+	return &Profile{
+		owner:     owner,
+		edgeConns: make(map[overlay.NodeID]map[ConnID]struct{}),
+		conns:     make(map[ConnID]struct{}),
+		capacity:  capacity,
+	}
+}
+
+// Owner returns the node whose history this is.
+func (p *Profile) Owner() overlay.NodeID { return p.owner }
+
+// Len returns the number of stored entries.
+func (p *Profile) Len() int { return len(p.entries) }
+
+// Connections returns the number of distinct connections recorded.
+func (p *Profile) Connections() int { return len(p.conns) }
+
+// Record stores one forwarding instance: the owner forwarded connection
+// cid, received from pred (overlay.None if the owner was the first hop),
+// and sent to succ.
+func (p *Profile) Record(cid ConnID, pred, succ overlay.NodeID) {
+	p.entries = append(p.entries, Entry{Conn: cid, Predecessor: pred, Successor: succ})
+	set, ok := p.edgeConns[succ]
+	if !ok {
+		set = make(map[ConnID]struct{})
+		p.edgeConns[succ] = set
+	}
+	set[cid] = struct{}{}
+	p.conns[cid] = struct{}{}
+	if p.capacity > 0 && len(p.entries) > p.capacity {
+		p.evictOldest()
+	}
+}
+
+// evictOldest removes the oldest entry and rebuilds derived counts for the
+// affected successor.
+func (p *Profile) evictOldest() {
+	old := p.entries[0]
+	p.entries = p.entries[1:]
+	// Does any remaining entry still use (old.Conn, old.Successor)?
+	stillEdge := false
+	stillConn := false
+	for _, e := range p.entries {
+		if e.Conn == old.Conn {
+			stillConn = true
+			if e.Successor == old.Successor {
+				stillEdge = true
+			}
+		}
+	}
+	if !stillEdge {
+		if set, ok := p.edgeConns[old.Successor]; ok {
+			delete(set, old.Conn)
+			if len(set) == 0 {
+				delete(p.edgeConns, old.Successor)
+			}
+		}
+	}
+	if !stillConn {
+		delete(p.conns, old.Conn)
+	}
+}
+
+// EdgeUses returns the number of distinct recorded connections that used
+// the edge owner→succ.
+func (p *Profile) EdgeUses(succ overlay.NodeID) int {
+	return len(p.edgeConns[succ])
+}
+
+// Selectivity returns σ(owner, succ) for the k-th connection of the batch:
+// the ratio of entries for the edge to the maximum possible (k−1). For the
+// first connection (k == 1) there is no history and selectivity is 0.
+func (p *Profile) Selectivity(succ overlay.NodeID, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	sigma := float64(p.EdgeUses(succ)) / float64(k-1)
+	if sigma > 1 {
+		sigma = 1
+	}
+	return sigma
+}
+
+// EntriesFor returns the stored entries whose predecessor matches pred,
+// letting a node distinguish its outgoing edges by path position as §2.3
+// describes.
+func (p *Profile) EntriesFor(pred overlay.NodeID) []Entry {
+	var out []Entry
+	for _, e := range p.entries {
+		if e.Predecessor == pred {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EdgeUsesAt returns the number of distinct recorded connections on which
+// the owner, holding the payload received from pred, forwarded to succ —
+// the position-differentiated count §2.3's predecessor trick enables.
+func (p *Profile) EdgeUsesAt(pred, succ overlay.NodeID) int {
+	conns := make(map[ConnID]struct{})
+	for _, e := range p.entries {
+		if e.Predecessor == pred && e.Successor == succ {
+			conns[e.Conn] = struct{}{}
+		}
+	}
+	return len(conns)
+}
+
+// SelectivityAt is the position-aware variant of Selectivity: σ computed
+// only over history rows whose predecessor matches pred, so a node that
+// occupies two positions on the same recurring path scores each position's
+// outgoing edge independently ("a node can differentiate between outgoing
+// edges for two different positions on the same path", §2.3).
+func (p *Profile) SelectivityAt(pred, succ overlay.NodeID, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	sigma := float64(p.EdgeUsesAt(pred, succ)) / float64(k-1)
+	if sigma > 1 {
+		sigma = 1
+	}
+	return sigma
+}
+
+// Successors returns the distinct successors recorded, ascending.
+func (p *Profile) Successors() []overlay.NodeID {
+	out := make([]overlay.NodeID, 0, len(p.edgeConns))
+	for v := range p.edgeConns {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Store is the collection of history profiles for all nodes, keyed by
+// (node, batch). The paper scopes history to the recurring connections
+// between one (I, R) pair; Store keys batches by an opaque integer.
+type Store struct {
+	capacity int
+	profiles map[storeKey]*Profile
+}
+
+type storeKey struct {
+	node  overlay.NodeID
+	batch int
+}
+
+// NewStore creates an empty store whose profiles retain at most capacity
+// entries each (0 = unlimited).
+func NewStore(capacity int) *Store {
+	return &Store{capacity: capacity, profiles: make(map[storeKey]*Profile)}
+}
+
+// For returns (creating on first use) node's profile for the given batch.
+func (s *Store) For(node overlay.NodeID, batch int) *Profile {
+	k := storeKey{node, batch}
+	p, ok := s.profiles[k]
+	if !ok {
+		p = NewProfile(node, s.capacity)
+		s.profiles[k] = p
+	}
+	return p
+}
+
+// DropBatch forgets every profile of the given batch (payments settled,
+// history no longer needed).
+func (s *Store) DropBatch(batch int) {
+	for k := range s.profiles {
+		if k.batch == batch {
+			delete(s.profiles, k)
+		}
+	}
+}
+
+// Size returns the number of live profiles.
+func (s *Store) Size() int { return len(s.profiles) }

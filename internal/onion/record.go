@@ -1,0 +1,142 @@
+package onion
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"p2panon/internal/overlay"
+)
+
+// PathRecord is what one forwarder contributes to the confirmation that
+// travels back to the initiator: its hop position, its own identity and
+// its predecessor and successor on the connection, sealed to the batch key
+// so only the initiator can read it. The paper (§2.2): "Each intermediate
+// forwarder also includes path information which is then used by I to
+// recreate the path and validate it."
+//
+// The hop position comes from the hop counter the FORWARD message already
+// carries (the transport needs it for the hop budget); it lets the
+// initiator reconstruct paths that visit the same node twice with the same
+// predecessor — a case (pred, self) pairs alone cannot disambiguate.
+type PathRecord struct {
+	Sealed []byte
+}
+
+// recordBody is the fixed-size plaintext layout:
+// cid(8) | hop(8) | self(8) | pred(8) | succ(8).
+const recordBodyLen = 40
+
+func encodeRecordBody(cid uint64, hop int, self, pred, succ overlay.NodeID) []byte {
+	buf := make([]byte, recordBodyLen)
+	binary.BigEndian.PutUint64(buf[0:8], cid)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(hop))
+	binary.BigEndian.PutUint64(buf[16:24], uint64(self))
+	binary.BigEndian.PutUint64(buf[24:32], uint64(pred))
+	binary.BigEndian.PutUint64(buf[32:40], uint64(succ))
+	return buf
+}
+
+func decodeRecordBody(buf []byte) (cid uint64, hop int, self, pred, succ overlay.NodeID, err error) {
+	if len(buf) != recordBodyLen {
+		return 0, 0, 0, 0, 0, fmt.Errorf("onion: record body %d bytes", len(buf))
+	}
+	cid = binary.BigEndian.Uint64(buf[0:8])
+	hop = int(int64(binary.BigEndian.Uint64(buf[8:16])))
+	self = overlay.NodeID(int64(binary.BigEndian.Uint64(buf[16:24])))
+	pred = overlay.NodeID(int64(binary.BigEndian.Uint64(buf[24:32])))
+	succ = overlay.NodeID(int64(binary.BigEndian.Uint64(buf[32:40])))
+	return cid, hop, self, pred, succ, nil
+}
+
+// NewPathRecord seals a forwarder's hop information to the contract's
+// batch key. hop is the forwarder's 1-based position on the path (the
+// first forwarder after I is hop 1). The batch id doubles as AEAD
+// additional data, binding the record to its batch.
+func NewPathRecord(c *SignedContract, cid uint64, hop int, self, pred, succ overlay.NodeID) (PathRecord, error) {
+	if c == nil || c.BatchPub == nil {
+		return PathRecord{}, errors.New("onion: nil contract")
+	}
+	if hop < 1 {
+		return PathRecord{}, fmt.Errorf("onion: hop %d < 1", hop)
+	}
+	var aad [8]byte
+	binary.BigEndian.PutUint64(aad[:], c.BatchID)
+	sealed, err := SealToBatch(c.BatchPub, encodeRecordBody(cid, hop, self, pred, succ), aad[:])
+	if err != nil {
+		return PathRecord{}, err
+	}
+	return PathRecord{Sealed: sealed}, nil
+}
+
+// Validation errors.
+var (
+	ErrNoRecords     = errors.New("onion: no path records")
+	ErrWrongConn     = errors.New("onion: record from a different connection")
+	ErrBrokenChain   = errors.New("onion: records do not chain into a single path")
+	ErrBadFirstHop   = errors.New("onion: first record's predecessor is not the initiator")
+	ErrBadLastHop    = errors.New("onion: last record's successor is not the responder")
+	ErrRecordGarbled = errors.New("onion: undecryptable record")
+)
+
+// RecreatePath is the initiator-side validation of §2.2: decrypt every
+// record with the batch key, check each belongs to (batchID, cid), sort
+// by hop position, and verify they chain into the unique path
+// I → f₁ → … → f_m → R: hop positions must be exactly 1..m, hop 1's
+// predecessor must be I, every record's successor must be the next
+// record's node, adjacent records must agree on pred, and hop m's
+// successor must be R. Records may arrive in any order. On success it
+// returns the full node sequence including the endpoints.
+func (bk *BatchKey) RecreatePath(c *SignedContract, cid uint64, initiator, responder overlay.NodeID, records []PathRecord) ([]overlay.NodeID, error) {
+	if len(records) == 0 {
+		return nil, ErrNoRecords
+	}
+	var aad [8]byte
+	binary.BigEndian.PutUint64(aad[:], c.BatchID)
+
+	type hopInfo struct {
+		hop              int
+		self, pred, succ overlay.NodeID
+	}
+	hops := make([]hopInfo, 0, len(records))
+	for _, rec := range records {
+		body, err := bk.OpenFromBatch(rec.Sealed, aad[:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRecordGarbled, err)
+		}
+		rcid, hop, self, pred, succ, err := decodeRecordBody(body)
+		if err != nil {
+			return nil, err
+		}
+		if rcid != cid {
+			return nil, fmt.Errorf("%w: got %d, want %d", ErrWrongConn, rcid, cid)
+		}
+		hops = append(hops, hopInfo{hop: hop, self: self, pred: pred, succ: succ})
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i].hop < hops[j].hop })
+
+	// Hop positions must be exactly 1..m with no gaps or duplicates.
+	for i, h := range hops {
+		if h.hop != i+1 {
+			return nil, fmt.Errorf("%w: hop positions not contiguous at %d", ErrBrokenChain, h.hop)
+		}
+	}
+	if hops[0].pred != initiator {
+		return nil, ErrBadFirstHop
+	}
+	if hops[len(hops)-1].succ != responder {
+		return nil, ErrBadLastHop
+	}
+	path := []overlay.NodeID{initiator}
+	for i, h := range hops {
+		if i > 0 {
+			prev := hops[i-1]
+			if prev.succ != h.self || h.pred != prev.self {
+				return nil, fmt.Errorf("%w: hop %d does not continue hop %d", ErrBrokenChain, h.hop, prev.hop)
+			}
+		}
+		path = append(path, h.self)
+	}
+	return append(path, responder), nil
+}

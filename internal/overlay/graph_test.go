@@ -1,0 +1,159 @@
+package overlay
+
+import (
+	"testing"
+
+	"p2panon/internal/dist"
+)
+
+// lineNet builds a 0→1→2→…→n-1 chain.
+func lineNet(t *testing.T, n int) *Network {
+	t.Helper()
+	net := NewNetwork(1, dist.NewSource(1))
+	for i := 0; i < n; i++ {
+		net.Join(0, false)
+	}
+	for i := 0; i < n; i++ {
+		if i < n-1 {
+			net.Node(NodeID(i)).Neighbors = []NodeID{NodeID(i + 1)}
+		} else {
+			net.Node(NodeID(i)).Neighbors = nil
+		}
+	}
+	return net
+}
+
+func TestReachableLine(t *testing.T) {
+	net := lineNet(t, 5)
+	if !net.Reachable(0, 4) {
+		t.Fatal("end of line unreachable")
+	}
+	if net.Reachable(4, 0) {
+		t.Fatal("reverse direction reachable on directed line")
+	}
+	if !net.Reachable(2, 2) {
+		t.Fatal("self unreachable")
+	}
+	if net.Reachable(0, 99) || net.Reachable(99, 0) {
+		t.Fatal("unknown node reachable")
+	}
+}
+
+func TestReachableRespectsOffline(t *testing.T) {
+	net := lineNet(t, 5)
+	net.Leave(1, 2, false) // break the chain
+	if net.Reachable(0, 4) {
+		t.Fatal("path through offline node")
+	}
+	if net.Reachable(0, 2) {
+		t.Fatal("offline target reachable")
+	}
+	net.Rejoin(2, 2)
+	if !net.Reachable(0, 4) {
+		t.Fatal("repaired chain unreachable")
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	net := lineNet(t, 6)
+	if got := net.HopDistance(0, 5); got != 5 {
+		t.Fatalf("distance %d", got)
+	}
+	if got := net.HopDistance(3, 3); got != 0 {
+		t.Fatalf("self distance %d", got)
+	}
+	if got := net.HopDistance(5, 0); got != -1 {
+		t.Fatalf("reverse distance %d", got)
+	}
+	net.Leave(1, 3, false)
+	if got := net.HopDistance(0, 5); got != -1 {
+		t.Fatalf("broken chain distance %d", got)
+	}
+}
+
+func TestDegreesLine(t *testing.T) {
+	net := lineNet(t, 4)
+	st := net.Degrees()
+	if st.Online != 4 {
+		t.Fatalf("online %d", st.Online)
+	}
+	if st.MinOut != 0 || st.MaxOut != 1 {
+		t.Fatalf("out degrees [%d, %d]", st.MinOut, st.MaxOut)
+	}
+	// 3 edges over 4 nodes.
+	if st.MeanOut != 0.75 || st.MeanIn != 0.75 {
+		t.Fatalf("means %g/%g", st.MeanOut, st.MeanIn)
+	}
+	if st.MaxIn != 1 {
+		t.Fatalf("max in %d", st.MaxIn)
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	net := NewNetwork(2, dist.NewSource(1))
+	st := net.Degrees()
+	if st.Online != 0 || st.MinOut != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+}
+
+func TestStronglyReachableFraction(t *testing.T) {
+	// A directed ring is strongly connected.
+	net := NewNetwork(1, dist.NewSource(2))
+	const n = 6
+	for i := 0; i < n; i++ {
+		net.Join(0, false)
+	}
+	for i := 0; i < n; i++ {
+		net.Node(NodeID(i)).Neighbors = []NodeID{NodeID((i + 1) % n)}
+	}
+	if got := net.StronglyReachableFraction(); got != 1 {
+		t.Fatalf("ring fraction %g", got)
+	}
+	// A line is not: only forward pairs reach.
+	line := lineNet(t, 4)
+	// Reachable ordered pairs: (0,1),(0,2),(0,3),(1,2),(1,3),(2,3) = 6 of 12.
+	if got := line.StronglyReachableFraction(); got != 0.5 {
+		t.Fatalf("line fraction %g", got)
+	}
+}
+
+func TestStronglyReachableTrivial(t *testing.T) {
+	net := NewNetwork(2, dist.NewSource(3))
+	if net.StronglyReachableFraction() != 1 {
+		t.Fatal("empty overlay fraction")
+	}
+	net.Join(0, false)
+	if net.StronglyReachableFraction() != 1 {
+		t.Fatal("singleton fraction")
+	}
+}
+
+func TestRandomOverlayConnectivity(t *testing.T) {
+	// Join-order bias: RefreshNeighbors keeps existing (early-biased)
+	// neighbor sets, so late joiners are weakly in-connected and the
+	// overlay is only mostly strongly connected.
+	net := NewNetwork(5, dist.NewSource(4))
+	for i := 0; i < 40; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	if got := net.StronglyReachableFraction(); got < 0.7 {
+		t.Fatalf("refreshed overlay fraction %g", got)
+	}
+	st := net.Degrees()
+	if st.MeanOut < 4.5 {
+		t.Fatalf("mean out-degree %g", st.MeanOut)
+	}
+	// A uniform redraw (neighbors cleared, then refilled over the full
+	// population) is essentially strongly connected at d=5, N=40.
+	for _, id := range net.AllIDs() {
+		net.Node(id).Neighbors = nil
+		net.RefreshNeighbors(id)
+	}
+	if got := net.StronglyReachableFraction(); got < 0.99 {
+		t.Fatalf("uniform overlay fraction %g", got)
+	}
+}

@@ -1,0 +1,300 @@
+// Package overlay models the P2P forwarding overlay from the paper: a
+// population of peer nodes, each maintaining a fixed-size neighbor set D(s)
+// of potential forwarders, with join/leave (churn) transitions and
+// ground-truth availability bookkeeping.
+//
+// The overlay is purely structural — who exists, who is online, who
+// neighbors whom. Behaviour (probing, routing, incentives) lives in the
+// probe, quality and core packages, which observe and act on an overlay.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/sim"
+)
+
+// NodeID identifies a peer. IDs are dense small integers assigned in join
+// order, which keeps them usable as slice indices throughout the repo.
+type NodeID int
+
+// None is the sentinel "no node" value, used for the NULL routing strategy
+// from the paper's strategy space.
+const None NodeID = -1
+
+// State is a node's lifecycle state.
+type State uint8
+
+const (
+	// Offline: the node exists (has joined at least once) but is not in a
+	// session.
+	Offline State = iota
+	// Online: the node is in a session and can forward.
+	Online
+	// Departed: the node has left the system permanently (end of
+	// lifetime); it never returns.
+	Departed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Offline:
+		return "offline"
+	case Online:
+		return "online"
+	case Departed:
+		return "departed"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Node is one peer in the overlay.
+type Node struct {
+	ID    NodeID
+	State State
+
+	// Neighbors is the node's forwarder candidate set D(s), fixed size d
+	// while enough peers exist. Order is maintenance order; routing code
+	// must not depend on it.
+	Neighbors []NodeID
+
+	// Malicious marks adversary-controlled nodes (they route randomly per
+	// the paper's adversary model).
+	Malicious bool
+
+	// FirstJoin and FinalDeparture bound the node's lifetime; TotalSession
+	// accumulates completed session time. Availability ground truth is
+	// TotalSession / (FinalDeparture - FirstJoin).
+	FirstJoin      sim.Time
+	FinalDeparture sim.Time
+	TotalSession   sim.Time
+
+	sessionStart sim.Time // start of the current session while Online
+}
+
+// Network is the overlay: the node table plus the online set. It is not
+// safe for concurrent use; the transport package provides the concurrent
+// runtime.
+type Network struct {
+	nodes  []*Node
+	online map[NodeID]struct{}
+	degree int
+	rng    *dist.Source
+}
+
+// NewNetwork returns an empty overlay whose nodes will maintain neighbor
+// sets of the given degree d. It panics if degree < 1.
+func NewNetwork(degree int, rng *dist.Source) *Network {
+	if degree < 1 {
+		panic(fmt.Sprintf("overlay: degree %d < 1", degree))
+	}
+	if rng == nil {
+		panic("overlay: nil rng")
+	}
+	return &Network{
+		online: make(map[NodeID]struct{}),
+		degree: degree,
+		rng:    rng,
+	}
+}
+
+// Degree returns the configured neighbor-set size d.
+func (n *Network) Degree() int { return n.degree }
+
+// Len returns the total number of nodes ever created (any state).
+func (n *Network) Len() int { return len(n.nodes) }
+
+// OnlineCount returns the number of nodes currently online.
+func (n *Network) OnlineCount() int { return len(n.online) }
+
+// Node returns the node with the given ID. It panics on an unknown ID —
+// IDs are only ever minted by Join, so an unknown ID is a programming
+// error.
+func (n *Network) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("overlay: unknown node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// Exists reports whether id names a created node.
+func (n *Network) Exists(id NodeID) bool {
+	return id >= 0 && int(id) < len(n.nodes)
+}
+
+// Online reports whether id is currently online.
+func (n *Network) Online(id NodeID) bool {
+	_, ok := n.online[id]
+	return ok
+}
+
+// OnlineIDs returns the online node IDs in ascending order. The slice is
+// freshly allocated.
+func (n *Network) OnlineIDs() []NodeID {
+	out := make([]NodeID, 0, len(n.online))
+	for id := range n.online {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllIDs returns every created node ID in ascending order.
+func (n *Network) AllIDs() []NodeID {
+	out := make([]NodeID, len(n.nodes))
+	for i := range n.nodes {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// Join creates a new node, brings it online at time now, and assigns it up
+// to d random online neighbors (excluding itself). Existing nodes do not
+// rewire to include the newcomer immediately; they discover it through
+// neighbor repair (RefreshNeighbors) as in typical P2P maintenance.
+func (n *Network) Join(now sim.Time, malicious bool) *Node {
+	id := NodeID(len(n.nodes))
+	node := &Node{
+		ID:             id,
+		State:          Online,
+		Malicious:      malicious,
+		FirstJoin:      now,
+		FinalDeparture: now,
+		sessionStart:   now,
+	}
+	n.nodes = append(n.nodes, node)
+	n.online[id] = struct{}{}
+	node.Neighbors = n.pickNeighbors(id, nil)
+	return node
+}
+
+// Rejoin brings an Offline node back online at time now, starting a new
+// session. It panics if the node is Online or Departed.
+func (n *Network) Rejoin(now sim.Time, id NodeID) {
+	node := n.Node(id)
+	if node.State != Offline {
+		panic(fmt.Sprintf("overlay: Rejoin of %d in state %v", id, node.State))
+	}
+	node.State = Online
+	node.sessionStart = now
+	n.online[id] = struct{}{}
+	// Repair any neighbors that departed while we were away.
+	n.RefreshNeighbors(id)
+}
+
+// Leave ends the node's current session at time now. If final is true the
+// node departs permanently. It panics if the node is not Online.
+func (n *Network) Leave(now sim.Time, id NodeID, final bool) {
+	node := n.Node(id)
+	if node.State != Online {
+		panic(fmt.Sprintf("overlay: Leave of %d in state %v", id, node.State))
+	}
+	node.TotalSession += now - node.sessionStart
+	node.FinalDeparture = now
+	if final {
+		node.State = Departed
+	} else {
+		node.State = Offline
+	}
+	delete(n.online, id)
+}
+
+// pickNeighbors selects up to d random online nodes, excluding self and
+// anything in keep (already-held neighbors being retained).
+func (n *Network) pickNeighbors(self NodeID, keep []NodeID) []NodeID {
+	held := make(map[NodeID]struct{}, len(keep)+1)
+	held[self] = struct{}{}
+	for _, k := range keep {
+		held[k] = struct{}{}
+	}
+	candidates := make([]NodeID, 0, len(n.online))
+	for id := range n.online {
+		if _, skip := held[id]; !skip {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	want := n.degree - len(keep)
+	if want <= 0 {
+		return append([]NodeID(nil), keep...)
+	}
+	if want > len(candidates) {
+		want = len(candidates)
+	}
+	idx := dist.SampleWithoutReplacement(n.rng, len(candidates), want)
+	out := append([]NodeID(nil), keep...)
+	for _, i := range idx {
+		out = append(out, candidates[i])
+	}
+	return out
+}
+
+// RefreshNeighbors repairs id's neighbor set: departed neighbors are
+// dropped and replaced with fresh random online peers so the set returns
+// to size d when possible. Offline (but not departed) neighbors are kept —
+// they may come back, and the paper's availability estimator needs to
+// observe their absences.
+func (n *Network) RefreshNeighbors(id NodeID) {
+	node := n.Node(id)
+	keep := node.Neighbors[:0]
+	for _, v := range node.Neighbors {
+		if n.Node(v).State != Departed {
+			keep = append(keep, v)
+		}
+	}
+	node.Neighbors = n.pickNeighbors(id, keep)
+}
+
+// Availability returns the node's ground-truth availability at time now:
+// the ratio of accumulated session time to lifetime, per the paper's §2.1
+// definition. A node observed for zero lifetime has availability 0.
+func (n *Network) Availability(now sim.Time, id NodeID) float64 {
+	node := n.Node(id)
+	total := node.TotalSession
+	if node.State == Online {
+		total += now - node.sessionStart
+	}
+	life := now - node.FirstJoin
+	if node.State == Departed {
+		life = node.FinalDeparture - node.FirstJoin
+	}
+	if life <= 0 {
+		return 0
+	}
+	a := float64(total) / float64(life)
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// GoodOnline returns the online, non-malicious node IDs in ascending order.
+func (n *Network) GoodOnline() []NodeID {
+	var out []NodeID
+	for id := range n.online {
+		if !n.nodes[id].Malicious {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborsOf returns a copy of id's current neighbor set.
+func (n *Network) NeighborsOf(id NodeID) []NodeID {
+	return append([]NodeID(nil), n.Node(id).Neighbors...)
+}
+
+// IsNeighbor reports whether v is in u's neighbor set.
+func (n *Network) IsNeighbor(u, v NodeID) bool {
+	for _, x := range n.Node(u).Neighbors {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package payment
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+)
+
+// AccountID identifies a bank account. The simulator uses overlay node IDs
+// cast to AccountID.
+type AccountID int
+
+// Common bank errors.
+var (
+	ErrInsufficientFunds = errors.New("payment: insufficient funds")
+	ErrDoubleSpend       = errors.New("payment: serial already spent")
+	ErrBadSignature      = errors.New("payment: invalid token signature")
+	ErrUnknownAccount    = errors.New("payment: unknown account")
+	ErrBadAmount         = errors.New("payment: non-positive amount")
+)
+
+// Bank is the central settlement entity of §2.2. It holds accounts, signs
+// blind withdrawals, accepts deposits, and detects double spending. All
+// methods are safe for concurrent use (the transport runtime talks to the
+// bank from many goroutines).
+type Bank struct {
+	mu       sync.Mutex
+	key      *rsa.PrivateKey
+	accounts map[AccountID]Amount
+	spent    map[[32]byte]AccountID // serial -> depositor
+	issued   Amount                 // total withdrawn (escrowed in tokens)
+	redeemed Amount                 // total deposited back
+
+	// ledger records per-account statements when EnableAudit was called.
+	ledger   map[AccountID][]LedgerEntry
+	auditSeq uint64
+}
+
+// NewBank creates a bank with a fresh RSA key of the given size (>= 1024
+// bits; 2048 recommended outside tests).
+func NewBank(bits int) (*Bank, error) {
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("payment: generating bank key: %w", err)
+	}
+	return &Bank{
+		key:      key,
+		accounts: make(map[AccountID]Amount),
+		spent:    make(map[[32]byte]AccountID),
+	}, nil
+}
+
+// PublicKey returns the bank's token-verification key.
+func (b *Bank) PublicKey() *rsa.PublicKey { return &b.key.PublicKey }
+
+// OpenAccount creates an account with the given opening balance. Opening
+// an existing account is an error.
+func (b *Bank) OpenAccount(id AccountID, opening Amount) error {
+	if opening < 0 {
+		return ErrBadAmount
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.accounts[id]; ok {
+		return fmt.Errorf("payment: account %d already exists", id)
+	}
+	b.accounts[id] = opening
+	b.audit(id, "open", opening, id)
+	return nil
+}
+
+// Balance returns the account's balance.
+func (b *Bank) Balance(id AccountID) (Amount, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[id]
+	if !ok {
+		return 0, ErrUnknownAccount
+	}
+	return bal, nil
+}
+
+// Withdraw debits the account by the request's denomination and signs the
+// blinded value. The bank never sees the serial, so the token it enables
+// cannot be traced back to this withdrawal.
+func (b *Bank) Withdraw(id AccountID, req *WithdrawalRequest) (*big.Int, error) {
+	if req == nil || req.Denom() <= 0 {
+		return nil, ErrBadAmount
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.accounts[id]
+	if !ok {
+		return nil, ErrUnknownAccount
+	}
+	if bal < req.Denom() {
+		return nil, ErrInsufficientFunds
+	}
+	b.accounts[id] = bal - req.Denom()
+	b.issued += req.Denom()
+	b.audit(id, "withdraw", req.Denom(), id)
+	// Raw RSA signature on the blinded digest.
+	sig := new(big.Int).Exp(req.Blinded(), b.key.D, b.key.N)
+	return sig, nil
+}
+
+// Deposit verifies a token and credits the depositor. A replayed serial is
+// rejected with ErrDoubleSpend and the original depositor is reported so
+// the caller can attribute the cheat.
+func (b *Bank) Deposit(id AccountID, tok Token) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.accounts[id]; !ok {
+		return ErrUnknownAccount
+	}
+	if !VerifyToken(&b.key.PublicKey, tok) {
+		return ErrBadSignature
+	}
+	if first, dup := b.spent[tok.Serial]; dup {
+		return fmt.Errorf("%w (first deposited by account %d)", ErrDoubleSpend, first)
+	}
+	b.spent[tok.Serial] = id
+	b.accounts[id] += tok.Denom
+	b.redeemed += tok.Denom
+	b.audit(id, "deposit", tok.Denom, id)
+	return nil
+}
+
+// Transfer moves credits between accounts directly (used for escrow
+// refunds and fee-free settlement paths that do not need unlinkability).
+func (b *Bank) Transfer(from, to AccountID, amt Amount) error {
+	if amt <= 0 {
+		return ErrBadAmount
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fb, ok := b.accounts[from]
+	if !ok {
+		return ErrUnknownAccount
+	}
+	if _, ok := b.accounts[to]; !ok {
+		return ErrUnknownAccount
+	}
+	if fb < amt {
+		return ErrInsufficientFunds
+	}
+	b.accounts[from] -= amt
+	b.accounts[to] += amt
+	b.audit(from, "transfer-out", amt, to)
+	b.audit(to, "transfer-in", amt, from)
+	return nil
+}
+
+// TotalBalance returns the sum over all accounts. Together with Float
+// (tokens issued but not yet redeemed) it states the conservation
+// invariant: TotalBalance + Float is constant across all operations.
+func (b *Bank) TotalBalance() Amount {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total Amount
+	for _, bal := range b.accounts {
+		total += bal
+	}
+	return total
+}
+
+// Float returns the value of tokens issued but not yet redeemed.
+func (b *Bank) Float() Amount {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.issued - b.redeemed
+}
+
+// Accounts returns all account IDs in ascending order.
+func (b *Bank) Accounts() []AccountID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]AccountID, 0, len(b.accounts))
+	for id := range b.accounts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SpentCount returns the number of redeemed serials (for reporting).
+func (b *Bank) SpentCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spent)
+}

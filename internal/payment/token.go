@@ -1,0 +1,144 @@
+// Package payment implements the anonymous payment infrastructure the
+// paper's incentive mechanism relies on (§2.2, §5): a central bank that
+// settles payments from initiators to forwarders *after* a batch of
+// recurring connections completes, without being able to link an
+// initiator's withdrawals to the forwarders' deposits.
+//
+// The construction is Chaum's blind-signature e-cash, which the paper's
+// lineage (Chaum [8]; micropayment schemes [29, 6]) points to:
+//
+//   - Withdraw: the client picks a random serial s, blinds
+//     H(denom‖s)·r^e mod N with a random factor r, and has the bank sign
+//     the blinded value while debiting its account. Unblinding yields a
+//     valid bank signature on H(denom‖s) that the bank has never seen.
+//   - Spend: a token (denom, s, sig) is handed to a forwarder over the
+//     anonymous channel itself.
+//   - Deposit: the bank verifies sig^e ≡ H(denom‖s) (mod N), checks the
+//     serial against the spent list (double-spend detection), and credits
+//     the depositor.
+//
+// Because the bank signs only blinded values, the (serial, signature) pair
+// deposited later is cryptographically unlinkable to any particular
+// withdrawal — initiator anonymity survives settlement, which is the
+// property the paper's §5 claims for its payment mechanism.
+package payment
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Amount is money in integer credits. The paper's benefits (P_f ∈ [50,100])
+// are unitless; credits make conservation checks exact.
+type Amount int64
+
+// Token is an unspent e-cash note: a serial number and the bank's
+// (unblinded) RSA signature over H(denom ‖ serial).
+type Token struct {
+	Denom  Amount
+	Serial [32]byte
+	Sig    *big.Int
+}
+
+// tokenDigest hashes denom‖serial into an integer modulo n.
+func tokenDigest(denom Amount, serial [32]byte, n *big.Int) *big.Int {
+	var buf [8 + 32]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(denom))
+	copy(buf[8:], serial[:])
+	sum := sha256.Sum256(buf[:])
+	// A 256-bit digest is far below any RSA modulus in use, so no
+	// reduction bias is possible; Mod keeps the types honest.
+	return new(big.Int).Mod(new(big.Int).SetBytes(sum[:]), n)
+}
+
+// WithdrawalRequest is the client-side state of one blind withdrawal.
+type WithdrawalRequest struct {
+	denom   Amount
+	serial  [32]byte
+	r       *big.Int // blinding factor
+	blinded *big.Int // H(denom‖serial)·r^e mod N
+	pub     *rsa.PublicKey
+}
+
+// NewWithdrawalRequest blinds a fresh serial for the given denomination
+// under the bank's public key. rng supplies entropy (crypto/rand.Reader in
+// production; tests may inject a deterministic reader).
+func NewWithdrawalRequest(pub *rsa.PublicKey, denom Amount, rng io.Reader) (*WithdrawalRequest, error) {
+	if denom <= 0 {
+		return nil, fmt.Errorf("payment: non-positive denomination %d", denom)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	req := &WithdrawalRequest{denom: denom, pub: pub}
+	if _, err := io.ReadFull(rng, req.serial[:]); err != nil {
+		return nil, fmt.Errorf("payment: reading serial entropy: %w", err)
+	}
+	// Blinding factor r must be invertible mod N; with N = p·q and random
+	// r < N this fails only with negligible probability, but retry anyway.
+	n := pub.N
+	e := big.NewInt(int64(pub.E))
+	for {
+		r, err := rand.Int(rng, n)
+		if err != nil {
+			return nil, fmt.Errorf("payment: picking blinding factor: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, n).Cmp(big.NewInt(1)) != 0 {
+			continue
+		}
+		req.r = r
+		break
+	}
+	h := tokenDigest(denom, req.serial, n)
+	re := new(big.Int).Exp(req.r, e, n)
+	req.blinded = h.Mul(h, re).Mod(h, n)
+	return req, nil
+}
+
+// Blinded returns the value sent to the bank for signing. It reveals
+// nothing about the serial: for any candidate serial there exists a
+// blinding factor consistent with it.
+func (w *WithdrawalRequest) Blinded() *big.Int { return new(big.Int).Set(w.blinded) }
+
+// Denom returns the requested denomination (the bank must know how much to
+// debit; only the serial is hidden).
+func (w *WithdrawalRequest) Denom() Amount { return w.denom }
+
+// Unblind turns the bank's signature on the blinded value into a valid
+// token: sig = blindSig·r⁻¹ mod N. It verifies the result and fails if the
+// bank misbehaved.
+func (w *WithdrawalRequest) Unblind(blindSig *big.Int) (Token, error) {
+	n := w.pub.N
+	rInv := new(big.Int).ModInverse(w.r, n)
+	if rInv == nil {
+		return Token{}, errors.New("payment: blinding factor not invertible")
+	}
+	sig := new(big.Int).Mul(blindSig, rInv)
+	sig.Mod(sig, n)
+	tok := Token{Denom: w.denom, Serial: w.serial, Sig: sig}
+	if !VerifyToken(w.pub, tok) {
+		return Token{}, errors.New("payment: bank returned an invalid signature")
+	}
+	return tok, nil
+}
+
+// VerifyToken reports whether tok carries a valid bank signature:
+// sig^e ≡ H(denom‖serial) (mod N).
+func VerifyToken(pub *rsa.PublicKey, tok Token) bool {
+	if tok.Sig == nil {
+		return false
+	}
+	e := big.NewInt(int64(pub.E))
+	lhs := new(big.Int).Exp(tok.Sig, e, pub.N)
+	rhs := tokenDigest(tok.Denom, tok.Serial, pub.N)
+	return lhs.Cmp(rhs) == 0
+}

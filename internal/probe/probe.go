@@ -1,0 +1,202 @@
+// Package probe implements the paper's active-probing availability
+// estimator (§2.3, following Bustamante & Qiao). Each peer periodically
+// checks the liveness of its neighbors:
+//
+//   - when a peer first joins, it initialises the observed session time of
+//     every neighbor to 0;
+//   - at the start of each probing period of length T, a live neighbor's
+//     session time is advanced, t_new = t_old + T;
+//   - a newly discovered neighbor's session time is initialised to a
+//     uniform random value in (0, T);
+//   - the availability of neighbor u as seen by s is the normalised share
+//     α_s(u) = t_s(u) / Σ_{v∈D(s)} t_s(v).
+//
+// A dead (offline) neighbor's estimate decays rather than resetting to
+// zero, so a flapping node keeps a credible — but reduced — score; the
+// relative ordering the routing layer needs ("higher observed session time
+// ⇒ higher availability") is preserved.
+package probe
+
+import (
+	"fmt"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/sim"
+)
+
+// DefaultPeriod is the default probing period T (60 simulated seconds).
+const DefaultPeriod = sim.Time(60)
+
+// DecayOnMiss is the multiplicative decay applied to the observed session
+// time of a neighbor that fails a probe. 1.0 would keep stale estimates
+// forever; 0 would forget instantly. 0.5 halves the score per missed probe.
+const DecayOnMiss = 0.5
+
+// Estimator tracks one observer's availability estimates for its neighbor
+// set. Create one per node with NewEstimator and call Tick once per probing
+// period (the Attach helper schedules this on a sim engine).
+type Estimator struct {
+	owner  overlay.NodeID
+	net    *overlay.Network
+	rng    *dist.Source
+	period sim.Time
+
+	session map[overlay.NodeID]float64 // observed session time t_s(u)
+	probes  int
+}
+
+// NewEstimator creates an estimator for owner's neighbor set. Session times
+// start at zero, as the paper specifies for a freshly joined peer.
+func NewEstimator(owner overlay.NodeID, net *overlay.Network, rng *dist.Source, period sim.Time) *Estimator {
+	if period <= 0 {
+		panic(fmt.Sprintf("probe: period %v", period))
+	}
+	if rng == nil {
+		panic("probe: nil rng")
+	}
+	est := &Estimator{
+		owner:   owner,
+		net:     net,
+		rng:     rng,
+		period:  period,
+		session: make(map[overlay.NodeID]float64),
+	}
+	for _, v := range net.NeighborsOf(owner) {
+		est.session[v] = 0
+	}
+	return est
+}
+
+// Owner returns the observing node's ID.
+func (est *Estimator) Owner() overlay.NodeID { return est.owner }
+
+// Probes returns how many probing rounds have run.
+func (est *Estimator) Probes() int { return est.probes }
+
+// Tick runs one probing period: it reconciles the neighbor set (new
+// neighbors get a rand(0,T) initial session time; vanished neighbors are
+// forgotten), then credits T to live neighbors and decays dead ones.
+func (est *Estimator) Tick() {
+	est.probes++
+	current := est.net.NeighborsOf(est.owner)
+	inSet := make(map[overlay.NodeID]struct{}, len(current))
+	for _, v := range current {
+		inSet[v] = struct{}{}
+		if _, known := est.session[v]; !known {
+			// New neighbor: initialise to rand(0, T) per the paper.
+			est.session[v] = est.rng.Uniform(0, est.period.Seconds())
+		}
+	}
+	for v := range est.session {
+		if _, ok := inSet[v]; !ok {
+			delete(est.session, v) // no longer a neighbor
+		}
+	}
+	for _, v := range current {
+		if est.net.Online(v) {
+			est.session[v] += est.period.Seconds()
+		} else {
+			est.session[v] *= DecayOnMiss
+		}
+	}
+}
+
+// SessionTime returns the observed session time t_s(u) for neighbor u, or
+// 0 if u is not currently tracked.
+func (est *Estimator) SessionTime(u overlay.NodeID) float64 {
+	return est.session[u]
+}
+
+// Availability returns α_s(u) = t_s(u) / Σ_v t_s(v), the paper's
+// normalised availability estimate, in [0, 1]. Before any session time has
+// accumulated it returns an uninformative uniform 1/|D(s)| so that routing
+// has a well-defined score from the first connection.
+func (est *Estimator) Availability(u overlay.NodeID) float64 {
+	total := 0.0
+	for _, t := range est.session {
+		total += t
+	}
+	if total <= 0 {
+		if n := len(est.session); n > 0 {
+			if _, ok := est.session[u]; ok {
+				return 1 / float64(n)
+			}
+		}
+		return 0
+	}
+	return est.session[u] / total
+}
+
+// Snapshot returns the availability of every tracked neighbor. The shares
+// sum to 1 whenever any session time has accumulated.
+func (est *Estimator) Snapshot() map[overlay.NodeID]float64 {
+	out := make(map[overlay.NodeID]float64, len(est.session))
+	for v := range est.session {
+		out[v] = est.Availability(v)
+	}
+	return out
+}
+
+// Attach schedules est.Tick every probing period on the engine, pausing
+// automatically while the owner is offline (an offline peer cannot probe)
+// and stopping for good when it departs. It returns a cancel function.
+func (est *Estimator) Attach(e *sim.Engine) (cancel func()) {
+	return e.Every(est.period, func(*sim.Engine) bool {
+		switch est.net.Node(est.owner).State {
+		case overlay.Departed:
+			return false
+		case overlay.Online:
+			est.Tick()
+		}
+		return true
+	})
+}
+
+// Set is a convenience bundle of one estimator per node, used by the
+// simulator to give every peer its own observation stream.
+type Set struct {
+	net    *overlay.Network
+	rng    *dist.Source
+	period sim.Time
+	byNode map[overlay.NodeID]*Estimator
+}
+
+// NewSet creates an empty estimator set.
+func NewSet(net *overlay.Network, rng *dist.Source, period sim.Time) *Set {
+	return &Set{
+		net:    net,
+		rng:    rng,
+		period: period,
+		byNode: make(map[overlay.NodeID]*Estimator),
+	}
+}
+
+// For returns (creating on first use) the estimator owned by id.
+func (s *Set) For(id overlay.NodeID) *Estimator {
+	est, ok := s.byNode[id]
+	if !ok {
+		est = NewEstimator(id, s.net, s.rng.Split(), s.period)
+		s.byNode[id] = est
+	}
+	return est
+}
+
+// TickAll runs one probing period for every online node, creating
+// estimators lazily for nodes that appeared since the previous round.
+// This is the batch-mode equivalent of attaching every estimator to the
+// engine, and is what the discrete-event simulator uses.
+func (s *Set) TickAll() {
+	for _, id := range s.net.OnlineIDs() {
+		s.For(id).Tick()
+	}
+}
+
+// Attach schedules TickAll every probing period. It returns a cancel
+// function.
+func (s *Set) Attach(e *sim.Engine) (cancel func()) {
+	return e.Every(s.period, func(*sim.Engine) bool {
+		s.TickAll()
+		return true
+	})
+}

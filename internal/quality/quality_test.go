@@ -1,0 +1,250 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/history"
+	"p2panon/internal/overlay"
+	"p2panon/internal/probe"
+)
+
+func TestWeightsValidate(t *testing.T) {
+	if err := DefaultWeights().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Weights{0.3, 0.7}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Weights{
+		{0.5, 0.6},
+		{-0.1, 1.1},
+		{1.2, -0.2},
+		{0, 0},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Fatalf("weights %+v validated", w)
+		}
+	}
+}
+
+func TestEdgeFormula(t *testing.T) {
+	w := Weights{Selectivity: 0.5, Availability: 0.5}
+	if got := w.Edge(1, 0); got != 0.5 {
+		t.Fatalf("Edge(1,0) = %g", got)
+	}
+	if got := w.Edge(0.4, 0.8); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("Edge = %g", got)
+	}
+	w2 := Weights{Selectivity: 0.25, Availability: 0.75}
+	if got := w2.Edge(1, 1); got != 1 {
+		t.Fatalf("Edge(1,1) = %g", got)
+	}
+}
+
+func TestEdgeClamps(t *testing.T) {
+	w := DefaultWeights()
+	if got := w.Edge(3, 3); got != 1 {
+		t.Fatalf("over-range not clamped: %g", got)
+	}
+	if got := w.Edge(-3, -3); got != 0 {
+		t.Fatalf("under-range not clamped: %g", got)
+	}
+}
+
+func buildScorer(t *testing.T) (*Scorer, *overlay.Network) {
+	t.Helper()
+	rng := dist.NewSource(5)
+	net := overlay.NewNetwork(4, rng.Split())
+	for i := 0; i < 12; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	h := history.NewProfile(0, 0)
+	p := probe.NewEstimator(0, net, rng.Split(), 60)
+	return NewScorer(DefaultWeights(), h, p), net
+}
+
+func TestScorerLastEdgeRule(t *testing.T) {
+	sc, _ := buildScorer(t)
+	responder := overlay.NodeID(11)
+	if got := sc.Edge(responder, responder, 5); got != 1 {
+		t.Fatalf("edge to responder = %g, want 1", got)
+	}
+}
+
+func TestScorerCombinesHistoryAndProbe(t *testing.T) {
+	sc, net := buildScorer(t)
+	nb := net.NeighborsOf(0)
+	v := nb[0]
+	// Availability after 2 ticks: uniform across 4 live neighbors = 0.25.
+	sc.Probe.Tick()
+	sc.Probe.Tick()
+	// History: v used in 1 of 2 past connections -> sigma = 0.5 at k=3.
+	sc.History.Record(1, overlay.None, v)
+	sc.History.Record(2, overlay.None, nb[1])
+	got := sc.Edge(v, overlay.NodeID(999), 3)
+	want := 0.5*0.5 + 0.5*0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("edge quality %g, want %g", got, want)
+	}
+}
+
+func TestNewScorerPanicsOnBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewScorer(Weights{0.9, 0.9}, nil, nil)
+}
+
+func TestPathQuality(t *testing.T) {
+	if got := PathQuality(4, 8); got != 0.5 {
+		t.Fatalf("Q = %g", got)
+	}
+	if got := PathQuality(4, 0); got != 4 {
+		t.Fatalf("Q with empty set = %g", got)
+	}
+}
+
+func TestPathEdgeSum(t *testing.T) {
+	if got := PathEdgeSum([]float64{0.5, 0.25, 1}); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("sum = %g", got)
+	}
+	if got := PathEdgeSum(nil); got != 0 {
+		t.Fatalf("empty sum = %g", got)
+	}
+}
+
+func TestForwarderSetBasics(t *testing.T) {
+	fs := NewForwarderSet()
+	if fs.Size() != 0 || fs.Paths() != 0 || fs.AvgLen() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	fs.AddPath([]overlay.NodeID{1, 2, 3}, 4)
+	fs.AddPath([]overlay.NodeID{2, 3, 4}, 4)
+	if fs.Size() != 4 {
+		t.Fatalf("size = %d", fs.Size())
+	}
+	if fs.AvgLen() != 4 {
+		t.Fatalf("avg len = %g", fs.AvgLen())
+	}
+	if fs.Paths() != 2 {
+		t.Fatalf("paths = %d", fs.Paths())
+	}
+	if !fs.Contains(1) || fs.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	if got := fs.Quality(); got != 1 {
+		t.Fatalf("quality = %g", got)
+	}
+}
+
+func TestForwarderSetStableRouting(t *testing.T) {
+	// The Figure 2 scenario: the same 3 forwarders across all connections
+	// keeps ‖π‖ = 3 and quality = L/3.
+	fs := NewForwarderSet()
+	for i := 0; i < 20; i++ {
+		fs.AddPath([]overlay.NodeID{1, 2, 3}, 4)
+	}
+	if fs.Size() != 3 {
+		t.Fatalf("size = %d", fs.Size())
+	}
+	if got, want := fs.Quality(), 4.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("quality = %g, want %g", got, want)
+	}
+}
+
+func TestForwarderSetMembersComplete(t *testing.T) {
+	fs := NewForwarderSet()
+	fs.AddPath([]overlay.NodeID{5, 9}, 3)
+	m := fs.Members()
+	if len(m) != 2 {
+		t.Fatalf("members = %v", m)
+	}
+	seen := map[overlay.NodeID]bool{}
+	for _, id := range m {
+		seen[id] = true
+	}
+	if !seen[5] || !seen[9] {
+		t.Fatalf("members = %v", m)
+	}
+}
+
+// Property: edge quality is within [0,1] for any valid weight split and
+// in-range inputs.
+func TestQuickEdgeBounds(t *testing.T) {
+	f := func(wRaw, sRaw, aRaw uint8) bool {
+		ws := float64(wRaw) / 255
+		w := Weights{Selectivity: ws, Availability: 1 - ws}
+		sigma := float64(sRaw) / 255
+		alpha := float64(aRaw) / 255
+		q := w.Edge(sigma, alpha)
+		return q >= 0 && q <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: edge quality is monotone in both selectivity and availability.
+func TestQuickEdgeMonotone(t *testing.T) {
+	f := func(wRaw, sRaw, aRaw, dRaw uint8) bool {
+		ws := float64(wRaw) / 255
+		w := Weights{Selectivity: ws, Availability: 1 - ws}
+		sigma := float64(sRaw) / 255
+		alpha := float64(aRaw) / 255
+		d := float64(dRaw) / 255 * (1 - sigma)
+		d2 := float64(dRaw) / 255 * (1 - alpha)
+		return w.Edge(sigma+d, alpha) >= w.Edge(sigma, alpha)-1e-12 &&
+			w.Edge(sigma, alpha+d2) >= w.Edge(sigma, alpha)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forwarder-set size never exceeds the total forwarder slots
+// added and quality falls as distinct forwarders grow for fixed L.
+func TestQuickForwarderSetSize(t *testing.T) {
+	f := func(paths [][3]uint8) bool {
+		fs := NewForwarderSet()
+		slots := 0
+		for _, p := range paths {
+			ids := []overlay.NodeID{overlay.NodeID(p[0]), overlay.NodeID(p[1]), overlay.NodeID(p[2])}
+			fs.AddPath(ids, 4)
+			slots += 3
+		}
+		return fs.Size() <= slots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeAtUsesPositionHistory(t *testing.T) {
+	sc, net := buildScorer(t)
+	nb := net.NeighborsOf(0)
+	v := nb[0]
+	sc.Probe.Tick()
+	sc.Probe.Tick()
+	// History: edge →v used from position pred=4 only.
+	sc.History.Record(1, 4, v)
+	sc.History.Record(2, 9, nb[1])
+	// At position 4 the selectivity contributes; at position 9 it does not.
+	at4 := sc.EdgeAt(4, v, overlay.NodeID(999), 3)
+	at9 := sc.EdgeAt(9, v, overlay.NodeID(999), 3)
+	if at4 <= at9 {
+		t.Fatalf("position-aware quality: at4=%g should exceed at9=%g", at4, at9)
+	}
+	// Responder rule still applies.
+	if got := sc.EdgeAt(4, overlay.NodeID(7), overlay.NodeID(7), 3); got != 1 {
+		t.Fatalf("EdgeAt to responder = %g", got)
+	}
+}

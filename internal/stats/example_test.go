@@ -1,0 +1,31 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"p2panon/internal/stats"
+)
+
+// Streaming mean/CI accumulation, as used for the paper's error bars.
+func ExampleAccumulator() {
+	var a stats.Accumulator
+	a.AddAll([]float64{10, 12, 8, 11, 9})
+	fmt.Printf("mean %.1f, sd %.2f\n", a.Mean(), a.StdDev())
+	// Output: mean 10.0, sd 1.58
+}
+
+// The Gini coefficient quantifies the payoff concentration behind the
+// paper's Figures 6-7 skew discussion.
+func ExampleGini() {
+	equal := []float64{10, 10, 10, 10}
+	skewed := []float64{37, 1, 1, 1}
+	fmt.Printf("%.2f %.2f\n", stats.Gini(equal), stats.Gini(skewed))
+	// Output: 0.00 0.68
+}
+
+// Empirical CDFs back the Figures 6-7 curves.
+func ExampleCDF() {
+	c := stats.NewCDF([]float64{1, 2, 3, 4})
+	fmt.Printf("%.2f %.2f\n", c.At(2), c.Quantile(0.5))
+	// Output: 0.50 2.00
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Gini returns the Gini coefficient of xs in [0, 1]: 0 for perfectly
+// equal values, approaching 1 for maximal concentration. Negative inputs
+// are not meaningful for a Gini coefficient and yield NaN, as does an
+// empty or all-zero sample. Used to quantify the payoff skew the paper
+// discusses for Figures 6-7 (utility routing concentrates payoffs on few
+// stable forwarders).
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		return math.NaN()
+	}
+	n := float64(len(sorted))
+	var cum, total float64
+	for i, v := range sorted {
+		cum += float64(i+1) * v
+		total += v
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return (2*cum)/(n*total) - (n+1)/n
+}
+
+// Jain returns Jain's fairness index of xs in (0, 1]: 1 when all values
+// are equal, 1/n when one value holds everything. NaN on empty or
+// all-zero input.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumSq float64
+	for _, v := range xs {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return math.NaN()
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniEqualValues(t *testing.T) {
+	if g := Gini([]float64{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Fatalf("equal-values Gini %g", g)
+	}
+}
+
+func TestGiniMaxConcentration(t *testing.T) {
+	// One node holds everything among n: Gini = (n-1)/n.
+	xs := make([]float64, 10)
+	xs[3] = 100
+	want := 9.0 / 10.0
+	if g := Gini(xs); math.Abs(g-want) > 1e-12 {
+		t.Fatalf("concentrated Gini %g, want %g", g, want)
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// {1, 3}: Gini = 0.25.
+	if g := Gini([]float64{1, 3}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("Gini %g", g)
+	}
+}
+
+func TestGiniInvalidInputs(t *testing.T) {
+	for _, xs := range [][]float64{nil, {0, 0, 0}, {-1, 2}} {
+		if !math.IsNaN(Gini(xs)) {
+			t.Fatalf("Gini(%v) should be NaN", xs)
+		}
+	}
+}
+
+func TestGiniOrderIndependent(t *testing.T) {
+	a := Gini([]float64{1, 2, 3, 4})
+	b := Gini([]float64{4, 2, 1, 3})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("order dependence: %g vs %g", a, b)
+	}
+}
+
+func TestJainEqualValues(t *testing.T) {
+	if j := Jain([]float64{7, 7, 7}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal Jain %g", j)
+	}
+}
+
+func TestJainMaxUnfairness(t *testing.T) {
+	xs := make([]float64, 8)
+	xs[0] = 42
+	if j := Jain(xs); math.Abs(j-1.0/8.0) > 1e-12 {
+		t.Fatalf("unfair Jain %g", j)
+	}
+}
+
+func TestJainInvalid(t *testing.T) {
+	if !math.IsNaN(Jain(nil)) || !math.IsNaN(Jain([]float64{0, 0})) {
+		t.Fatal("invalid Jain should be NaN")
+	}
+}
+
+// Property: Gini within [0, 1), Jain within (0, 1], and more-concentrated
+// samples never decrease Gini.
+func TestQuickFairnessBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			xs[i] = float64(r)
+			total += xs[i]
+		}
+		if total == 0 {
+			return true
+		}
+		g := Gini(xs)
+		j := Jain(xs)
+		return g >= -1e-12 && g < 1 && j > 0 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gini and Jain agree on ordering — higher Gini coincides with
+// lower Jain when one sample strictly majorises another simple pair.
+func TestFairnessOrderingAgreement(t *testing.T) {
+	flat := []float64{10, 10, 10, 10}
+	skew := []float64{37, 1, 1, 1}
+	if !(Gini(skew) > Gini(flat)) {
+		t.Fatal("Gini ordering wrong")
+	}
+	if !(Jain(skew) < Jain(flat)) {
+		t.Fatal("Jain ordering wrong")
+	}
+}

@@ -1,0 +1,167 @@
+// Package trace generates the simulation workload of §3: a set of
+// (Initiator, Responder) pairs, each with a bounded number of recurring
+// connections ("max-connections"), a total transmission budget, and
+// per-pair contracts with P_f drawn uniformly from a range and
+// P_r = τ·P_f. The default numbers are the paper's: 100 pairs, 2000
+// transmissions (≈ 20 rounds per pair), P_f ∈ [50, 100], τ ∈
+// {0.5, 1, 2, 4}.
+package trace
+
+import (
+	"fmt"
+
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+)
+
+// Workload parameterises a workload generation run.
+type Workload struct {
+	// Pairs is the number of (I, R) pairs (paper: 100).
+	Pairs int
+	// Transmissions is the total message budget across all pairs
+	// (paper: 2000).
+	Transmissions int
+	// MaxConnections caps recurring connections per pair (paper: ~20).
+	MaxConnections int
+	// PfLo, PfHi bound the per-pair forwarding benefit (paper: [50,100]).
+	PfLo, PfHi float64
+	// Tau is the routing/forwarding benefit ratio (paper sweeps
+	// {0.5, 1, 2, 4}).
+	Tau float64
+	// MeanGap is the mean simulated time between consecutive
+	// transmissions of the same pair, in seconds. Recurring traffic
+	// (HTTP, FTP, NNTP per the paper's motivation) revisits the same
+	// responder at minute-ish intervals under churn.
+	MeanGap float64
+}
+
+// DefaultWorkload returns the paper's §3 setup with τ = 2.
+func DefaultWorkload() Workload {
+	return Workload{
+		Pairs:          100,
+		Transmissions:  2000,
+		MaxConnections: 20,
+		PfLo:           50,
+		PfHi:           100,
+		Tau:            2,
+		MeanGap:        120,
+	}
+}
+
+// Validate reports configuration errors.
+func (w Workload) Validate() error {
+	if w.Pairs < 1 {
+		return fmt.Errorf("trace: %d pairs", w.Pairs)
+	}
+	if w.Transmissions < w.Pairs {
+		return fmt.Errorf("trace: %d transmissions for %d pairs", w.Transmissions, w.Pairs)
+	}
+	if w.MaxConnections < 1 {
+		return fmt.Errorf("trace: max connections %d", w.MaxConnections)
+	}
+	if w.PfLo <= 0 || w.PfHi < w.PfLo {
+		return fmt.Errorf("trace: P_f range [%g, %g]", w.PfLo, w.PfHi)
+	}
+	if w.Tau < 0 {
+		return fmt.Errorf("trace: tau %g", w.Tau)
+	}
+	if w.MeanGap < 0 {
+		return fmt.Errorf("trace: mean gap %g", w.MeanGap)
+	}
+	return nil
+}
+
+// Pair is one (I, R) pair with its contract and connection budget.
+type Pair struct {
+	Index       int
+	Initiator   overlay.NodeID
+	Responder   overlay.NodeID
+	Contract    core.Contract
+	Connections int // number of connections this pair will run
+}
+
+// Generate draws the pair population from the currently online nodes of
+// net. Initiators and responders are chosen uniformly (an online node can
+// appear in several pairs, and may serve as I in one pair and R in
+// another, mirroring the paper's "a set of nodes are randomly selected as
+// Initiators and Responders"). The per-pair connection counts sum to
+// exactly Transmissions, each capped at MaxConnections.
+func (w Workload) Generate(net *overlay.Network, rng *dist.Source) ([]Pair, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	online := net.OnlineIDs()
+	if len(online) < 2 {
+		return nil, fmt.Errorf("trace: only %d online nodes", len(online))
+	}
+	pairs := make([]Pair, w.Pairs)
+	for i := range pairs {
+		var I, R overlay.NodeID
+		for {
+			I = dist.Choice(rng, online)
+			R = dist.Choice(rng, online)
+			if I != R {
+				break
+			}
+		}
+		pf := rng.Uniform(w.PfLo, w.PfHi)
+		pairs[i] = Pair{
+			Index:     i,
+			Initiator: I,
+			Responder: R,
+			Contract:  core.ContractWithTau(pf, w.Tau),
+		}
+	}
+	w.assignConnections(pairs, rng)
+	return pairs, nil
+}
+
+// assignConnections distributes the transmission budget: every pair gets
+// the even share, the remainder is spread one-by-one, and everything is
+// clamped to MaxConnections (any clamped excess is redistributed while
+// room remains).
+func (w Workload) assignConnections(pairs []Pair, rng *dist.Source) {
+	base := w.Transmissions / len(pairs)
+	rem := w.Transmissions % len(pairs)
+	for i := range pairs {
+		pairs[i].Connections = base
+		if i < rem {
+			pairs[i].Connections++
+		}
+	}
+	// Clamp and redistribute.
+	excess := 0
+	for i := range pairs {
+		if pairs[i].Connections > w.MaxConnections {
+			excess += pairs[i].Connections - w.MaxConnections
+			pairs[i].Connections = w.MaxConnections
+		}
+	}
+	for excess > 0 {
+		placed := false
+		order := dist.SampleWithoutReplacement(rng, len(pairs), len(pairs))
+		for _, i := range order {
+			if excess == 0 {
+				break
+			}
+			if pairs[i].Connections < w.MaxConnections {
+				pairs[i].Connections++
+				excess--
+				placed = true
+			}
+		}
+		if !placed {
+			break // every pair is at cap; drop the excess
+		}
+	}
+}
+
+// TotalConnections sums the assigned connection counts.
+func TotalConnections(pairs []Pair) int {
+	total := 0
+	for _, p := range pairs {
+		total += p.Connections
+	}
+	return total
+}

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"sort"
+	"sync"
+
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/game"
+	"p2panon/internal/overlay"
+	"p2panon/internal/quality"
+)
+
+// Topology is the static neighbor map the live routers consult. The
+// concurrent runtime snapshots the overlay once; churn during a live run
+// is modelled by removing peers from the snapshot between batches.
+type Topology map[overlay.NodeID][]overlay.NodeID
+
+// SnapshotTopology captures the current online overlay into a Topology.
+func SnapshotTopology(net *overlay.Network) Topology {
+	topo := make(Topology)
+	for _, id := range net.OnlineIDs() {
+		var nbs []overlay.NodeID
+		for _, v := range net.Node(id).Neighbors {
+			if net.Online(v) {
+				nbs = append(nbs, v)
+			}
+		}
+		topo[id] = nbs
+	}
+	return topo
+}
+
+// candidatesOf filters a peer's neighbors like core does: drop the
+// predecessor, the initiator and the responder (delivery is the explicit
+// fallback, and routing back through I would expose it for nothing).
+func (t Topology) candidatesOf(self, pred, initiator, responder overlay.NodeID) []overlay.NodeID {
+	var out []overlay.NodeID
+	for _, v := range t[self] {
+		if v == pred || v == initiator || v == responder || v == self {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// RandomRouter forwards to a uniformly random candidate; with none it
+// delivers. Safe for concurrent use.
+type RandomRouter struct {
+	mu   sync.Mutex
+	topo Topology
+	rng  *dist.Source
+}
+
+// NewRandomRouter builds a random router over a topology snapshot.
+func NewRandomRouter(topo Topology, rng *dist.Source) *RandomRouter {
+	return &RandomRouter{topo: topo, rng: rng}
+}
+
+// NextHop implements Router.
+func (r *RandomRouter) NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cands := r.topo.candidatesOf(self, pred, initiator, responder)
+	if len(cands) == 0 {
+		return overlay.None, true
+	}
+	return dist.Choice(r.rng, cands), false
+}
+
+// UtilityRouter implements Utility Model I over the live runtime: per-peer
+// per-batch history (selectivity) plus static availability scores, scored
+// with the configured weights. Safe for concurrent use.
+type UtilityRouter struct {
+	mu    sync.Mutex
+	topo  Topology
+	w     quality.Weights
+	c     core.Contract
+	avail map[overlay.NodeID]float64
+	// hist[batch][edge] counts connections that used the edge; conns
+	// tracks per-batch connection counts for the selectivity denominator.
+	hist  map[int]map[[2]overlay.NodeID]map[int]struct{}
+	conns map[int]map[int]struct{}
+}
+
+// NewUtilityRouter builds a Model-I router. avail maps node → availability
+// estimate in [0, 1] (e.g. from probe snapshots before going live).
+func NewUtilityRouter(topo Topology, w quality.Weights, c core.Contract, avail map[overlay.NodeID]float64) *UtilityRouter {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	return &UtilityRouter{
+		topo:  topo,
+		w:     w,
+		c:     c,
+		avail: avail,
+		hist:  make(map[int]map[[2]overlay.NodeID]map[int]struct{}),
+		conns: make(map[int]map[int]struct{}),
+	}
+}
+
+// NextHop implements Router: maximise P_f + q·P_r (costs are uniform in
+// the live demo, so they do not affect the argmax), ties to higher q then
+// lower ID.
+func (r *UtilityRouter) NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cands := r.topo.candidatesOf(self, pred, initiator, responder)
+	if len(cands) == 0 {
+		return overlay.None, true
+	}
+	k := len(r.conns[batch]) + 1
+	type scored struct {
+		id overlay.NodeID
+		q  float64
+	}
+	best := scored{id: overlay.None, q: -1}
+	ids := append([]overlay.NodeID(nil), cands...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		sigma := r.selectivity(batch, self, v, k)
+		q := r.w.Edge(sigma, r.avail[v])
+		if q > best.q {
+			best = scored{id: v, q: q}
+		}
+	}
+	r.record(batch, conn, self, best.id)
+	return best.id, false
+}
+
+func (r *UtilityRouter) selectivity(batch int, from, to overlay.NodeID, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	uses := len(r.hist[batch][[2]overlay.NodeID{from, to}])
+	sigma := float64(uses) / float64(k-1)
+	if sigma > 1 {
+		sigma = 1
+	}
+	return sigma
+}
+
+func (r *UtilityRouter) record(batch, conn int, from, to overlay.NodeID) {
+	edges, ok := r.hist[batch]
+	if !ok {
+		edges = make(map[[2]overlay.NodeID]map[int]struct{})
+		r.hist[batch] = edges
+	}
+	e := [2]overlay.NodeID{from, to}
+	if edges[e] == nil {
+		edges[e] = make(map[int]struct{})
+	}
+	edges[e][conn] = struct{}{}
+	if r.conns[batch] == nil {
+		r.conns[batch] = make(map[int]struct{})
+	}
+	r.conns[batch][conn] = struct{}{}
+}
+
+// UtilityIIRouter implements Utility Model II over the live runtime: at
+// each hop it solves the bounded path game from itself to the responder
+// over the topology snapshot — edge qualities from the same per-batch
+// selectivity and static availability the Model-I router uses — and plays
+// the SPNE prescription. The solved table is cached per (batch, conn)
+// since qualities are stable within a connection. Safe for concurrent use.
+type UtilityIIRouter struct {
+	*UtilityRouter
+	nodes int // vertex-space size for the path game (max node id + 1)
+
+	cacheMu sync.Mutex
+	cache   map[[2]int]*spneCacheEntry
+}
+
+type spneCacheEntry struct {
+	responder overlay.NodeID
+	table     [][]game.Decision
+	budget    int
+}
+
+// NewUtilityIIRouter builds a Model-II router over the topology snapshot.
+func NewUtilityIIRouter(topo Topology, w quality.Weights, c core.Contract, avail map[overlay.NodeID]float64) *UtilityIIRouter {
+	maxID := overlay.NodeID(0)
+	for id, nbs := range topo {
+		if id > maxID {
+			maxID = id
+		}
+		for _, v := range nbs {
+			if v > maxID {
+				maxID = v
+			}
+		}
+	}
+	return &UtilityIIRouter{
+		UtilityRouter: NewUtilityRouter(topo, w, c, avail),
+		nodes:         int(maxID) + 1,
+		cache:         make(map[[2]int]*spneCacheEntry),
+	}
+}
+
+// NextHop implements Router via SPNE play.
+func (r *UtilityIIRouter) NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
+	entry := r.solve(initiator, responder, batch, conn, remaining)
+	if remaining > entry.budget {
+		remaining = entry.budget
+	}
+	d := entry.table[remaining][self]
+	if d.Next < 0 || overlay.NodeID(d.Next) == pred {
+		// No feasible continuation, or an immediate return (the table is
+		// computed over walks): fall back to the local Model-I rule.
+		return r.UtilityRouter.NextHop(self, pred, initiator, responder, batch, conn, remaining)
+	}
+	next := overlay.NodeID(d.Next)
+	if next == responder {
+		return overlay.None, true
+	}
+	r.mu.Lock()
+	r.record(batch, conn, self, next)
+	r.mu.Unlock()
+	return next, false
+}
+
+// solve returns (building if needed) the SPNE table for this connection.
+func (r *UtilityIIRouter) solve(initiator, responder overlay.NodeID, batch, conn, remaining int) *spneCacheEntry {
+	key := [2]int{batch, conn}
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if e, ok := r.cache[key]; ok && e.responder == responder && e.budget >= remaining {
+		return e
+	}
+	budget := remaining
+	g := &game.PathGame{
+		Nodes:     r.nodes,
+		Responder: int(responder),
+		EdgeQuality: func(i, j int) float64 {
+			return r.liveEdgeQuality(overlay.NodeID(i), overlay.NodeID(j), initiator, responder, batch)
+		},
+		Pf:      r.c.Pf,
+		Pr:      r.c.Pr,
+		MaxHops: budget,
+	}
+	e := &spneCacheEntry{responder: responder, table: g.Solve(), budget: budget}
+	r.cache[key] = e
+	return e
+}
+
+// liveEdgeQuality scores (i, j) for the stage game: delivery edges have
+// quality 1; overlay edges score w_s·σ + w_a·α; everything else is absent.
+func (r *UtilityIIRouter) liveEdgeQuality(i, j, initiator, responder overlay.NodeID, batch int) float64 {
+	if i == j || i == responder {
+		return -1
+	}
+	if _, ok := r.topo[i]; !ok {
+		return -1
+	}
+	if j == responder {
+		return 1
+	}
+	if j == initiator {
+		return -1
+	}
+	found := false
+	for _, v := range r.topo[i] {
+		if v == j {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return -1
+	}
+	r.mu.Lock()
+	k := len(r.conns[batch]) + 1
+	sigma := r.selectivity(batch, i, j, k)
+	r.mu.Unlock()
+	return r.w.Edge(sigma, r.avail[j])
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p2panon/internal/onion"
+	"p2panon/internal/overlay"
+)
+
+// SecureOutcome is one connection's result under the §5 protocol: the
+// realised path plus the sealed per-hop records that travelled back with
+// the confirmation, ready for initiator-side validation.
+type SecureOutcome struct {
+	Path    []overlay.NodeID
+	Records []onion.PathRecord
+}
+
+// ConnectSecure runs one connection under a signed contract: every
+// forwarder verifies the contract before doing work and seals a path
+// record to the contract's batch key; the confirmation carries the records
+// back to the initiator. The caller (holding the batch private key)
+// validates with onion.BatchKey.RecreatePath.
+func (n *Network) ConnectSecure(initiator, responder overlay.NodeID, contract *onion.SignedContract, conn, budget int, timeout time.Duration) (*SecureOutcome, error) {
+	if contract == nil {
+		return nil, errors.New("transport: nil contract")
+	}
+	if !contract.Verify() {
+		return nil, errors.New("transport: contract signature invalid")
+	}
+	if _, ok := n.peers[initiator]; !ok {
+		return nil, fmt.Errorf("transport: unknown initiator %d", initiator)
+	}
+	if _, ok := n.peers[responder]; !ok {
+		return nil, fmt.Errorf("transport: unknown responder %d", responder)
+	}
+	if initiator == responder {
+		return nil, errors.New("transport: initiator == responder")
+	}
+	done := make(chan secureDone, 1)
+	n.send(initiator, message{
+		kind:       msgForward,
+		batch:      int(contract.BatchID),
+		conn:       conn,
+		from:       overlay.None,
+		initiator:  initiator,
+		responder:  responder,
+		remaining:  budget,
+		contract:   contract,
+		secureDone: done,
+	})
+	select {
+	case res := <-done:
+		if res.err != nil {
+			return nil, res.err
+		}
+		return &SecureOutcome{Path: res.path, Records: res.records}, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("transport: secure connection %d timed out after %v", conn, timeout)
+	}
+}
+
+type secureDone struct {
+	path    []overlay.NodeID
+	records []onion.PathRecord
+	err     error
+}
+
+// RunSecureBatch runs k secure connections, validates every one with the
+// batch key, and aggregates. A validation failure aborts the batch — a
+// deployment would withhold payment instead.
+func (n *Network) RunSecureBatch(initiator, responder overlay.NodeID, contract *onion.SignedContract, bk *onion.BatchKey, k, budget int, timeout time.Duration) (*BatchOutcome, error) {
+	if bk == nil {
+		return nil, errors.New("transport: nil batch key")
+	}
+	out := &BatchOutcome{
+		Forwards: make(map[overlay.NodeID]int),
+		Set:      make(map[overlay.NodeID]struct{}),
+	}
+	for conn := 1; conn <= k; conn++ {
+		res, err := n.ConnectSecure(initiator, responder, contract, conn, budget, timeout)
+		if err != nil {
+			return out, err
+		}
+		validated, err := bk.RecreatePath(contract, uint64(conn), initiator, responder, res.Records)
+		if err != nil {
+			return out, fmt.Errorf("transport: connection %d failed validation: %w", conn, err)
+		}
+		if len(validated) != len(res.Path) {
+			return out, fmt.Errorf("transport: connection %d: validated path length %d != observed %d",
+				conn, len(validated), len(res.Path))
+		}
+		out.Paths = append(out.Paths, validated)
+		for _, f := range validated[1 : len(validated)-1] {
+			if f == initiator {
+				continue
+			}
+			out.Forwards[f]++
+			out.Set[f] = struct{}{}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2panon/internal/core"
+	"p2panon/internal/onion"
+	"p2panon/internal/quality"
+)
+
+func secureSetup(t *testing.T, seed uint64) (*Network, *onion.SignedContract, *onion.BatchKey, Topology) {
+	t.Helper()
+	topo := buildTopo(25, 6, seed)
+	r := NewUtilityRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 2), uniformAvail(25))
+	n := startNetwork(t, topo, r)
+	bk, err := onion.NewBatchKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contract, _, err := onion.NewSignedContract(9, 75, 150, bk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, contract, bk, topo
+}
+
+func TestConnectSecureRecordsValidate(t *testing.T) {
+	n, contract, bk, _ := secureSetup(t, 31)
+	res, err := n.ConnectSecure(0, 24, contract, 1, 4, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(res.Path)-2 {
+		t.Fatalf("records %d for path %v", len(res.Records), res.Path)
+	}
+	validated, err := bk.RecreatePath(contract, 1, 0, 24, res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(validated) != len(res.Path) {
+		t.Fatalf("validated %v vs observed %v", validated, res.Path)
+	}
+	for i := range validated {
+		if validated[i] != res.Path[i] {
+			t.Fatalf("validated %v vs observed %v", validated, res.Path)
+		}
+	}
+}
+
+func TestRunSecureBatchEndToEnd(t *testing.T) {
+	n, contract, bk, _ := secureSetup(t, 32)
+	out, err := n.RunSecureBatch(0, 24, contract, bk, 10, 4, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Paths) != 10 {
+		t.Fatalf("paths %d", len(out.Paths))
+	}
+	if out.SetSize() == 0 {
+		t.Fatal("no forwarders")
+	}
+	// Forward counts must equal total interior slots across validated
+	// paths (the payment basis).
+	slots := 0
+	for _, p := range out.Paths {
+		slots += len(p) - 2
+	}
+	total := 0
+	for _, m := range out.Forwards {
+		total += m
+	}
+	if total != slots {
+		t.Fatalf("forward counts %d != interior slots %d", total, slots)
+	}
+}
+
+func TestConnectSecureRejectsTamperedContract(t *testing.T) {
+	n, contract, _, _ := secureSetup(t, 33)
+	bad := *contract
+	bad.Pf = 9999 // breaks the signature
+	if _, err := n.ConnectSecure(0, 24, &bad, 1, 4, time.Second); err == nil {
+		t.Fatal("tampered contract accepted")
+	} else if !strings.Contains(err.Error(), "signature") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := n.ConnectSecure(0, 24, nil, 1, 4, time.Second); err == nil {
+		t.Fatal("nil contract accepted")
+	}
+}
+
+func TestConnectSecureWrongBatchKeyFailsValidation(t *testing.T) {
+	n, contract, _, _ := secureSetup(t, 34)
+	other, err := onion.NewBatchKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSecureBatch(0, 24, contract, other, 2, 4, 5*time.Second); err == nil {
+		t.Fatal("wrong batch key validated records")
+	}
+}
+
+func TestConnectSecureValidationArguments(t *testing.T) {
+	n, contract, bk, _ := secureSetup(t, 35)
+	if _, err := n.ConnectSecure(0, 0, contract, 1, 4, time.Second); err == nil {
+		t.Fatal("I == R accepted")
+	}
+	if _, err := n.ConnectSecure(99, 24, contract, 1, 4, time.Second); err == nil {
+		t.Fatal("unknown initiator accepted")
+	}
+	if _, err := n.RunSecureBatch(0, 24, contract, nil, 1, 4, time.Second); err == nil {
+		t.Fatal("nil batch key accepted")
+	}
+	_ = bk
+}
+
+func TestSecureAndPlainInterleave(t *testing.T) {
+	// Plain and secure connections share the same network and peers.
+	n, contract, bk, _ := secureSetup(t, 36)
+	if _, err := n.Connect(0, 24, 9, 1, 4, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.ConnectSecure(0, 24, contract, 2, 4, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bk.RecreatePath(contract, 2, 0, 24, res.Records); err != nil {
+		t.Fatal(err)
+	}
+}

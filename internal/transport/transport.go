@@ -1,0 +1,352 @@
+// Package transport provides a concurrent, message-passing runtime for the
+// forwarding overlay: one goroutine per peer, channels as links, and an
+// optional per-link latency model. It is the "live" counterpart of the
+// deterministic discrete-event simulator — the same contracts, utility
+// routing and payoff bookkeeping, but with peers that really run
+// concurrently and communicate only by messages, as the paper's deployed
+// system would.
+//
+// The forwarding protocol mirrors §2.2: a FORWARD message carries the
+// contract (P_f, P_r) and the hop budget; each holder picks a successor
+// with its Router and forwards; the responder answers with a CONFIRM that
+// retraces the reverse path collecting per-hop path information, which the
+// initiator uses to validate the path and account the batch.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2panon/internal/core"
+	"p2panon/internal/onion"
+	"p2panon/internal/overlay"
+)
+
+// Router is a peer's routing brain: given that the peer holds a payload
+// for the given batch/connection with `remaining` hop budget, it returns
+// the next hop, or deliver=true to hand the payload to the responder
+// directly.
+type Router interface {
+	NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (next overlay.NodeID, deliver bool)
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool)
+
+// NextHop calls f.
+func (f RouterFunc) NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
+	return f(self, pred, initiator, responder, batch, conn, remaining)
+}
+
+// message kinds.
+type msgKind uint8
+
+const (
+	msgForward msgKind = iota
+	msgConfirm
+)
+
+// message is what travels over links.
+type message struct {
+	kind      msgKind
+	batch     int
+	conn      int
+	from      overlay.NodeID
+	initiator overlay.NodeID
+	responder overlay.NodeID
+	remaining int
+	// path accumulates the node sequence; on the confirm leg it is the
+	// complete path and `hop` counts down the reverse traversal.
+	path []overlay.NodeID
+	hop  int
+	done chan<- []overlay.NodeID // completion signal, owned by initiator
+
+	// Secure-protocol fields (§5): a signed contract that forwarders
+	// verify before working, the sealed per-hop records they contribute,
+	// and the secure completion channel.
+	contract   *onion.SignedContract
+	records    []onion.PathRecord
+	secureDone chan<- secureDone
+}
+
+// Peer is one concurrently running overlay member.
+type Peer struct {
+	ID     overlay.NodeID
+	router Router
+	inbox  chan message
+	leave  chan struct{} // closed by RemovePeer
+	net    *Network
+
+	mu       sync.Mutex
+	forwards map[int]int // batch -> forwarding instances by this peer
+}
+
+// Forwards returns this peer's forwarding-instance count for a batch.
+func (p *Peer) Forwards(batch int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forwards[batch]
+}
+
+// Network is the concurrent runtime: a set of peers plus the link model.
+type Network struct {
+	peers   map[overlay.NodeID]*Peer
+	latency time.Duration
+	wg      sync.WaitGroup
+	quit    chan struct{}
+	once    sync.Once
+}
+
+// NewNetwork creates a runtime with the given per-link latency (0 for
+// as-fast-as-possible).
+func NewNetwork(latency time.Duration) *Network {
+	return &Network{
+		peers:   make(map[overlay.NodeID]*Peer),
+		latency: latency,
+		quit:    make(chan struct{}),
+	}
+}
+
+// AddPeer spawns a peer goroutine with the given router. Adding the same
+// ID twice is an error.
+func (n *Network) AddPeer(id overlay.NodeID, r Router) (*Peer, error) {
+	if r == nil {
+		return nil, errors.New("transport: nil router")
+	}
+	if _, dup := n.peers[id]; dup {
+		return nil, fmt.Errorf("transport: duplicate peer %d", id)
+	}
+	p := &Peer{
+		ID:       id,
+		router:   r,
+		inbox:    make(chan message, 64),
+		leave:    make(chan struct{}),
+		net:      n,
+		forwards: make(map[int]int),
+	}
+	n.peers[id] = p
+	n.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+// Peer returns the peer with the given ID, or nil.
+func (n *Network) Peer(id overlay.NodeID) *Peer { return n.peers[id] }
+
+// RemovePeer models live churn: the peer leaves, its goroutine exits, and
+// subsequent sends to it are dropped (connections routed through it will
+// time out, exactly like a real mid-path departure). Removing an unknown
+// peer is a no-op. RemovePeer must not be called concurrently with
+// AddPeer or Connect for the same ID.
+func (n *Network) RemovePeer(id overlay.NodeID) {
+	p, ok := n.peers[id]
+	if !ok {
+		return
+	}
+	delete(n.peers, id)
+	close(p.leave)
+}
+
+// Close shuts every peer down and waits for their goroutines to exit.
+func (n *Network) Close() {
+	n.once.Do(func() { close(n.quit) })
+	n.wg.Wait()
+}
+
+// send delivers msg to the peer `to` after the link latency. Sends after
+// Close are dropped.
+func (n *Network) send(to overlay.NodeID, msg message) {
+	p, ok := n.peers[to]
+	if !ok {
+		return // unknown peer: drop, like a dead link
+	}
+	deliver := func() {
+		select {
+		case p.inbox <- msg:
+		case <-n.quit:
+		}
+	}
+	if n.latency > 0 {
+		time.AfterFunc(n.latency, deliver)
+		return
+	}
+	deliver()
+}
+
+// loop is the peer's goroutine body.
+func (p *Peer) loop() {
+	defer p.net.wg.Done()
+	for {
+		select {
+		case <-p.net.quit:
+			return
+		case <-p.leave:
+			return
+		case msg := <-p.inbox:
+			p.handle(msg)
+		}
+	}
+}
+
+func (p *Peer) handle(msg message) {
+	switch msg.kind {
+	case msgForward:
+		p.handleForward(msg)
+	case msgConfirm:
+		p.handleConfirm(msg)
+	}
+}
+
+// handleForward is one stage of path formation.
+func (p *Peer) handleForward(msg message) {
+	msg.path = append(msg.path, p.ID)
+	if p.ID == msg.responder {
+		// Payload arrived: send CONFIRM back along the reverse path.
+		confirm := message{
+			kind:       msgConfirm,
+			batch:      msg.batch,
+			conn:       msg.conn,
+			initiator:  msg.initiator,
+			responder:  msg.responder,
+			path:       msg.path,
+			hop:        len(msg.path) - 2, // index of our predecessor
+			done:       msg.done,
+			contract:   msg.contract,
+			records:    msg.records,
+			secureDone: msg.secureDone,
+		}
+		p.net.send(msg.path[confirm.hop], confirm)
+		return
+	}
+	// Secure protocol: verify the contract before doing any work (a
+	// rational forwarder will not forward for an unverifiable commitment).
+	if msg.contract != nil && !msg.contract.Verify() {
+		if msg.secureDone != nil && p.ID == msg.initiator {
+			msg.secureDone <- secureDone{err: errors.New("transport: contract failed verification")}
+		}
+		return // drop: no valid commitment, no service
+	}
+	// Interior forwarding instance (the initiator does not count).
+	if p.ID != msg.initiator {
+		p.mu.Lock()
+		p.forwards[msg.batch]++
+		p.mu.Unlock()
+	}
+	var next overlay.NodeID
+	if msg.remaining <= 0 {
+		next = msg.responder
+	} else {
+		n, deliver := p.router.NextHop(p.ID, msg.from, msg.initiator, msg.responder, msg.batch, msg.conn, msg.remaining)
+		if deliver {
+			next = msg.responder
+		} else {
+			next = n
+		}
+	}
+	// Secure protocol: seal this hop's record to the batch key. The hop
+	// index is this forwarder's position (interior nodes so far).
+	if msg.contract != nil && p.ID != msg.initiator {
+		rec, err := onion.NewPathRecord(msg.contract, uint64(msg.conn), len(msg.path)-1, p.ID, msg.from, next)
+		if err == nil {
+			msg.records = append(msg.records, rec)
+		}
+	}
+	out := msg
+	out.from = p.ID
+	out.remaining = msg.remaining - 1
+	p.net.send(next, out)
+}
+
+// handleConfirm retraces the reverse path back to the initiator.
+func (p *Peer) handleConfirm(msg message) {
+	if msg.hop <= 0 {
+		// Reached the initiator: the connection is complete.
+		if msg.done != nil {
+			msg.done <- msg.path
+		}
+		if msg.secureDone != nil {
+			msg.secureDone <- secureDone{path: msg.path, records: msg.records}
+		}
+		return
+	}
+	msg.hop--
+	p.net.send(msg.path[msg.hop], msg)
+}
+
+// Connect runs one connection from initiator to responder with the given
+// hop budget and returns the realised path (I … R). It blocks until the
+// confirm returns or the timeout expires.
+func (n *Network) Connect(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration) ([]overlay.NodeID, error) {
+	if _, ok := n.peers[initiator]; !ok {
+		return nil, fmt.Errorf("transport: unknown initiator %d", initiator)
+	}
+	if _, ok := n.peers[responder]; !ok {
+		return nil, fmt.Errorf("transport: unknown responder %d", responder)
+	}
+	if initiator == responder {
+		return nil, errors.New("transport: initiator == responder")
+	}
+	done := make(chan []overlay.NodeID, 1)
+	n.send(initiator, message{
+		kind:      msgForward,
+		batch:     batch,
+		conn:      conn,
+		from:      overlay.None,
+		initiator: initiator,
+		responder: responder,
+		remaining: budget,
+		done:      done,
+	})
+	select {
+	case path := <-done:
+		return path, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("transport: connection %d/%d timed out after %v", batch, conn, timeout)
+	}
+}
+
+// RunBatch runs k sequential connections for a batch and aggregates the
+// outcome: the union forwarder set, per-forwarder instance counts, and all
+// realised paths.
+type BatchOutcome struct {
+	Paths    [][]overlay.NodeID
+	Forwards map[overlay.NodeID]int
+	Set      map[overlay.NodeID]struct{}
+}
+
+// SetSize returns ‖π‖.
+func (o *BatchOutcome) SetSize() int { return len(o.Set) }
+
+// Payoff returns a forwarder's income under contract c: m·P_f + P_r/‖π‖.
+func (o *BatchOutcome) Payoff(id overlay.NodeID, c core.Contract) float64 {
+	if _, member := o.Set[id]; !member {
+		return 0
+	}
+	return float64(o.Forwards[id])*c.Pf + c.Pr/float64(len(o.Set))
+}
+
+// RunBatch executes k connections sequentially (recurring connections of
+// one (I, R) pair are inherently ordered) and aggregates the outcome.
+func (n *Network) RunBatch(initiator, responder overlay.NodeID, batch, k, budget int, timeout time.Duration) (*BatchOutcome, error) {
+	out := &BatchOutcome{
+		Forwards: make(map[overlay.NodeID]int),
+		Set:      make(map[overlay.NodeID]struct{}),
+	}
+	for conn := 1; conn <= k; conn++ {
+		path, err := n.Connect(initiator, responder, batch, conn, budget, timeout)
+		if err != nil {
+			return out, err
+		}
+		out.Paths = append(out.Paths, path)
+		for _, f := range path[1 : len(path)-1] {
+			if f == initiator {
+				continue
+			}
+			out.Forwards[f]++
+			out.Set[f] = struct{}{}
+		}
+	}
+	return out, nil
+}

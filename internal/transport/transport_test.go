@@ -1,0 +1,341 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/quality"
+)
+
+// buildTopo creates a dense random topology over n peers.
+func buildTopo(n, degree int, seed uint64) Topology {
+	rng := dist.NewSource(seed)
+	topo := make(Topology)
+	for i := 0; i < n; i++ {
+		idx := dist.SampleWithoutReplacement(rng, n-1, degree)
+		var nbs []overlay.NodeID
+		for _, j := range idx {
+			if j >= i {
+				j++
+			}
+			nbs = append(nbs, overlay.NodeID(j))
+		}
+		topo[overlay.NodeID(i)] = nbs
+	}
+	return topo
+}
+
+func uniformAvail(n int) map[overlay.NodeID]float64 {
+	m := make(map[overlay.NodeID]float64, n)
+	for i := 0; i < n; i++ {
+		m[overlay.NodeID(i)] = 1.0 / float64(n)
+	}
+	return m
+}
+
+func startNetwork(t *testing.T, topo Topology, r Router) *Network {
+	t.Helper()
+	n := NewNetwork(0)
+	for id := range topo {
+		if _, err := n.AddPeer(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestConnectCompletesEndToEnd(t *testing.T) {
+	topo := buildTopo(20, 5, 1)
+	r := NewRandomRouter(topo, dist.NewSource(2))
+	n := startNetwork(t, topo, r)
+	path, err := n.Connect(0, 19, 1, 1, 4, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 0 || path[len(path)-1] != 19 {
+		t.Fatalf("path %v", path)
+	}
+	if len(path) < 2 || len(path) > 7 {
+		t.Fatalf("path length %d", len(path))
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	topo := buildTopo(5, 2, 3)
+	r := NewRandomRouter(topo, dist.NewSource(4))
+	n := startNetwork(t, topo, r)
+	if _, err := n.Connect(0, 0, 1, 1, 3, time.Second); err == nil {
+		t.Fatal("I == R accepted")
+	}
+	if _, err := n.Connect(99, 0, 1, 1, 3, time.Second); err == nil {
+		t.Fatal("unknown initiator accepted")
+	}
+	if _, err := n.Connect(0, 99, 1, 1, 3, time.Second); err == nil {
+		t.Fatal("unknown responder accepted")
+	}
+}
+
+func TestAddPeerValidation(t *testing.T) {
+	n := NewNetwork(0)
+	defer n.Close()
+	r := NewRandomRouter(buildTopo(3, 1, 5), dist.NewSource(6))
+	if _, err := n.AddPeer(1, nil); err == nil {
+		t.Fatal("nil router accepted")
+	}
+	if _, err := n.AddPeer(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddPeer(1, r); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if n.Peer(1) == nil || n.Peer(42) != nil {
+		t.Fatal("Peer lookup wrong")
+	}
+}
+
+func TestHopBudgetForcesDelivery(t *testing.T) {
+	topo := buildTopo(20, 5, 7)
+	r := NewRandomRouter(topo, dist.NewSource(8))
+	n := startNetwork(t, topo, r)
+	for i := 0; i < 20; i++ {
+		path, err := n.Connect(0, 19, 1, i+1, 3, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// budget 3 → at most 3 forward decisions + delivery: ≤ 5 nodes...
+		// precisely: initiator consumes one decision, so ≤ budget+2 nodes.
+		if len(path) > 5 {
+			t.Fatalf("path %v exceeds budget", path)
+		}
+	}
+}
+
+func TestForwardCountsTracked(t *testing.T) {
+	// Line topology 0→1→2→3: the only possible route.
+	topo := Topology{
+		0: {1},
+		1: {2},
+		2: {3},
+		3: {},
+	}
+	r := NewRandomRouter(topo, dist.NewSource(9))
+	n := startNetwork(t, topo, r)
+	out, err := n.RunBatch(0, 3, 7, 5, 10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SetSize() != 2 {
+		t.Fatalf("‖π‖ = %d, want 2", out.SetSize())
+	}
+	if out.Forwards[1] != 5 || out.Forwards[2] != 5 {
+		t.Fatalf("forwards %v", out.Forwards)
+	}
+	// Peers' own accounting must agree.
+	if got := n.Peer(1).Forwards(7); got != 5 {
+		t.Fatalf("peer 1 counted %d", got)
+	}
+	if got := n.Peer(0).Forwards(7); got != 0 {
+		t.Fatalf("initiator counted %d forwards", got)
+	}
+}
+
+func TestBatchPayoffRule(t *testing.T) {
+	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
+	r := NewRandomRouter(topo, dist.NewSource(10))
+	n := startNetwork(t, topo, r)
+	out, err := n.RunBatch(0, 3, 1, 4, 10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.Contract{Pf: 10, Pr: 100}
+	// Each of peers 1,2 forwarded 4 times; share = 50.
+	if got := out.Payoff(1, c); got != 4*10+50 {
+		t.Fatalf("payoff(1) = %g", got)
+	}
+	if got := out.Payoff(9, c); got != 0 {
+		t.Fatalf("non-member payoff %g", got)
+	}
+}
+
+func TestUtilityRouterShrinksForwarderSet(t *testing.T) {
+	topo := buildTopo(30, 6, 11)
+	avail := uniformAvail(30)
+	c := core.ContractWithTau(75, 2)
+
+	ur := NewUtilityRouter(topo, quality.DefaultWeights(), c, avail)
+	nu := startNetwork(t, topo, ur)
+	uOut, err := nu.RunBatch(0, 29, 1, 20, 5, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := NewRandomRouter(topo, dist.NewSource(12))
+	nr := startNetwork(t, topo, rr)
+	rOut, err := nr.RunBatch(0, 29, 1, 20, 5, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if uOut.SetSize() >= rOut.SetSize() {
+		t.Fatalf("live utility ‖π‖=%d not below random ‖π‖=%d", uOut.SetSize(), rOut.SetSize())
+	}
+}
+
+func TestUtilityRouterStabilisesPaths(t *testing.T) {
+	topo := buildTopo(30, 6, 13)
+	ur := NewUtilityRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 4), uniformAvail(30))
+	n := startNetwork(t, topo, ur)
+	out, err := n.RunBatch(0, 29, 1, 10, 5, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After warm-up, consecutive paths should repeat exactly.
+	last := out.Paths[len(out.Paths)-1]
+	prev := out.Paths[len(out.Paths)-2]
+	if len(last) != len(prev) {
+		t.Fatalf("steady-state paths differ: %v vs %v", prev, last)
+	}
+	for i := range last {
+		if last[i] != prev[i] {
+			t.Fatalf("steady-state paths differ: %v vs %v", prev, last)
+		}
+	}
+}
+
+func TestLatencyDelivery(t *testing.T) {
+	topo := Topology{0: {1}, 1: {}, 2: {}}
+	n := NewNetwork(100 * time.Microsecond)
+	defer n.Close()
+	r := NewRandomRouter(topo, dist.NewSource(14))
+	for id := range topo {
+		if _, err := n.AddPeer(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	path, err := n.Connect(0, 2, 1, 1, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("path %v", path)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Microsecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestCloseIdempotentAndStopsPeers(t *testing.T) {
+	topo := buildTopo(5, 2, 15)
+	r := NewRandomRouter(topo, dist.NewSource(16))
+	n := NewNetwork(0)
+	for id := range topo {
+		n.AddPeer(id, r)
+	}
+	n.Close()
+	n.Close() // must not panic
+}
+
+func TestConcurrentBatches(t *testing.T) {
+	// Multiple initiators run batches concurrently over one network; the
+	// runtime must stay consistent (run with -race).
+	topo := buildTopo(30, 6, 17)
+	ur := NewUtilityRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 2), uniformAvail(30))
+	n := startNetwork(t, topo, ur)
+	const workers = 4
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			_, err := n.RunBatch(overlay.NodeID(w), overlay.NodeID(29-w), 100+w, 10, 5, 10*time.Second)
+			errs <- err
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRemovePeerDropsTraffic(t *testing.T) {
+	// Line topology: removing the middle relay makes connections time out
+	// like a real mid-path departure.
+	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
+	r := NewRandomRouter(topo, dist.NewSource(18))
+	n := startNetwork(t, topo, r)
+	if _, err := n.Connect(0, 3, 1, 1, 10, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n.RemovePeer(2)
+	if n.Peer(2) != nil {
+		t.Fatal("removed peer still listed")
+	}
+	if _, err := n.Connect(0, 3, 1, 2, 10, 200*time.Millisecond); err == nil {
+		t.Fatal("connection through removed peer succeeded")
+	}
+	n.RemovePeer(2)  // idempotent
+	n.RemovePeer(99) // unknown: no-op
+}
+
+func TestUtilityIIRouterReachesResponder(t *testing.T) {
+	topo := buildTopo(25, 6, 21)
+	r := NewUtilityIIRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 2), uniformAvail(25))
+	n := startNetwork(t, topo, r)
+	out, err := n.RunBatch(0, 24, 1, 15, 5, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Paths) != 15 {
+		t.Fatalf("paths %d", len(out.Paths))
+	}
+	for _, p := range out.Paths {
+		if p[0] != 0 || p[len(p)-1] != 24 {
+			t.Fatalf("bad path %v", p)
+		}
+	}
+}
+
+func TestUtilityIIRouterShrinksForwarderSet(t *testing.T) {
+	topo := buildTopo(30, 6, 22)
+	avail := uniformAvail(30)
+	c := core.ContractWithTau(75, 2)
+
+	u2 := NewUtilityIIRouter(topo, quality.DefaultWeights(), c, avail)
+	n2 := startNetwork(t, topo, u2)
+	out2, err := n2.RunBatch(0, 29, 1, 20, 5, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := NewRandomRouter(topo, dist.NewSource(23))
+	nr := startNetwork(t, topo, rr)
+	outR, err := nr.RunBatch(0, 29, 1, 20, 5, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.SetSize() >= outR.SetSize() {
+		t.Fatalf("live UM-II ‖π‖=%d not below random %d", out2.SetSize(), outR.SetSize())
+	}
+}
+
+func TestUtilityIIRouterConcurrentBatches(t *testing.T) {
+	topo := buildTopo(25, 6, 24)
+	r := NewUtilityIIRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 2), uniformAvail(25))
+	n := startNetwork(t, topo, r)
+	errs := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		go func(w int) {
+			_, err := n.RunBatch(overlay.NodeID(w), overlay.NodeID(24-w), 50+w, 8, 4, 10*time.Second)
+			errs <- err
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
