@@ -6,6 +6,13 @@
 //
 //	anonsim [-n 40] [-d 5] [-f 0.1] [-strategy utility-I] [-tau 2]
 //	        [-pairs 100] [-tx 2000] [-maxconn 20] [-churn] [-seed 1] [-v]
+//	        [-live] [-live-removals 2]
+//
+// With -live, the simulator summary is followed by a live replay: the same
+// strategy routes real connections over the goroutine-per-peer transport
+// while the busiest forwarders are removed mid-run, and the resulting
+// reformation counts and transport metrics are printed next to the
+// simulator's new-edge rate (Prop. 1's two measurements side by side).
 package main
 
 import (
@@ -34,6 +41,8 @@ func main() {
 	posAware := flag.Bool("pos", false, "position-aware selectivity (§2.3 predecessor differentiation)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-batch details")
+	live := flag.Bool("live", false, "also replay the workload on the live transport under churn")
+	liveRemovals := flag.Int("live-removals", 2, "busiest forwarders removed mid-run in the live replay")
 	flag.Parse()
 
 	var strategy core.Strategy
@@ -108,4 +117,35 @@ func main() {
 				b.Pair.Connections, b.SetSize, b.AvgLen, b.Quality, b.NewEdgeRate)
 		}
 	}
+
+	if *live {
+		runLive(strategy, *n, *d, *pairs, *tx, *maxconn, *liveRemovals, *seed,
+			stats.Mean(res.NewEdgeRates))
+	}
+}
+
+// runLive replays the workload shape on the concurrent transport with
+// mid-run removals and prints the live reformation counters alongside the
+// simulator's new-edge rate.
+func runLive(strategy core.Strategy, n, d, pairs, tx, maxconn, removals int, seed uint64, simNewEdge float64) {
+	if strategy == core.FixedPath {
+		fmt.Println("\nlive replay: fixed-path has no live router; use random/utility-I/utility-II")
+		return
+	}
+	ls := experiment.DefaultLive()
+	ls.N, ls.Degree = n, d
+	ls.Pairs, ls.Transmissions, ls.MaxConnections = pairs, tx, maxconn
+	ls.Removals = removals
+	ls.Strategy = strategy
+	ls.Seed = seed
+	out, err := experiment.RunLive(ls)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anonsim: live replay: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nlive replay (%s, %d mid-run removals %v):\n", strategy, len(out.Removed), out.Removed)
+	fmt.Printf("  connections completed:  %d (failed: %d)\n", out.Completed, out.Failed)
+	fmt.Printf("  path reformations:      %d (rate %.4f vs sim E[X] %.4f)\n",
+		out.Reformations, out.ReformationRate, simNewEdge)
+	fmt.Printf("  transport metrics:      %s\n", out.Metrics)
 }

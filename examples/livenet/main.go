@@ -1,13 +1,16 @@
 // Livenet runs the overlay as real concurrent peers: one goroutine per
 // node, channels as links with a small latency, and the same Utility
 // Model I routing logic driving next-hop choices. It runs a batch of
-// recurring connections for several (I, R) pairs concurrently and prints
-// the per-pair forwarder sets and payoffs.
+// recurring connections for several (I, R) pairs concurrently, then — in a
+// churn phase — removes the busiest forwarder mid-batch to show the
+// transport NACKing, reforming paths around the corpse and counting every
+// event in its metrics.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 	"time"
 
@@ -96,4 +99,71 @@ func main() {
 			fmt.Printf("  forwarder %2d: m=%2d, payoff %.2f\n", id, out.Forwards[id], out.Payoff(id, contract))
 		}
 	}
+
+	// Churn phase: take down the busiest forwarder while fresh batches are
+	// in flight. Its in-use paths break, the transport NACKs the
+	// initiators, and every connection reforms around the corpse — the
+	// metrics snapshot at the end shows the drops and reformations.
+	victim := busiestForwarder(results, pairs)
+	fmt.Printf("\nchurn phase: removing busiest forwarder %d mid-batch\n", victim)
+	for i, pr := range pairs {
+		wg.Add(1)
+		go func(i int, I, R overlay.NodeID) {
+			defer wg.Done()
+			results[i], errs[i] = live.RunBatch(I, R, len(pairs)+i+1, 20, 5, 10*time.Second)
+		}(i, pr[0], pr[1])
+	}
+	time.Sleep(500 * time.Microsecond)
+	live.RemovePeer(victim)
+	wg.Wait()
+
+	reformed := 0
+	for i := range pairs {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
+		}
+		reformed += results[i].Reformations
+		for _, p := range results[i].Paths {
+			for _, hop := range p {
+				if hop == victim {
+					log.Fatalf("recorded path %v crosses removed peer %d", p, victim)
+				}
+			}
+		}
+	}
+	m := live.Metrics()
+	fmt.Printf("all %d connections completed despite the departure\n", 20*len(pairs))
+	fmt.Printf("  batch reformations: %d\n", reformed)
+	fmt.Printf("  transport metrics:  %s\n", m)
+	if m.Reformations == 0 || m.Dropped == 0 {
+		log.Fatalf("expected non-zero reformation and drop counters, got %s", m)
+	}
+}
+
+// busiestForwarder returns the non-endpoint peer with the most forwarding
+// instances across the finished batches — the departure that hurts most.
+func busiestForwarder(results []*transport.BatchOutcome, pairs [][2]overlay.NodeID) overlay.NodeID {
+	endpoints := make(map[overlay.NodeID]bool)
+	for _, pr := range pairs {
+		endpoints[pr[0]], endpoints[pr[1]] = true, true
+	}
+	counts := make(map[overlay.NodeID]int)
+	for _, out := range results {
+		for id, m := range out.Forwards {
+			if !endpoints[id] {
+				counts[id] += m
+			}
+		}
+	}
+	ids := make([]overlay.NodeID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[0]
 }

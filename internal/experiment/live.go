@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/probe"
+	"p2panon/internal/quality"
+	"p2panon/internal/stats"
+	"p2panon/internal/trace"
+	"p2panon/internal/transport"
+)
+
+// LiveSetup parameterises a live (goroutine-per-peer) replay of a trace
+// workload under mid-run churn, used to measure Prop. 1's reformation
+// behaviour on the concurrent runtime rather than in the deterministic
+// simulator.
+type LiveSetup struct {
+	// N, Degree shape the overlay snapshot the live routers consult.
+	N, Degree int
+	// Pairs/Transmissions/MaxConnections are the trace workload knobs.
+	Pairs, Transmissions, MaxConnections int
+	// Budget is the per-connection hop budget; Timeout its deadline.
+	Budget  int
+	Timeout time.Duration
+	// Latency is the per-link delay of the live runtime.
+	Latency time.Duration
+	// Removals is how many of the busiest interior forwarders are
+	// removed halfway through the schedule (mid-batch departures).
+	Removals int
+	// Strategy picks the live router: core.Random, core.UtilityI or
+	// core.UtilityII.
+	Strategy core.Strategy
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultLive returns a compact live-churn study: 30 peers, 8 pairs of up
+// to 10 recurring connections, two mid-run departures.
+func DefaultLive() LiveSetup {
+	return LiveSetup{
+		N: 30, Degree: 6,
+		Pairs: 8, Transmissions: 64, MaxConnections: 10,
+		Budget:   5,
+		Timeout:  5 * time.Second,
+		Removals: 2,
+		Strategy: core.UtilityI,
+		Seed:     1,
+	}
+}
+
+// LiveOutcome is the result of one live replay.
+type LiveOutcome struct {
+	Strategy          core.Strategy
+	Completed, Failed int
+	// Reformations counts relaunched connection attempts — the live
+	// realisation of Prop. 1's path-reformation event.
+	Reformations int
+	// ReformationRate is Reformations per scheduled connection.
+	ReformationRate float64
+	// Removed lists the peers taken down mid-run.
+	Removed []overlay.NodeID
+	// Metrics is the transport's counter snapshot after the run.
+	Metrics transport.MetricsSnapshot
+	// Outcomes holds the per-pair batch outcomes.
+	Outcomes []*transport.BatchOutcome
+}
+
+// RunLive builds an overlay, snapshots it into the live concurrent
+// runtime, replays a trace workload over it, and removes the busiest
+// interior forwarders halfway through — forcing mid-path departures whose
+// reformations the transport counts.
+func RunLive(s LiveSetup) (*LiveOutcome, error) {
+	if s.N < 4 {
+		return nil, fmt.Errorf("experiment: live N %d too small", s.N)
+	}
+	rng := dist.NewSource(s.Seed)
+	net := overlay.NewNetwork(s.Degree, rng.Split())
+	for i := 0; i < s.N; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	probes := probe.NewSet(net, rng.Split(), probe.DefaultPeriod)
+	for i := 0; i < 5; i++ {
+		probes.TickAll()
+	}
+	topo := transport.SnapshotTopology(net)
+	// A node's availability score: the mean of its neighbors' estimates.
+	avail := make(map[overlay.NodeID]float64, s.N)
+	views := make(map[overlay.NodeID][]float64)
+	for _, id := range net.OnlineIDs() {
+		for v, a := range probes.For(id).Snapshot() {
+			views[v] = append(views[v], a)
+		}
+	}
+	for id, vs := range views {
+		avail[id] = stats.Mean(vs)
+	}
+
+	contract := core.ContractWithTau(75, 2)
+	var router transport.Router
+	switch s.Strategy {
+	case core.Random:
+		router = transport.NewRandomRouter(topo, rng.Split())
+	case core.UtilityI:
+		router = transport.NewUtilityRouter(topo, quality.DefaultWeights(), contract, avail)
+	case core.UtilityII:
+		router = transport.NewUtilityIIRouter(topo, quality.DefaultWeights(), contract, avail)
+	default:
+		return nil, fmt.Errorf("experiment: strategy %v has no live router", s.Strategy)
+	}
+
+	live := transport.NewNetwork(s.Latency)
+	defer live.Close()
+	for id := range topo {
+		if _, err := live.AddPeer(id, router); err != nil {
+			return nil, err
+		}
+	}
+
+	w := trace.Workload{
+		Pairs:          s.Pairs,
+		Transmissions:  s.Transmissions,
+		MaxConnections: s.MaxConnections,
+		PfLo:           50, PfHi: 100, Tau: 2,
+	}
+	pairs, err := w.Generate(net, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	endpoints := make(map[overlay.NodeID]struct{})
+	for _, p := range pairs {
+		endpoints[p.Initiator] = struct{}{}
+		endpoints[p.Responder] = struct{}{}
+	}
+
+	total := trace.TotalConnections(pairs)
+	out := &LiveOutcome{Strategy: s.Strategy}
+	res := live.RunTrace(pairs, transport.TraceOptions{
+		Budget:  s.Budget,
+		Timeout: s.Timeout,
+		Before: func(k int, sofar *transport.TraceResult) {
+			if s.Removals <= 0 || k != total/2 {
+				return
+			}
+			for _, victim := range busiestForwarders(sofar, endpoints, s.Removals) {
+				live.RemovePeer(victim)
+				out.Removed = append(out.Removed, victim)
+			}
+		},
+	})
+	out.Completed, out.Failed = res.Completed, res.Failed
+	out.Reformations = res.Reformations
+	if total > 0 {
+		out.ReformationRate = float64(res.Reformations) / float64(total)
+	}
+	out.Outcomes = res.Outcomes
+	out.Metrics = live.Metrics()
+	return out, nil
+}
+
+// busiestForwarders ranks interior forwarders by accumulated forwarding
+// instances (ties to the lower ID) and returns the top n — the peers whose
+// departure hits the most in-use paths, maximising observable mid-batch
+// reformations.
+func busiestForwarders(sofar *transport.TraceResult, endpoints map[overlay.NodeID]struct{}, n int) []overlay.NodeID {
+	counts := make(map[overlay.NodeID]int)
+	for _, out := range sofar.Outcomes {
+		for id, m := range out.Forwards {
+			if _, isEnd := endpoints[id]; isEnd {
+				continue
+			}
+			counts[id] += m
+		}
+	}
+	ids := make([]overlay.NodeID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// LiveReformationComparison sets the live runtime's reformation behaviour
+// against the simulator's Prop. 1 measurement: the live side counts actual
+// relaunched connections under mid-run departures, the simulated side the
+// new-edge rate E[X] under the paper's churn model. Both should show
+// utility routing reforming less than random routing.
+type LiveReformationComparison struct {
+	Random, Utility *LiveOutcome
+	// SimRandomNewEdge/SimUtilityNewEdge are the simulator's mean
+	// per-batch new-edge rates for the same two strategies.
+	SimRandomNewEdge, SimUtilityNewEdge float64
+}
+
+// CompareLiveReformation runs the live replay for random and Utility-I
+// routing (same seed, same workload shape) and a matching pair of
+// simulator runs, returning both sides' reformation measurements.
+func CompareLiveReformation(s LiveSetup) (*LiveReformationComparison, error) {
+	cmp := &LiveReformationComparison{}
+	var err error
+	rs := s
+	rs.Strategy = core.Random
+	if cmp.Random, err = RunLive(rs); err != nil {
+		return nil, err
+	}
+	us := s
+	us.Strategy = core.UtilityI
+	if cmp.Utility, err = RunLive(us); err != nil {
+		return nil, err
+	}
+	for _, strat := range []core.Strategy{core.Random, core.UtilityI} {
+		sim := Quick()
+		sim.Seed = s.Seed
+		sim.Strategy = strat
+		res, err := Run(sim)
+		if err != nil {
+			return nil, err
+		}
+		rate := stats.Mean(res.NewEdgeRates)
+		if strat == core.Random {
+			cmp.SimRandomNewEdge = rate
+		} else {
+			cmp.SimUtilityNewEdge = rate
+		}
+	}
+	return cmp, nil
+}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"testing"
+
+	"p2panon/internal/core"
+)
+
+func TestRunLiveUnderChurn(t *testing.T) {
+	s := DefaultLive()
+	s.Seed = 7
+	out, err := RunLive(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed == 0 {
+		t.Fatal("no connection completed")
+	}
+	if len(out.Removed) != s.Removals {
+		t.Fatalf("removed %d peers, want %d", len(out.Removed), s.Removals)
+	}
+	// Removing the busiest forwarders mid-run must force at least one
+	// reformation (the whole point of the churn study).
+	if out.Reformations == 0 {
+		t.Fatal("no reformations despite mid-run removals")
+	}
+	if out.ReformationRate <= 0 {
+		t.Fatalf("reformation rate %g", out.ReformationRate)
+	}
+	if out.Metrics.Reformations != int64(out.Reformations) {
+		t.Fatalf("metrics reformations %d != outcome %d",
+			out.Metrics.Reformations, out.Reformations)
+	}
+	if out.Metrics.Dropped == 0 && out.Metrics.Nacks == 0 {
+		t.Fatal("removals produced neither drops nor NACKs")
+	}
+	var perPair int
+	for _, b := range out.Outcomes {
+		perPair += b.Reformations
+	}
+	if perPair != out.Reformations {
+		t.Fatalf("per-pair reformation sum %d != total %d", perPair, out.Reformations)
+	}
+}
+
+func TestRunLiveNoChurnNoReformations(t *testing.T) {
+	s := DefaultLive()
+	s.Removals = 0
+	s.Seed = 11
+	out, err := RunLive(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 0 {
+		t.Fatalf("%d failures on a static network", out.Failed)
+	}
+	if out.Reformations != 0 {
+		t.Fatalf("%d reformations without churn", out.Reformations)
+	}
+	if len(out.Removed) != 0 {
+		t.Fatalf("removed %v with Removals=0", out.Removed)
+	}
+}
+
+func TestRunLiveRejectsUnsupported(t *testing.T) {
+	s := DefaultLive()
+	s.Strategy = core.FixedPath
+	if _, err := RunLive(s); err == nil {
+		t.Fatal("FixedPath accepted for live replay")
+	}
+	s = DefaultLive()
+	s.N = 2
+	if _, err := RunLive(s); err == nil {
+		t.Fatal("tiny network accepted")
+	}
+}
+
+func TestCompareLiveReformation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full studies")
+	}
+	s := DefaultLive()
+	s.Seed = 3
+	cmp, err := CompareLiveReformation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Random.Strategy != core.Random || cmp.Utility.Strategy != core.UtilityI {
+		t.Fatal("comparison ran wrong strategies")
+	}
+	for _, o := range []*LiveOutcome{cmp.Random, cmp.Utility} {
+		if o.Completed == 0 {
+			t.Fatalf("%v live run completed nothing", o.Strategy)
+		}
+	}
+	// Both measurement sides must be populated; cross-strategy ordering is
+	// a statistical claim (Prop. 1) asserted by the simulator experiments,
+	// not by one seed here.
+	if cmp.SimRandomNewEdge <= 0 || cmp.SimUtilityNewEdge <= 0 {
+		t.Fatalf("sim new-edge rates %g / %g", cmp.SimRandomNewEdge, cmp.SimUtilityNewEdge)
+	}
+}

@@ -76,14 +76,19 @@ type Node struct {
 	sessionStart sim.Time // start of the current session while Online
 }
 
+// ChurnFunc observes a node's lifecycle transition: it is called with the
+// node's ID and its new state after every Join, Rejoin and Leave.
+type ChurnFunc func(id NodeID, s State)
+
 // Network is the overlay: the node table plus the online set. It is not
 // safe for concurrent use; the transport package provides the concurrent
 // runtime.
 type Network struct {
-	nodes  []*Node
-	online map[NodeID]struct{}
-	degree int
-	rng    *dist.Source
+	nodes     []*Node
+	online    map[NodeID]struct{}
+	degree    int
+	rng       *dist.Source
+	observers []ChurnFunc
 }
 
 // NewNetwork returns an empty overlay whose nodes will maintain neighbor
@@ -99,6 +104,23 @@ func NewNetwork(degree int, rng *dist.Source) *Network {
 		online: make(map[NodeID]struct{}),
 		degree: degree,
 		rng:    rng,
+	}
+}
+
+// OnChurn registers fn to be notified of every subsequent lifecycle
+// transition (Join, Rejoin, Leave — the churn hooks a live runtime mirrors
+// into peer goroutines; see transport.Mirror). Observers run synchronously
+// in registration order.
+func (n *Network) OnChurn(fn ChurnFunc) {
+	if fn != nil {
+		n.observers = append(n.observers, fn)
+	}
+}
+
+// notifyChurn fans a transition out to the registered observers.
+func (n *Network) notifyChurn(id NodeID, s State) {
+	for _, fn := range n.observers {
+		fn(id, s)
 	}
 }
 
@@ -169,6 +191,7 @@ func (n *Network) Join(now sim.Time, malicious bool) *Node {
 	n.nodes = append(n.nodes, node)
 	n.online[id] = struct{}{}
 	node.Neighbors = n.pickNeighbors(id, nil)
+	n.notifyChurn(id, Online)
 	return node
 }
 
@@ -184,6 +207,7 @@ func (n *Network) Rejoin(now sim.Time, id NodeID) {
 	n.online[id] = struct{}{}
 	// Repair any neighbors that departed while we were away.
 	n.RefreshNeighbors(id)
+	n.notifyChurn(id, Online)
 }
 
 // Leave ends the node's current session at time now. If final is true the
@@ -201,6 +225,7 @@ func (n *Network) Leave(now sim.Time, id NodeID, final bool) {
 		node.State = Offline
 	}
 	delete(n.online, id)
+	n.notifyChurn(id, node.State)
 }
 
 // pickNeighbors selects up to d random online nodes, excluding self and

@@ -338,3 +338,36 @@ func TestQuickAvailabilityBounds(t *testing.T) {
 }
 
 func timeOf(s float64) sim.Time { return sim.Time(s) }
+
+func TestOnChurnNotifiesTransitions(t *testing.T) {
+	n := NewNetwork(3, dist.NewSource(7))
+	type event struct {
+		id NodeID
+		s  State
+	}
+	var got []event
+	n.OnChurn(func(id NodeID, s State) { got = append(got, event{id, s}) })
+	n.OnChurn(nil) // must be ignored
+
+	a := n.Join(0, false)
+	b := n.Join(1, false)
+	n.Leave(5, a.ID, false)
+	n.Rejoin(8, a.ID)
+	n.Leave(9, b.ID, true)
+
+	want := []event{
+		{a.ID, Online},
+		{b.ID, Online},
+		{a.ID, Offline},
+		{a.ID, Online},
+		{b.ID, Departed},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -76,16 +76,22 @@ func (est *Estimator) Probes() int { return est.probes }
 
 // Tick runs one probing period: it reconciles the neighbor set (new
 // neighbors get a rand(0,T) initial session time; vanished neighbors are
-// forgotten), then credits T to live neighbors and decays dead ones.
+// forgotten), then credits T to live neighbors and decays dead ones. A
+// neighbor first seen this tick keeps its rand(0,T) initialisation and is
+// not also credited T — crediting both would let a fresh neighbor outrank
+// a node with one full observed period, inverting the paper's "higher
+// observed session time ⇒ higher availability" ordering.
 func (est *Estimator) Tick() {
 	est.probes++
 	current := est.net.NeighborsOf(est.owner)
 	inSet := make(map[overlay.NodeID]struct{}, len(current))
+	fresh := make(map[overlay.NodeID]struct{})
 	for _, v := range current {
 		inSet[v] = struct{}{}
 		if _, known := est.session[v]; !known {
 			// New neighbor: initialise to rand(0, T) per the paper.
 			est.session[v] = est.rng.Uniform(0, est.period.Seconds())
+			fresh[v] = struct{}{}
 		}
 	}
 	for v := range est.session {
@@ -94,6 +100,9 @@ func (est *Estimator) Tick() {
 		}
 	}
 	for _, v := range current {
+		if _, isNew := fresh[v]; isNew {
+			continue // the rand(0,T) init stands in for the unobserved partial period
+		}
 		if est.net.Online(v) {
 			est.session[v] += est.period.Seconds()
 		} else {

@@ -135,9 +135,21 @@ func TestNewNeighborGetsRandomInit(t *testing.T) {
 	est.Tick()
 	if fresh != overlay.None {
 		got := est.SessionTime(fresh)
-		// rand(0,60) then +60 for being alive => (60, 120)
-		if got <= 60 || got >= 120 {
-			t.Fatalf("fresh neighbor session %g, want in (60,120)", got)
+		// rand(0,60) only — the discovery tick must NOT also credit the
+		// +60 period, or a newcomer could outrank a fully observed node.
+		if got <= 0 || got >= 60 {
+			t.Fatalf("fresh neighbor session %g, want in (0,60)", got)
+		}
+		// An incumbent observed for both ticks has 120 and must outrank it.
+		for _, v := range net.NeighborsOf(0) {
+			if v != fresh && est.SessionTime(v) == 120 && est.Availability(v) <= est.Availability(fresh) {
+				t.Fatalf("fresh neighbor (t=%g) outranks incumbent (t=120)", got)
+			}
+		}
+		// From the next tick on it accrues normally.
+		est.Tick()
+		if got2 := est.SessionTime(fresh); got2 <= 60 || got2 >= 120 {
+			t.Fatalf("fresh neighbor session %g after second tick, want in (60,120)", got2)
 		}
 	}
 	// Vanished neighbor must be forgotten.

@@ -157,6 +157,35 @@ func (w Workload) assignConnections(pairs []Pair, rng *dist.Source) {
 	}
 }
 
+// Connection is one slot of a live replay schedule: the c-th recurring
+// connection (1-based) of the pair at index Pair in the generated slice.
+type Connection struct {
+	Pair int
+	Conn int
+}
+
+// Interleave flattens the pairs into a round-robin connection schedule:
+// every pair's first connection, then every pair's second, and so on.
+// Recurring connections of one pair stay ordered (they are inherently
+// sequential), while distinct pairs advance together — the shape a live
+// runtime with many concurrent initiators produces, and what the
+// transport package's RunTrace replays.
+func Interleave(pairs []Pair) []Connection {
+	var sched []Connection
+	for round := 1; ; round++ {
+		added := false
+		for i := range pairs {
+			if round <= pairs[i].Connections {
+				sched = append(sched, Connection{Pair: i, Conn: round})
+				added = true
+			}
+		}
+		if !added {
+			return sched
+		}
+	}
+}
+
 // TotalConnections sums the assigned connection counts.
 func TotalConnections(pairs []Pair) int {
 	total := 0

@@ -155,3 +155,32 @@ func TestGenerateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	pairs := []Pair{
+		{Index: 0, Connections: 3},
+		{Index: 1, Connections: 1},
+		{Index: 2, Connections: 2},
+	}
+	sched := Interleave(pairs)
+	if len(sched) != TotalConnections(pairs) {
+		t.Fatalf("schedule length %d, want %d", len(sched), TotalConnections(pairs))
+	}
+	want := []Connection{{0, 1}, {1, 1}, {2, 1}, {0, 2}, {2, 2}, {0, 3}}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("slot %d = %v, want %v", i, sched[i], want[i])
+		}
+	}
+	// Per-pair connection numbers must stay ordered.
+	last := map[int]int{}
+	for _, c := range sched {
+		if c.Conn != last[c.Pair]+1 {
+			t.Fatalf("pair %d jumps to connection %d after %d", c.Pair, c.Conn, last[c.Pair])
+		}
+		last[c.Pair] = c.Conn
+	}
+	if Interleave(nil) != nil {
+		t.Fatal("empty workload produced a schedule")
+	}
+}

@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics is the runtime's counter set, updated atomically by every peer
+// goroutine and link delivery. Read it via Network.Metrics(), which
+// returns a consistent-enough MetricsSnapshot for reporting (counters are
+// independent; no cross-counter invariant is guaranteed mid-flight).
+type Metrics struct {
+	sent            atomic.Int64
+	dropped         atomic.Int64
+	nacks           atomic.Int64
+	contractRejects atomic.Int64
+	timeouts        atomic.Int64
+	reformations    atomic.Int64
+	connects        atomic.Int64
+	failures        atomic.Int64
+	inboxHighWater  atomic.Int64
+}
+
+// noteInboxDepth raises the inbox high-water mark to depth if it exceeds
+// the current maximum.
+func (m *Metrics) noteInboxDepth(depth int64) {
+	for {
+		cur := m.inboxHighWater.Load()
+		if depth <= cur || m.inboxHighWater.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Sent:            m.sent.Load(),
+		Dropped:         m.dropped.Load(),
+		Nacks:           m.nacks.Load(),
+		ContractRejects: m.contractRejects.Load(),
+		Timeouts:        m.timeouts.Load(),
+		Reformations:    m.reformations.Load(),
+		Connects:        m.connects.Load(),
+		Failures:        m.failures.Load(),
+		InboxHighWater:  m.inboxHighWater.Load(),
+	}
+}
+
+// MetricsSnapshot is a point-in-time copy of the runtime counters.
+type MetricsSnapshot struct {
+	// Sent counts messages handed to links whose target was alive at
+	// send time; Dropped counts deliveries that failed because the
+	// target was unknown or departed (including a departing peer's
+	// drained inbox).
+	Sent, Dropped int64
+	// Nacks counts NACK events generated (mid-path departures and
+	// contract rejections); ContractRejects counts the subset caused by
+	// a forwarder refusing an unverifiable SignedContract.
+	Nacks, ContractRejects int64
+	// Timeouts counts connection attempts that hit their per-attempt
+	// deadline; Reformations counts relaunched attempts (Prop. 1's
+	// event); Connects/Failures count connections that terminally
+	// succeeded/failed.
+	Timeouts, Reformations, Connects, Failures int64
+	// InboxHighWater is the deepest any peer inbox has been.
+	InboxHighWater int64
+}
+
+// String renders the snapshot as a one-line summary.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf(
+		"sent=%d dropped=%d nacks=%d contract-rejects=%d timeouts=%d reformations=%d connects=%d failures=%d inbox-hwm=%d",
+		s.Sent, s.Dropped, s.Nacks, s.ContractRejects, s.Timeouts, s.Reformations, s.Connects, s.Failures, s.InboxHighWater)
+}

@@ -33,11 +33,15 @@ func SnapshotTopology(net *overlay.Network) Topology {
 
 // candidatesOf filters a peer's neighbors like core does: drop the
 // predecessor, the initiator and the responder (delivery is the explicit
-// fallback, and routing back through I would expose it for nothing).
-func (t Topology) candidatesOf(self, pred, initiator, responder overlay.NodeID) []overlay.NodeID {
+// fallback, and routing back through I would expose it for nothing), plus
+// any peer known to have departed.
+func (t Topology) candidatesOf(self, pred, initiator, responder overlay.NodeID, dead map[overlay.NodeID]struct{}) []overlay.NodeID {
 	var out []overlay.NodeID
 	for _, v := range t[self] {
 		if v == pred || v == initiator || v == responder || v == self {
+			continue
+		}
+		if _, gone := dead[v]; gone {
 			continue
 		}
 		out = append(out, v)
@@ -46,23 +50,39 @@ func (t Topology) candidatesOf(self, pred, initiator, responder overlay.NodeID) 
 }
 
 // RandomRouter forwards to a uniformly random candidate; with none it
-// delivers. Safe for concurrent use.
+// delivers. Safe for concurrent use; implements ChurnAware so reformed
+// paths avoid peers found dead.
 type RandomRouter struct {
 	mu   sync.Mutex
 	topo Topology
 	rng  *dist.Source
+	dead map[overlay.NodeID]struct{}
 }
 
 // NewRandomRouter builds a random router over a topology snapshot.
 func NewRandomRouter(topo Topology, rng *dist.Source) *RandomRouter {
-	return &RandomRouter{topo: topo, rng: rng}
+	return &RandomRouter{topo: topo, rng: rng, dead: make(map[overlay.NodeID]struct{})}
+}
+
+// MarkDead implements ChurnAware: id is excluded from future candidates.
+func (r *RandomRouter) MarkDead(id overlay.NodeID) {
+	r.mu.Lock()
+	r.dead[id] = struct{}{}
+	r.mu.Unlock()
+}
+
+// MarkLive implements ChurnAware: a rejoined id becomes routable again.
+func (r *RandomRouter) MarkLive(id overlay.NodeID) {
+	r.mu.Lock()
+	delete(r.dead, id)
+	r.mu.Unlock()
 }
 
 // NextHop implements Router.
 func (r *RandomRouter) NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cands := r.topo.candidatesOf(self, pred, initiator, responder)
+	cands := r.topo.candidatesOf(self, pred, initiator, responder, r.dead)
 	if len(cands) == 0 {
 		return overlay.None, true
 	}
@@ -71,13 +91,15 @@ func (r *RandomRouter) NextHop(self, pred, initiator, responder overlay.NodeID, 
 
 // UtilityRouter implements Utility Model I over the live runtime: per-peer
 // per-batch history (selectivity) plus static availability scores, scored
-// with the configured weights. Safe for concurrent use.
+// with the configured weights. Safe for concurrent use; implements
+// ChurnAware so reformed paths avoid peers found dead.
 type UtilityRouter struct {
 	mu    sync.Mutex
 	topo  Topology
 	w     quality.Weights
 	c     core.Contract
 	avail map[overlay.NodeID]float64
+	dead  map[overlay.NodeID]struct{}
 	// hist[batch][edge] counts connections that used the edge; conns
 	// tracks per-batch connection counts for the selectivity denominator.
 	hist  map[int]map[[2]overlay.NodeID]map[int]struct{}
@@ -95,9 +117,24 @@ func NewUtilityRouter(topo Topology, w quality.Weights, c core.Contract, avail m
 		w:     w,
 		c:     c,
 		avail: avail,
+		dead:  make(map[overlay.NodeID]struct{}),
 		hist:  make(map[int]map[[2]overlay.NodeID]map[int]struct{}),
 		conns: make(map[int]map[int]struct{}),
 	}
+}
+
+// MarkDead implements ChurnAware: id is excluded from future candidates.
+func (r *UtilityRouter) MarkDead(id overlay.NodeID) {
+	r.mu.Lock()
+	r.dead[id] = struct{}{}
+	r.mu.Unlock()
+}
+
+// MarkLive implements ChurnAware: a rejoined id becomes routable again.
+func (r *UtilityRouter) MarkLive(id overlay.NodeID) {
+	r.mu.Lock()
+	delete(r.dead, id)
+	r.mu.Unlock()
 }
 
 // NextHop implements Router: maximise P_f + q·P_r (costs are uniform in
@@ -106,7 +143,7 @@ func NewUtilityRouter(topo Topology, w quality.Weights, c core.Contract, avail m
 func (r *UtilityRouter) NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cands := r.topo.candidatesOf(self, pred, initiator, responder)
+	cands := r.topo.candidatesOf(self, pred, initiator, responder, r.dead)
 	if len(cands) == 0 {
 		return overlay.None, true
 	}
@@ -198,6 +235,26 @@ func NewUtilityIIRouter(topo Topology, w quality.Weights, c core.Contract, avail
 	}
 }
 
+// MarkDead implements ChurnAware: besides excluding id from candidates,
+// cached SPNE tables are discarded — they may prescribe routes through the
+// corpse, and a reformed attempt must re-solve without it.
+func (r *UtilityIIRouter) MarkDead(id overlay.NodeID) {
+	r.UtilityRouter.MarkDead(id)
+	r.cacheMu.Lock()
+	r.cache = make(map[[2]int]*spneCacheEntry)
+	r.cacheMu.Unlock()
+}
+
+// MarkLive implements ChurnAware; stale tables solved without the
+// returned peer are merely conservative, but dropping them lets routing
+// use it again immediately.
+func (r *UtilityIIRouter) MarkLive(id overlay.NodeID) {
+	r.UtilityRouter.MarkLive(id)
+	r.cacheMu.Lock()
+	r.cache = make(map[[2]int]*spneCacheEntry)
+	r.cacheMu.Unlock()
+}
+
 // NextHop implements Router via SPNE play.
 func (r *UtilityIIRouter) NextHop(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
 	entry := r.solve(initiator, responder, batch, conn, remaining)
@@ -251,6 +308,13 @@ func (r *UtilityIIRouter) liveEdgeQuality(i, j, initiator, responder overlay.Nod
 		return -1
 	}
 	if _, ok := r.topo[i]; !ok {
+		return -1
+	}
+	r.mu.Lock()
+	_, iDead := r.dead[i]
+	_, jDead := r.dead[j]
+	r.mu.Unlock()
+	if iDead || jDead {
 		return -1
 	}
 	if j == responder {

@@ -21,7 +21,10 @@ type SecureOutcome struct {
 // forwarder verifies the contract before doing work and seals a path
 // record to the contract's batch key; the confirmation carries the records
 // back to the initiator. The caller (holding the batch private key)
-// validates with onion.BatchKey.RecreatePath.
+// validates with onion.BatchKey.RecreatePath. Mid-path departures are
+// retried per the network's RetryPolicy; a forwarder's contract rejection
+// is NACKed back and fails the connection immediately (fatal — no
+// reformation fixes a bad contract).
 func (n *Network) ConnectSecure(initiator, responder overlay.NodeID, contract *onion.SignedContract, conn, budget int, timeout time.Duration) (*SecureOutcome, error) {
 	if contract == nil {
 		return nil, errors.New("transport: nil contract")
@@ -29,42 +32,11 @@ func (n *Network) ConnectSecure(initiator, responder overlay.NodeID, contract *o
 	if !contract.Verify() {
 		return nil, errors.New("transport: contract signature invalid")
 	}
-	if _, ok := n.peers[initiator]; !ok {
-		return nil, fmt.Errorf("transport: unknown initiator %d", initiator)
+	res, _, err := n.connect(initiator, responder, int(contract.BatchID), conn, budget, timeout, contract)
+	if err != nil {
+		return nil, err
 	}
-	if _, ok := n.peers[responder]; !ok {
-		return nil, fmt.Errorf("transport: unknown responder %d", responder)
-	}
-	if initiator == responder {
-		return nil, errors.New("transport: initiator == responder")
-	}
-	done := make(chan secureDone, 1)
-	n.send(initiator, message{
-		kind:       msgForward,
-		batch:      int(contract.BatchID),
-		conn:       conn,
-		from:       overlay.None,
-		initiator:  initiator,
-		responder:  responder,
-		remaining:  budget,
-		contract:   contract,
-		secureDone: done,
-	})
-	select {
-	case res := <-done:
-		if res.err != nil {
-			return nil, res.err
-		}
-		return &SecureOutcome{Path: res.path, Records: res.records}, nil
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("transport: secure connection %d timed out after %v", conn, timeout)
-	}
-}
-
-type secureDone struct {
-	path    []overlay.NodeID
-	records []onion.PathRecord
-	err     error
+	return &SecureOutcome{Path: res.path, Records: res.records}, nil
 }
 
 // RunSecureBatch runs k secure connections, validates every one with the
@@ -74,31 +46,28 @@ func (n *Network) RunSecureBatch(initiator, responder overlay.NodeID, contract *
 	if bk == nil {
 		return nil, errors.New("transport: nil batch key")
 	}
-	out := &BatchOutcome{
-		Forwards: make(map[overlay.NodeID]int),
-		Set:      make(map[overlay.NodeID]struct{}),
+	if contract == nil {
+		return nil, errors.New("transport: nil contract")
 	}
+	if !contract.Verify() {
+		return nil, errors.New("transport: contract signature invalid")
+	}
+	out := NewBatchOutcome()
 	for conn := 1; conn <= k; conn++ {
-		res, err := n.ConnectSecure(initiator, responder, contract, conn, budget, timeout)
+		res, reforms, err := n.connect(initiator, responder, int(contract.BatchID), conn, budget, timeout, contract)
+		out.Reformations += reforms
 		if err != nil {
 			return out, err
 		}
-		validated, err := bk.RecreatePath(contract, uint64(conn), initiator, responder, res.Records)
+		validated, err := bk.RecreatePath(contract, uint64(conn), initiator, responder, res.records)
 		if err != nil {
 			return out, fmt.Errorf("transport: connection %d failed validation: %w", conn, err)
 		}
-		if len(validated) != len(res.Path) {
+		if len(validated) != len(res.path) {
 			return out, fmt.Errorf("transport: connection %d: validated path length %d != observed %d",
-				conn, len(validated), len(res.Path))
+				conn, len(validated), len(res.path))
 		}
-		out.Paths = append(out.Paths, validated)
-		for _, f := range validated[1 : len(validated)-1] {
-			if f == initiator {
-				continue
-			}
-			out.Forwards[f]++
-			out.Set[f] = struct{}{}
-		}
+		out.Record(validated, initiator)
 	}
 	return out, nil
 }

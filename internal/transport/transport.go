@@ -11,6 +11,17 @@
 // with its Router and forwards; the responder answers with a CONFIRM that
 // retraces the reverse path collecting per-hop path information, which the
 // initiator uses to validate the path and account the batch.
+//
+// The runtime is churn-safe: peers may join and leave (AddPeer/RemovePeer)
+// concurrently with in-flight traffic. A send to a departed peer fails
+// synchronously and the holder NACKs back along the reverse path, so the
+// initiator learns of a mid-path departure without waiting out its timeout;
+// Connect then reforms the path — bounded retries with exponential backoff —
+// which is exactly the "path reformation" event Prop. 1 counts. Routers that
+// implement ChurnAware are told about peers found dead (failure detection by
+// failed delivery, as a deployment would observe it) so reformed paths avoid
+// them. Every drop, NACK, timeout and reformation is counted in the
+// network's Metrics.
 package transport
 
 import (
@@ -40,13 +51,35 @@ func (f RouterFunc) NextHop(self, pred, initiator, responder overlay.NodeID, bat
 	return f(self, pred, initiator, responder, batch, conn, remaining)
 }
 
+// ChurnAware is implemented by routers that track peer liveness. The
+// network calls MarkDead when a delivery to a peer fails (the live
+// failure-detection signal — RemovePeer itself is silent, like a real
+// departure) and MarkLive when a peer (re)joins, so routing avoids known
+// corpses and rehabilitates returners.
+type ChurnAware interface {
+	MarkDead(overlay.NodeID)
+	MarkLive(overlay.NodeID)
+}
+
 // message kinds.
 type msgKind uint8
 
 const (
 	msgForward msgKind = iota
 	msgConfirm
+	msgNack
 )
+
+// connResult is the terminal event of one connection attempt, delivered on
+// the attempt's done channel: a completed path (with sealed records under
+// the secure protocol) or an error. fatal marks errors a retry cannot fix
+// (e.g. an unverifiable contract).
+type connResult struct {
+	path    []overlay.NodeID
+	records []onion.PathRecord
+	err     error
+	fatal   bool
+}
 
 // message is what travels over links.
 type message struct {
@@ -57,18 +90,22 @@ type message struct {
 	initiator overlay.NodeID
 	responder overlay.NodeID
 	remaining int
-	// path accumulates the node sequence; on the confirm leg it is the
-	// complete path and `hop` counts down the reverse traversal.
+	// path accumulates the node sequence; on the confirm/NACK leg it is
+	// frozen and `hop` is the index of the current recipient on the
+	// reverse traversal.
 	path []overlay.NodeID
 	hop  int
-	done chan<- []overlay.NodeID // completion signal, owned by initiator
+	done chan<- connResult // completion signal, owned by the initiator's attempt
+
+	// reason/fatal describe a NACK.
+	reason string
+	fatal  bool
 
 	// Secure-protocol fields (§5): a signed contract that forwarders
-	// verify before working, the sealed per-hop records they contribute,
-	// and the secure completion channel.
-	contract   *onion.SignedContract
-	records    []onion.PathRecord
-	secureDone chan<- secureDone
+	// verify before working and the sealed per-hop records they
+	// contribute.
+	contract *onion.SignedContract
+	records  []onion.PathRecord
 }
 
 // Peer is one concurrently running overlay member.
@@ -90,33 +127,71 @@ func (p *Peer) Forwards(batch int) int {
 	return p.forwards[batch]
 }
 
+// RetryPolicy bounds Connect's reformation behaviour: up to MaxAttempts
+// path formations per connection, separated by exponential backoff
+// starting at BaseBackoff and capped at MaxBackoff. Each attempt gets an
+// even share of the connection's total timeout as its deadline.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetryPolicy allows two reformations per connection with a short
+// doubling backoff — enough to route around a mid-path departure without
+// masking a partitioned network.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
 // Network is the concurrent runtime: a set of peers plus the link model.
+// All methods are safe for concurrent use; in particular AddPeer and
+// RemovePeer may race freely with in-flight traffic.
 type Network struct {
-	peers   map[overlay.NodeID]*Peer
+	mu        sync.RWMutex
+	peers     map[overlay.NodeID]*Peer
+	markers   []ChurnAware
+	markerSet map[ChurnAware]struct{}
+
 	latency time.Duration
+	retry   RetryPolicy
+	metrics Metrics
 	wg      sync.WaitGroup
 	quit    chan struct{}
 	once    sync.Once
 }
 
 // NewNetwork creates a runtime with the given per-link latency (0 for
-// as-fast-as-possible).
+// as-fast-as-possible) and the default retry policy.
 func NewNetwork(latency time.Duration) *Network {
 	return &Network{
-		peers:   make(map[overlay.NodeID]*Peer),
-		latency: latency,
-		quit:    make(chan struct{}),
+		peers:     make(map[overlay.NodeID]*Peer),
+		markerSet: make(map[ChurnAware]struct{}),
+		latency:   latency,
+		retry:     DefaultRetryPolicy(),
+		quit:      make(chan struct{}),
 	}
 }
 
+// SetRetry replaces the retry policy. Not safe to call concurrently with
+// Connect.
+func (n *Network) SetRetry(p RetryPolicy) {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	n.retry = p
+}
+
+// Metrics returns a snapshot of the runtime counters.
+func (n *Network) Metrics() MetricsSnapshot { return n.metrics.Snapshot() }
+
 // AddPeer spawns a peer goroutine with the given router. Adding the same
-// ID twice is an error.
+// ID twice is an error. If the router is ChurnAware it is registered for
+// liveness notifications and told the ID is live (a re-joining peer
+// becomes routable again).
 func (n *Network) AddPeer(id overlay.NodeID, r Router) (*Peer, error) {
 	if r == nil {
 		return nil, errors.New("transport: nil router")
-	}
-	if _, dup := n.peers[id]; dup {
-		return nil, fmt.Errorf("transport: duplicate peer %d", id)
 	}
 	p := &Peer{
 		ID:       id,
@@ -126,26 +201,51 @@ func (n *Network) AddPeer(id overlay.NodeID, r Router) (*Peer, error) {
 		net:      n,
 		forwards: make(map[int]int),
 	}
+	n.mu.Lock()
+	if _, dup := n.peers[id]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: duplicate peer %d", id)
+	}
 	n.peers[id] = p
+	ca, aware := r.(ChurnAware)
+	if aware {
+		if _, seen := n.markerSet[ca]; !seen {
+			n.markerSet[ca] = struct{}{}
+			n.markers = append(n.markers, ca)
+		}
+	}
 	n.wg.Add(1)
+	n.mu.Unlock()
+	if aware {
+		ca.MarkLive(id)
+	}
 	go p.loop()
 	return p, nil
 }
 
 // Peer returns the peer with the given ID, or nil.
-func (n *Network) Peer(id overlay.NodeID) *Peer { return n.peers[id] }
+func (n *Network) Peer(id overlay.NodeID) *Peer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.peers[id]
+}
 
-// RemovePeer models live churn: the peer leaves, its goroutine exits, and
-// subsequent sends to it are dropped (connections routed through it will
-// time out, exactly like a real mid-path departure). Removing an unknown
-// peer is a no-op. RemovePeer must not be called concurrently with
-// AddPeer or Connect for the same ID.
+// RemovePeer models live churn: the peer leaves, its goroutine exits after
+// NACKing whatever was queued in its inbox, and subsequent sends to it
+// fail synchronously (the sender NACKs the initiator, which reforms the
+// path — exactly like a real mid-path departure). Removing an unknown peer
+// is a no-op. Safe to call concurrently with AddPeer, Connect and
+// in-flight traffic.
 func (n *Network) RemovePeer(id overlay.NodeID) {
+	n.mu.Lock()
 	p, ok := n.peers[id]
+	if ok {
+		delete(n.peers, id)
+	}
+	n.mu.Unlock()
 	if !ok {
 		return
 	}
-	delete(n.peers, id)
 	close(p.leave)
 }
 
@@ -155,24 +255,149 @@ func (n *Network) Close() {
 	n.wg.Wait()
 }
 
-// send delivers msg to the peer `to` after the link latency. Sends after
-// Close are dropped.
-func (n *Network) send(to overlay.NodeID, msg message) {
+// closed reports whether Close has been called.
+func (n *Network) closed() bool {
+	select {
+	case <-n.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// markDead tells every registered ChurnAware router that id was found
+// dead, so subsequent routing avoids it.
+func (n *Network) markDead(id overlay.NodeID) {
+	n.mu.RLock()
+	ms := append([]ChurnAware(nil), n.markers...)
+	n.mu.RUnlock()
+	for _, m := range ms {
+		m.MarkDead(id)
+	}
+}
+
+// send delivers msg to the peer `to` after the link latency. It returns
+// false — the synchronous drop signal — when the target is unknown or has
+// departed; the caller decides whether to NACK. With a non-zero latency
+// the delivery is asynchronous and a target that departs in flight is
+// handled by the network itself (drop count, dead-marking, NACK/reroute).
+func (n *Network) send(to overlay.NodeID, msg message) bool {
+	n.mu.RLock()
 	p, ok := n.peers[to]
+	n.mu.RUnlock()
 	if !ok {
-		return // unknown peer: drop, like a dead link
+		n.metrics.dropped.Add(1)
+		return false
 	}
-	deliver := func() {
-		select {
-		case p.inbox <- msg:
-		case <-n.quit:
-		}
-	}
+	n.metrics.sent.Add(1)
 	if n.latency > 0 {
-		time.AfterFunc(n.latency, deliver)
+		time.AfterFunc(n.latency, func() {
+			if !n.deliver(p, msg) {
+				n.onAsyncDrop(to, msg)
+			}
+		})
+		return true
+	}
+	if !n.deliver(p, msg) {
+		n.metrics.dropped.Add(1)
+		return false
+	}
+	return true
+}
+
+// deliver enqueues msg into p's inbox, failing when the peer has left or
+// the network is shutting down.
+func (n *Network) deliver(p *Peer, msg message) bool {
+	select {
+	case <-p.leave:
+		return false
+	case <-n.quit:
+		return false
+	default:
+	}
+	select {
+	case p.inbox <- msg:
+		n.metrics.noteInboxDepth(int64(len(p.inbox)))
+		return true
+	case <-p.leave:
+		return false
+	case <-n.quit:
+		return false
+	}
+}
+
+// onAsyncDrop handles a latency-delayed delivery whose target departed in
+// flight: count the drop, mark the corpse, and keep the protocol moving —
+// a lost FORWARD becomes a NACK to the initiator, a lost CONFIRM/NACK is
+// rerouted one reverse-path member further down.
+func (n *Network) onAsyncDrop(to overlay.NodeID, msg message) {
+	if n.closed() {
 		return
 	}
-	deliver()
+	n.metrics.dropped.Add(1)
+	n.markDead(to)
+	switch msg.kind {
+	case msgForward:
+		n.nackBack(msg, len(msg.path)-1, fmt.Sprintf("next hop %d departed", to), false)
+	case msgConfirm, msgNack:
+		if msg.hop > 0 {
+			msg.hop--
+			n.reverseRoute(msg)
+		}
+	}
+}
+
+// nackBack sends a NACK for msg back along its reverse path, starting at
+// path[fromIdx]. A fromIdx below zero (the failure happened at the
+// initiator itself) resolves the attempt directly.
+func (n *Network) nackBack(msg message, fromIdx int, reason string, fatal bool) {
+	n.metrics.nacks.Add(1)
+	res := connResult{err: fmt.Errorf("transport: %s", reason), fatal: fatal}
+	if fromIdx < 0 || len(msg.path) == 0 {
+		resolve(msg.done, res)
+		return
+	}
+	nack := message{
+		kind:      msgNack,
+		batch:     msg.batch,
+		conn:      msg.conn,
+		initiator: msg.initiator,
+		responder: msg.responder,
+		path:      msg.path,
+		hop:       fromIdx,
+		done:      msg.done,
+		reason:    reason,
+		fatal:     fatal,
+	}
+	n.reverseRoute(nack)
+}
+
+// reverseRoute sends a CONFIRM/NACK to path[msg.hop], skipping departed
+// reverse-path members. If even the initiator is gone the message dies —
+// nobody is waiting for it.
+func (n *Network) reverseRoute(msg message) {
+	for {
+		if n.send(msg.path[msg.hop], msg) {
+			return
+		}
+		n.markDead(msg.path[msg.hop])
+		if msg.hop == 0 {
+			return
+		}
+		msg.hop--
+	}
+}
+
+// resolve delivers an attempt's terminal result without ever blocking
+// (the done channel is buffered and owned by exactly one attempt).
+func resolve(done chan<- connResult, res connResult) {
+	if done == nil {
+		return
+	}
+	select {
+	case done <- res:
+	default:
+	}
 }
 
 // loop is the peer's goroutine body.
@@ -183,9 +408,34 @@ func (p *Peer) loop() {
 		case <-p.net.quit:
 			return
 		case <-p.leave:
+			p.drain()
 			return
 		case msg := <-p.inbox:
 			p.handle(msg)
+		}
+	}
+}
+
+// drain empties the inbox of a departing peer so in-flight connections
+// fail fast: queued FORWARDs are NACKed to their initiators, queued
+// CONFIRMs/NACKs are rerouted around us. (A message enqueued after the
+// drain is lost and caught by the attempt timeout.)
+func (p *Peer) drain() {
+	for {
+		select {
+		case msg := <-p.inbox:
+			p.net.metrics.dropped.Add(1)
+			switch msg.kind {
+			case msgForward:
+				p.net.nackBack(msg, len(msg.path)-1, fmt.Sprintf("peer %d departed", p.ID), false)
+			case msgConfirm, msgNack:
+				if msg.hop > 0 {
+					msg.hop--
+					p.net.reverseRoute(msg)
+				}
+			}
+		default:
+			return
 		}
 	}
 }
@@ -196,6 +446,8 @@ func (p *Peer) handle(msg message) {
 		p.handleForward(msg)
 	case msgConfirm:
 		p.handleConfirm(msg)
+	case msgNack:
+		p.handleNack(msg)
 	}
 }
 
@@ -205,28 +457,28 @@ func (p *Peer) handleForward(msg message) {
 	if p.ID == msg.responder {
 		// Payload arrived: send CONFIRM back along the reverse path.
 		confirm := message{
-			kind:       msgConfirm,
-			batch:      msg.batch,
-			conn:       msg.conn,
-			initiator:  msg.initiator,
-			responder:  msg.responder,
-			path:       msg.path,
-			hop:        len(msg.path) - 2, // index of our predecessor
-			done:       msg.done,
-			contract:   msg.contract,
-			records:    msg.records,
-			secureDone: msg.secureDone,
+			kind:      msgConfirm,
+			batch:     msg.batch,
+			conn:      msg.conn,
+			initiator: msg.initiator,
+			responder: msg.responder,
+			path:      msg.path,
+			hop:       len(msg.path) - 2, // index of our predecessor
+			done:      msg.done,
+			contract:  msg.contract,
+			records:   msg.records,
 		}
-		p.net.send(msg.path[confirm.hop], confirm)
+		p.net.reverseRoute(confirm)
 		return
 	}
 	// Secure protocol: verify the contract before doing any work (a
-	// rational forwarder will not forward for an unverifiable commitment).
+	// rational forwarder will not forward for an unverifiable commitment)
+	// and NACK the initiator so it fails fast instead of waiting out its
+	// timeout. The rejection is fatal: no reformation fixes a bad contract.
 	if msg.contract != nil && !msg.contract.Verify() {
-		if msg.secureDone != nil && p.ID == msg.initiator {
-			msg.secureDone <- secureDone{err: errors.New("transport: contract failed verification")}
-		}
-		return // drop: no valid commitment, no service
+		p.net.metrics.contractRejects.Add(1)
+		p.net.nackBack(msg, len(msg.path)-2, "contract failed verification", true)
+		return
 	}
 	// Interior forwarding instance (the initiator does not count).
 	if p.ID != msg.initiator {
@@ -256,64 +508,180 @@ func (p *Peer) handleForward(msg message) {
 	out := msg
 	out.from = p.ID
 	out.remaining = msg.remaining - 1
-	p.net.send(next, out)
+	if !p.net.send(next, out) {
+		// Synchronous drop: the chosen successor departed. Mark it dead
+		// and NACK back along the path (starting at our predecessor — we
+		// already know) so the initiator reforms at once.
+		p.net.markDead(next)
+		p.net.nackBack(out, len(out.path)-2, fmt.Sprintf("next hop %d departed", next), false)
+	}
+}
+
+// relayBack moves a CONFIRM/NACK one reverse-path member closer to the
+// initiator, collapsing consecutive entries of this peer itself (a walk
+// may revisit a node; self-sends could deadlock a full inbox). When the
+// initiator — index 0, necessarily this peer — is reached, the attempt is
+// resolved with the terminal result.
+func (p *Peer) relayBack(msg message, terminal connResult) {
+	for {
+		if msg.hop <= 0 {
+			resolve(msg.done, terminal)
+			return
+		}
+		msg.hop--
+		if msg.path[msg.hop] == p.ID {
+			continue
+		}
+		p.net.reverseRoute(msg)
+		return
+	}
 }
 
 // handleConfirm retraces the reverse path back to the initiator.
 func (p *Peer) handleConfirm(msg message) {
-	if msg.hop <= 0 {
-		// Reached the initiator: the connection is complete.
-		if msg.done != nil {
-			msg.done <- msg.path
-		}
-		if msg.secureDone != nil {
-			msg.secureDone <- secureDone{path: msg.path, records: msg.records}
-		}
-		return
+	p.relayBack(msg, connResult{path: msg.path, records: msg.records})
+}
+
+// handleNack retraces the reverse path like a confirm, terminating the
+// initiator's attempt with the carried error.
+func (p *Peer) handleNack(msg message) {
+	p.relayBack(msg, connResult{err: fmt.Errorf("transport: %s", msg.reason), fatal: msg.fatal})
+}
+
+// connect runs one connection with bounded retry: each attempt gets an
+// even share of timeout as its deadline; a timed-out or NACKed attempt is
+// relaunched — a path reformation — after exponential backoff, until the
+// policy's attempt budget or the overall deadline runs out. It returns the
+// terminal result plus the number of reformations performed.
+func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration, contract *onion.SignedContract) (connResult, int, error) {
+	if n.Peer(initiator) == nil {
+		return connResult{}, 0, fmt.Errorf("transport: unknown initiator %d", initiator)
 	}
-	msg.hop--
-	p.net.send(msg.path[msg.hop], msg)
+	if n.Peer(responder) == nil {
+		return connResult{}, 0, fmt.Errorf("transport: unknown responder %d", responder)
+	}
+	if initiator == responder {
+		return connResult{}, 0, errors.New("transport: initiator == responder")
+	}
+	policy := n.retry
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	deadline := time.Now().Add(timeout)
+	per := timeout / time.Duration(policy.MaxAttempts)
+	if per <= 0 {
+		per = timeout
+	}
+	backoff := policy.BaseBackoff
+	reforms := 0
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		if attempt > 1 {
+			if backoff > 0 {
+				pause := backoff
+				if pause > remaining {
+					pause = remaining
+				}
+				time.Sleep(pause)
+				if backoff *= 2; policy.MaxBackoff > 0 && backoff > policy.MaxBackoff {
+					backoff = policy.MaxBackoff
+				}
+				if remaining = time.Until(deadline); remaining <= 0 {
+					break
+				}
+			}
+			reforms++
+			n.metrics.reformations.Add(1)
+		}
+		window := per
+		if window > remaining {
+			window = remaining
+		}
+		done := make(chan connResult, 1)
+		sent := n.send(initiator, message{
+			kind:      msgForward,
+			batch:     batch,
+			conn:      conn,
+			from:      overlay.None,
+			initiator: initiator,
+			responder: responder,
+			remaining: budget,
+			contract:  contract,
+			done:      done,
+		})
+		if !sent {
+			n.metrics.failures.Add(1)
+			return connResult{}, reforms, fmt.Errorf("transport: initiator %d departed", initiator)
+		}
+		timer := time.NewTimer(window)
+		select {
+		case res := <-done:
+			timer.Stop()
+			if res.err == nil {
+				n.metrics.connects.Add(1)
+				return res, reforms, nil
+			}
+			lastErr = res.err
+			if res.fatal {
+				n.metrics.failures.Add(1)
+				return connResult{}, reforms, res.err
+			}
+		case <-timer.C:
+			n.metrics.timeouts.Add(1)
+			lastErr = fmt.Errorf("transport: attempt %d of connection %d/%d timed out after %v", attempt, batch, conn, window)
+		}
+	}
+	n.metrics.failures.Add(1)
+	if lastErr == nil {
+		lastErr = fmt.Errorf("transport: connection %d/%d timed out after %v", batch, conn, timeout)
+	}
+	return connResult{}, reforms, fmt.Errorf("transport: connection %d/%d failed after %d reformations: %w", batch, conn, reforms, lastErr)
 }
 
 // Connect runs one connection from initiator to responder with the given
-// hop budget and returns the realised path (I … R). It blocks until the
-// confirm returns or the timeout expires.
+// hop budget and returns the realised path (I … R). It blocks until a
+// confirm returns or the timeout expires; mid-path departures are retried
+// per the network's RetryPolicy (path reformation) within that timeout.
 func (n *Network) Connect(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration) ([]overlay.NodeID, error) {
-	if _, ok := n.peers[initiator]; !ok {
-		return nil, fmt.Errorf("transport: unknown initiator %d", initiator)
+	res, _, err := n.connect(initiator, responder, batch, conn, budget, timeout, nil)
+	if err != nil {
+		return nil, err
 	}
-	if _, ok := n.peers[responder]; !ok {
-		return nil, fmt.Errorf("transport: unknown responder %d", responder)
-	}
-	if initiator == responder {
-		return nil, errors.New("transport: initiator == responder")
-	}
-	done := make(chan []overlay.NodeID, 1)
-	n.send(initiator, message{
-		kind:      msgForward,
-		batch:     batch,
-		conn:      conn,
-		from:      overlay.None,
-		initiator: initiator,
-		responder: responder,
-		remaining: budget,
-		done:      done,
-	})
-	select {
-	case path := <-done:
-		return path, nil
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("transport: connection %d/%d timed out after %v", batch, conn, timeout)
+	return res.path, nil
+}
+
+// BatchOutcome aggregates a batch of connections: the union forwarder set,
+// per-forwarder instance counts, all realised paths, and how many path
+// reformations churn forced along the way (Prop. 1's event count).
+type BatchOutcome struct {
+	Paths        [][]overlay.NodeID
+	Forwards     map[overlay.NodeID]int
+	Set          map[overlay.NodeID]struct{}
+	Reformations int
+}
+
+// NewBatchOutcome returns an empty outcome ready for Record.
+func NewBatchOutcome() *BatchOutcome {
+	return &BatchOutcome{
+		Forwards: make(map[overlay.NodeID]int),
+		Set:      make(map[overlay.NodeID]struct{}),
 	}
 }
 
-// RunBatch runs k sequential connections for a batch and aggregates the
-// outcome: the union forwarder set, per-forwarder instance counts, and all
-// realised paths.
-type BatchOutcome struct {
-	Paths    [][]overlay.NodeID
-	Forwards map[overlay.NodeID]int
-	Set      map[overlay.NodeID]struct{}
+// Record folds one realised path into the outcome.
+func (o *BatchOutcome) Record(path []overlay.NodeID, initiator overlay.NodeID) {
+	o.Paths = append(o.Paths, path)
+	for _, f := range path[1 : len(path)-1] {
+		if f == initiator {
+			continue
+		}
+		o.Forwards[f]++
+		o.Set[f] = struct{}{}
+	}
 }
 
 // SetSize returns ‖π‖.
@@ -330,23 +698,14 @@ func (o *BatchOutcome) Payoff(id overlay.NodeID, c core.Contract) float64 {
 // RunBatch executes k connections sequentially (recurring connections of
 // one (I, R) pair are inherently ordered) and aggregates the outcome.
 func (n *Network) RunBatch(initiator, responder overlay.NodeID, batch, k, budget int, timeout time.Duration) (*BatchOutcome, error) {
-	out := &BatchOutcome{
-		Forwards: make(map[overlay.NodeID]int),
-		Set:      make(map[overlay.NodeID]struct{}),
-	}
+	out := NewBatchOutcome()
 	for conn := 1; conn <= k; conn++ {
-		path, err := n.Connect(initiator, responder, batch, conn, budget, timeout)
+		res, reforms, err := n.connect(initiator, responder, batch, conn, budget, timeout, nil)
+		out.Reformations += reforms
 		if err != nil {
 			return out, err
 		}
-		out.Paths = append(out.Paths, path)
-		for _, f := range path[1 : len(path)-1] {
-			if f == initiator {
-				continue
-			}
-			out.Forwards[f]++
-			out.Set[f] = struct{}{}
-		}
+		out.Record(res.path, initiator)
 	}
 	return out, nil
 }

@@ -1,13 +1,17 @@
 package transport
 
 import (
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"p2panon/internal/core"
 	"p2panon/internal/dist"
+	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
 	"p2panon/internal/quality"
+	"p2panon/internal/trace"
 )
 
 // buildTopo creates a dense random topology over n peers.
@@ -261,9 +265,11 @@ func TestConcurrentBatches(t *testing.T) {
 	}
 }
 
-func TestRemovePeerDropsTraffic(t *testing.T) {
-	// Line topology: removing the middle relay makes connections time out
-	// like a real mid-path departure.
+func TestRemovePeerReformsAndSucceeds(t *testing.T) {
+	// Line topology: removing the middle relay forces a mid-path
+	// departure. The holder's send fails synchronously, a NACK retraces
+	// the reverse path, and the initiator reforms — the connection must
+	// still succeed within its deadline, avoiding the corpse.
 	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
 	r := NewRandomRouter(topo, dist.NewSource(18))
 	n := startNetwork(t, topo, r)
@@ -274,11 +280,255 @@ func TestRemovePeerDropsTraffic(t *testing.T) {
 	if n.Peer(2) != nil {
 		t.Fatal("removed peer still listed")
 	}
-	if _, err := n.Connect(0, 3, 1, 2, 10, 200*time.Millisecond); err == nil {
-		t.Fatal("connection through removed peer succeeded")
+	start := time.Now()
+	out, err := n.RunBatch(0, 3, 1, 1, 10, time.Second)
+	if err != nil {
+		t.Fatalf("connection did not reform around removed peer: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("reformation blew the deadline: %v", elapsed)
+	}
+	if out.Reformations < 1 {
+		t.Fatalf("reformations = %d, want >= 1", out.Reformations)
+	}
+	for _, p := range out.Paths {
+		for _, id := range p {
+			if id == 2 {
+				t.Fatalf("reformed path %v goes through the removed peer", p)
+			}
+		}
+	}
+	m := n.Metrics()
+	if m.Nacks == 0 || m.Dropped == 0 || m.Reformations == 0 {
+		t.Fatalf("metrics did not record the departure: %v", m)
 	}
 	n.RemovePeer(2)  // idempotent
 	n.RemovePeer(99) // unknown: no-op
+}
+
+func TestNackFailsFastOnMidFlightResponderDeparture(t *testing.T) {
+	// The responder departs while the first FORWARD is in flight (a
+	// forwarder's router triggers the removal, making the race
+	// deterministic): every attempt then ends in a synchronous NACK, so
+	// Connect exhausts its attempts and fails well before the overall
+	// timeout instead of sleeping through it.
+	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
+	r := NewRandomRouter(topo, dist.NewSource(19))
+	n := NewNetwork(0)
+	t.Cleanup(n.Close)
+	for id := range topo {
+		router := Router(r)
+		if id == 1 {
+			router = RouterFunc(func(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
+				n.RemovePeer(3) // the responder vanishes mid-path
+				return r.NextHop(self, pred, initiator, responder, batch, conn, remaining)
+			})
+		}
+		if _, err := n.AddPeer(id, router); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	_, err := n.Connect(0, 3, 1, 1, 10, 10*time.Second)
+	if err == nil {
+		t.Fatal("connection to mid-flight-departed responder succeeded")
+	}
+	if !strings.Contains(err.Error(), "departed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("NACK-driven failure took %v, want well under the 10s timeout", elapsed)
+	}
+	m := n.Metrics()
+	if m.Nacks == 0 || m.Failures == 0 {
+		t.Fatalf("failure not counted: %v", m)
+	}
+	// Other responders are unaffected.
+	if _, err := n.Connect(0, 2, 1, 2, 10, 5*time.Second); err != nil {
+		t.Fatalf("responder 2 is still alive: %v", err)
+	}
+}
+
+func TestConcurrentChurnRace(t *testing.T) {
+	// Batches run while interior nodes are concurrently removed and
+	// re-added: no panic or race (run with -race), batches still
+	// complete, and the per-batch reformation counts agree with the
+	// network's counter.
+	topo := buildTopo(30, 6, 25)
+	ur := NewUtilityRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 2), uniformAvail(30))
+	n := startNetwork(t, topo, ur)
+	n.SetRetry(RetryPolicy{MaxAttempts: 6, BaseBackoff: 200 * time.Microsecond, MaxBackoff: 5 * time.Millisecond})
+
+	const workers = 3
+	outs := make([]*BatchOutcome, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outs[w], errs[w] = n.RunBatch(overlay.NodeID(w), overlay.NodeID(29-w), 200+w, 12, 5, 10*time.Second)
+		}(w)
+	}
+	// Churn interior nodes (never the workers' endpoints) while the
+	// batches are in flight.
+	churned := []overlay.NodeID{10, 12, 14, 16, 18}
+	for round := 0; round < 3; round++ {
+		for _, id := range churned {
+			n.RemovePeer(id)
+			time.Sleep(500 * time.Microsecond)
+			if _, err := n.AddPeer(id, ur); err != nil {
+				t.Errorf("re-add %d: %v", id, err)
+			}
+		}
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if len(outs[w].Paths) != 12 {
+			t.Fatalf("worker %d completed %d connections", w, len(outs[w].Paths))
+		}
+		total += outs[w].Reformations
+	}
+	if got := n.Metrics().Reformations; got != int64(total) {
+		t.Fatalf("network counted %d reformations, batches %d", got, total)
+	}
+}
+
+func TestContractRejectionNacksInitiator(t *testing.T) {
+	// A forwarder that fails to verify the contract must NACK the
+	// initiator (fatal: no retry), not silently drop the message.
+	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
+	r := NewRandomRouter(topo, dist.NewSource(26))
+	n := startNetwork(t, topo, r)
+	bk, err := onion.NewBatchKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contract, _, err := onion.NewSignedContract(5, 75, 150, bk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *contract
+	bad.Pf = 9999 // breaks the signature
+	start := time.Now()
+	_, reforms, err := n.connect(0, 3, 5, 1, 10, 5*time.Second, &bad)
+	if err == nil {
+		t.Fatal("unverifiable contract completed a connection")
+	}
+	if !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if reforms != 0 {
+		t.Fatalf("fatal NACK still reformed %d times", reforms)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("NACK did not fail fast: %v", elapsed)
+	}
+	m := n.Metrics()
+	if m.ContractRejects == 0 || m.Nacks == 0 {
+		t.Fatalf("rejection not counted: %v", m)
+	}
+}
+
+func TestRunTraceReplaysWorkloadUnderChurn(t *testing.T) {
+	rng := dist.NewSource(27)
+	net := overlay.NewNetwork(6, rng.Split())
+	for i := 0; i < 25; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	topo := SnapshotTopology(net)
+	ur := NewUtilityRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 2), uniformAvail(25))
+	n := startNetwork(t, topo, ur)
+
+	w := trace.Workload{Pairs: 6, Transmissions: 48, MaxConnections: 10, PfLo: 50, PfHi: 100, Tau: 2}
+	pairs, err := w.Generate(net, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpoints := make(map[overlay.NodeID]struct{})
+	for _, p := range pairs {
+		endpoints[p.Initiator] = struct{}{}
+		endpoints[p.Responder] = struct{}{}
+	}
+	total := trace.TotalConnections(pairs)
+	removed := false
+	res := n.RunTrace(pairs, TraceOptions{
+		Budget:  5,
+		Timeout: 5 * time.Second,
+		Before: func(k int, sofar *TraceResult) {
+			if removed || k < total/2 {
+				return
+			}
+			// Remove the busiest interior forwarder observed so far.
+			victim, best := overlay.None, 0
+			for _, out := range sofar.Outcomes {
+				for id, m := range out.Forwards {
+					if _, isEnd := endpoints[id]; isEnd {
+						continue
+					}
+					if m > best || (m == best && victim != overlay.None && id < victim) {
+						victim, best = id, m
+					}
+				}
+			}
+			if victim != overlay.None {
+				n.RemovePeer(victim)
+				removed = true
+			}
+		},
+	})
+	if !removed {
+		t.Fatal("no interior forwarder to remove — workload too small")
+	}
+	if res.Completed+res.Failed != total {
+		t.Fatalf("completed %d + failed %d != scheduled %d", res.Completed, res.Failed, total)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no connection completed")
+	}
+	sum := 0
+	for _, out := range res.Outcomes {
+		sum += out.Reformations
+	}
+	if sum != res.Reformations {
+		t.Fatalf("per-pair reformations %d != total %d", sum, res.Reformations)
+	}
+}
+
+func TestMirrorFollowsOverlayChurn(t *testing.T) {
+	rng := dist.NewSource(28)
+	net := overlay.NewNetwork(3, rng.Split())
+	live := NewNetwork(0)
+	t.Cleanup(live.Close)
+	r := NewRandomRouter(Topology{}, rng.Split())
+	Mirror(net, live, func(overlay.NodeID) Router { return r })
+	for i := 0; i < 6; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		if live.Peer(id) == nil {
+			t.Fatalf("joined node %d has no live peer", id)
+		}
+	}
+	net.Leave(10, 2, false)
+	if live.Peer(2) != nil {
+		t.Fatal("offline node still has a live peer")
+	}
+	net.Rejoin(20, 2)
+	if live.Peer(2) == nil {
+		t.Fatal("rejoined node has no live peer")
+	}
+	net.Leave(30, 5, true)
+	if live.Peer(5) != nil {
+		t.Fatal("departed node still has a live peer")
+	}
 }
 
 func TestUtilityIIRouterReachesResponder(t *testing.T) {
