@@ -7,24 +7,37 @@
 //	anonsim [-n 40] [-d 5] [-f 0.1] [-strategy utility-I] [-tau 2]
 //	        [-pairs 100] [-tx 2000] [-maxconn 20] [-churn] [-seed 1] [-v]
 //	        [-live] [-live-removals 2]
+//	        [-metrics-addr :9090] [-trace-out trace.jsonl] [-metrics-every 5s]
 //
 // With -live, the simulator summary is followed by a live replay: the same
 // strategy routes real connections over the goroutine-per-peer transport
 // while the busiest forwarders are removed mid-run, and the resulting
 // reformation counts and transport metrics are printed next to the
 // simulator's new-edge rate (Prop. 1's two measurements side by side).
+//
+// The telemetry flags expose the run's unified instrument registry:
+// -metrics-addr serves Prometheus text on /metrics (plus /metrics.json,
+// /trace and net/http/pprof under /debug/pprof/), -trace-out writes the
+// connection lifecycle event ring (launch, hop-forward, contract-reject,
+// NACK, reformation, delivered/failed) as JSONL at exit, and
+// -metrics-every logs a snapshot table to stderr on a fixed cadence.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"p2panon/internal/core"
 	"p2panon/internal/experiment"
 	"p2panon/internal/report"
 	"p2panon/internal/stats"
+	"p2panon/internal/telemetry"
 )
 
 func main() {
@@ -43,7 +56,42 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-batch details")
 	live := flag.Bool("live", false, "also replay the workload on the live transport under churn")
 	liveRemovals := flag.Int("live-removals", 2, "busiest forwarders removed mid-run in the live replay")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address (Prometheus /metrics, JSON /metrics.json, /trace, pprof); :0 picks a free port")
+	traceOut := flag.String("trace-out", "", "write connection lifecycle events as JSONL to this file at exit")
+	traceCap := flag.Int("trace-cap", 65536, "event-ring capacity for lifecycle tracing")
+	metricsEvery := flag.Duration("metrics-every", 0, "log a telemetry snapshot table to stderr at this interval (0 = off)")
 	flag.Parse()
+
+	// The unified registry/tracer back every instrumented layer of the
+	// run; they stay nil (all hooks no-ops) unless a telemetry flag asks
+	// for them.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *metricsAddr != "" || *metricsEvery > 0 || *traceOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *traceOut != "" || *metricsAddr != "" {
+		tracer = telemetry.NewTracer(*traceCap)
+	}
+	var srv *telemetry.Server
+	if *metricsAddr != "" {
+		var err error
+		srv, err = telemetry.Serve(*metricsAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "anonsim: metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving http://%s/metrics (also /metrics.json, /trace, /debug/pprof/)\n", srv.Addr())
+	}
+	if *metricsEvery > 0 {
+		go func() {
+			for range time.Tick(*metricsEvery) {
+				report.TelemetryTable(fmt.Sprintf("telemetry snapshot %s", time.Now().Format(time.TimeOnly)),
+					reg.Snapshot()).Render(os.Stderr)
+			}
+		}()
+	}
 
 	var strategy core.Strategy
 	switch *strat {
@@ -77,6 +125,7 @@ func main() {
 		s.Core.MaxHops = 12
 	}
 	s.Core.PositionAware = *posAware
+	s.Telemetry = reg
 
 	res, err := experiment.Run(s)
 	if err != nil {
@@ -120,14 +169,56 @@ func main() {
 
 	if *live {
 		runLive(strategy, *n, *d, *pairs, *tx, *maxconn, *liveRemovals, *seed,
-			stats.Mean(res.NewEdgeRates))
+			stats.Mean(res.NewEdgeRates), reg, tracer)
 	}
+
+	if reg != nil {
+		fmt.Println()
+		report.TelemetryTable("telemetry totals", reg.Snapshot()).Render(os.Stdout)
+	}
+	if srv != nil {
+		scrapeSummary(srv.Addr())
+	}
+	if *traceOut != "" {
+		if err := tracer.DumpJSONL(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "anonsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %d events to %s (%d dropped by the ring)\n",
+			len(tracer.Events()), *traceOut, tracer.Dropped())
+	}
+}
+
+// scrapeSummary fetches the live /metrics endpoint once and reports which
+// metric families it is exposing — a self-check that the exposition works
+// end to end while the server is still up.
+func scrapeSummary(addr string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anonsim: scraping own metrics: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anonsim: reading own metrics: %v\n", err)
+		return
+	}
+	families := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+		}
+	}
+	fmt.Printf("scrape: GET http://%s/metrics -> %s, %d bytes, %d metric families\n",
+		addr, resp.Status, len(body), families)
 }
 
 // runLive replays the workload shape on the concurrent transport with
 // mid-run removals and prints the live reformation counters alongside the
 // simulator's new-edge rate.
-func runLive(strategy core.Strategy, n, d, pairs, tx, maxconn, removals int, seed uint64, simNewEdge float64) {
+func runLive(strategy core.Strategy, n, d, pairs, tx, maxconn, removals int, seed uint64,
+	simNewEdge float64, reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	if strategy == core.FixedPath {
 		fmt.Println("\nlive replay: fixed-path has no live router; use random/utility-I/utility-II")
 		return
@@ -138,6 +229,8 @@ func runLive(strategy core.Strategy, n, d, pairs, tx, maxconn, removals int, see
 	ls.Removals = removals
 	ls.Strategy = strategy
 	ls.Seed = seed
+	ls.Telemetry = reg
+	ls.Tracer = tracer
 	out, err := experiment.RunLive(ls)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "anonsim: live replay: %v\n", err)
@@ -148,4 +241,10 @@ func runLive(strategy core.Strategy, n, d, pairs, tx, maxconn, removals int, see
 	fmt.Printf("  path reformations:      %d (rate %.4f vs sim E[X] %.4f)\n",
 		out.Reformations, out.ReformationRate, simNewEdge)
 	fmt.Printf("  transport metrics:      %s\n", out.Metrics)
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(report.HistogramChart("connect latency (seconds)", out.Metrics.ConnectLatency, 40))
+		fmt.Println()
+		fmt.Print(report.HistogramChart("realised path length (nodes)", out.Metrics.PathLength, 40))
+	}
 }

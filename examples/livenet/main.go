@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -19,6 +20,8 @@ import (
 	"p2panon/internal/overlay"
 	"p2panon/internal/probe"
 	"p2panon/internal/quality"
+	"p2panon/internal/report"
+	"p2panon/internal/telemetry"
 	"p2panon/internal/transport"
 )
 
@@ -56,8 +59,15 @@ func main() {
 	routerI := transport.NewUtilityRouter(topo, quality.DefaultWeights(), contract, avail)
 	routerII := transport.NewUtilityIIRouter(topo, quality.DefaultWeights(), contract, avail)
 
+	// One shared registry and event tracer across the runtime and the
+	// SPNE router: the final report shows the unified series.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(8192)
+	routerII.Instrument(reg)
+
 	live := transport.NewNetwork(200 * time.Microsecond)
 	defer live.Close()
+	live.Instrument(reg, tracer)
 	for id := range topo {
 		r := transport.Router(routerI)
 		if id%2 == 0 {
@@ -138,6 +148,25 @@ func main() {
 	if m.Reformations == 0 || m.Dropped == 0 {
 		log.Fatalf("expected non-zero reformation and drop counters, got %s", m)
 	}
+
+	// The unified telemetry view: every series both routers and the
+	// runtime wrote, the latency distribution, and the traced lifecycle
+	// of the churn phase's reformed connections.
+	fmt.Println()
+	report.TelemetryTable("unified telemetry", reg.Snapshot()).Render(os.Stdout)
+	fmt.Println()
+	fmt.Print(report.HistogramChart("connect latency (seconds)", m.ConnectLatency, 40))
+	var nacked, delivered int
+	for _, ev := range tracer.Events() {
+		switch ev.Kind {
+		case telemetry.KindNack:
+			nacked++
+		case telemetry.KindDelivered:
+			delivered++
+		}
+	}
+	fmt.Printf("\ntrace ring: %d events (%d NACKs, %d delivered, %d dropped by the ring)\n",
+		len(tracer.Events()), nacked, delivered, tracer.Dropped())
 }
 
 // busiestForwarder returns the non-endpoint peer with the most forwarding

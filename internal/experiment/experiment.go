@@ -22,7 +22,16 @@ import (
 	"p2panon/internal/probe"
 	"p2panon/internal/sim"
 	"p2panon/internal/stats"
+	"p2panon/internal/telemetry"
 	"p2panon/internal/trace"
+)
+
+// Simulator metric names (bound when Setup.Telemetry is set).
+const (
+	metricSimConnections = "sim_connections_total" // label result: ok|skipped
+	metricSimSetSize     = "sim_batch_set_size"    // per-batch ‖π‖
+	metricSimQuality     = "sim_batch_quality"     // per-batch Q(π) = L/‖π‖
+	metricSimNewEdgeRate = "sim_new_edge_rate"     // per-batch Prop. 1 E[X]
 )
 
 // Setup fully describes one simulation run. The zero value is not valid;
@@ -51,6 +60,11 @@ type Setup struct {
 	WarmupProbes int
 	// Seed drives all randomness.
 	Seed uint64
+	// Telemetry, when non-nil, receives the run's instruments: overlay
+	// churn transitions, probe estimator updates, and sim_* connection
+	// and batch-outcome series. Nil leaves the run uninstrumented (the
+	// per-event cost is a nil check).
+	Telemetry *telemetry.Registry
 }
 
 // Default returns the paper's §3 experimental setup (strategy and
@@ -159,6 +173,10 @@ type harness struct {
 	// if it is skipped); afterConnection runs after a successful one.
 	beforeConnection func(pairIdx int)
 	afterConnection  func(pairIdx int, res *core.PathResult)
+
+	// Telemetry instruments; nil (no-op) unless Setup.Telemetry was set.
+	connOK, connSkipped       *telemetry.Counter
+	setSize, quality, newEdge *telemetry.Histogram
 }
 
 // newHarness builds the full simulation but does not run it.
@@ -168,6 +186,9 @@ func newHarness(s Setup) (*harness, error) {
 	}
 	rng := dist.NewSource(s.Seed)
 	net := overlay.NewNetwork(s.Degree, rng.Split())
+	// Instrument before the churn driver joins the initial population so
+	// those transitions are counted too.
+	net.Instrument(s.Telemetry)
 	engine := sim.NewEngine()
 
 	cc := s.ChurnConfig
@@ -185,6 +206,7 @@ func newHarness(s Setup) (*harness, error) {
 	}
 
 	probes := probe.NewSet(net, rng.Split(), s.ProbePeriod)
+	probes.Instrument(s.Telemetry)
 	for i := 0; i < s.WarmupProbes; i++ {
 		probes.TickAll()
 	}
@@ -201,6 +223,17 @@ func newHarness(s Setup) (*harness, error) {
 	}
 
 	h := &harness{s: s, engine: engine, net: net, sys: sys, pairs: pairs}
+	if reg := s.Telemetry; reg != nil {
+		reg.Help(metricSimConnections, "scheduled connections run (result=ok) or skipped for an offline endpoint (result=skipped)")
+		reg.Help(metricSimSetSize, "per-batch forwarder-set size ‖π‖")
+		reg.Help(metricSimQuality, "per-batch anonymity quality Q(π) = L/‖π‖")
+		reg.Help(metricSimNewEdgeRate, "per-batch empirical new-edge (reformation) rate E[X]")
+		h.connOK = reg.Counter(metricSimConnections, telemetry.Labels{"result": "ok"})
+		h.connSkipped = reg.Counter(metricSimConnections, telemetry.Labels{"result": "skipped"})
+		h.setSize = reg.Histogram(metricSimSetSize, telemetry.LinearBuckets(1, 1, 16), nil)
+		h.quality = reg.Histogram(metricSimQuality, telemetry.LinearBuckets(0.25, 0.25, 16), nil)
+		h.newEdge = reg.Histogram(metricSimNewEdgeRate, telemetry.LinearBuckets(0.1, 0.1, 10), nil)
+	}
 	h.batches = make([]*core.Batch, len(pairs))
 	for i, p := range pairs {
 		b, err := sys.NewBatch(p.Initiator, p.Responder, p.Contract, s.Strategy)
@@ -229,11 +262,13 @@ func newHarness(s Setup) (*harness, error) {
 				}
 				if !h.net.Online(p.Initiator) || !h.net.Online(p.Responder) {
 					h.skipped++
+					h.connSkipped.Inc()
 					return
 				}
 				// Keep the initiator's neighbor view repaired under churn.
 				h.net.RefreshNeighbors(p.Initiator)
 				res := h.batches[i].RunConnection()
+				h.connOK.Inc()
 				if h.afterConnection != nil {
 					h.afterConnection(i, res)
 				}
@@ -277,6 +312,9 @@ func (h *harness) result() *Result {
 		}
 		res.SetSizes = append(res.SetSizes, float64(bs.SetSize))
 		res.NewEdgeRates = append(res.NewEdgeRates, bs.NewEdgeRate)
+		h.setSize.Observe(float64(bs.SetSize))
+		h.quality.Observe(bs.Quality)
+		h.newEdge.Observe(bs.NewEdgeRate)
 		res.TotalDeclines += bs.Declines
 		res.Batches = append(res.Batches, bs)
 	}

@@ -11,6 +11,7 @@ import (
 	"p2panon/internal/probe"
 	"p2panon/internal/quality"
 	"p2panon/internal/stats"
+	"p2panon/internal/telemetry"
 	"p2panon/internal/trace"
 	"p2panon/internal/transport"
 )
@@ -37,6 +38,14 @@ type LiveSetup struct {
 	Strategy core.Strategy
 	// Seed drives all randomness.
 	Seed uint64
+	// Telemetry, when non-nil, receives the run's instruments — the
+	// transport runtime's metrics plus overlay churn, probe updates and
+	// the SPNE cache counters — so a caller can expose one registry for
+	// the whole replay. Tracer, when non-nil, records the connection
+	// lifecycle events (launch, hop-forward, NACK, reformation,
+	// delivered/failed) into its ring.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // DefaultLive returns a compact live-churn study: 30 peers, 8 pairs of up
@@ -80,6 +89,7 @@ func RunLive(s LiveSetup) (*LiveOutcome, error) {
 	}
 	rng := dist.NewSource(s.Seed)
 	net := overlay.NewNetwork(s.Degree, rng.Split())
+	net.Instrument(s.Telemetry)
 	for i := 0; i < s.N; i++ {
 		net.Join(0, false)
 	}
@@ -87,6 +97,7 @@ func RunLive(s LiveSetup) (*LiveOutcome, error) {
 		net.RefreshNeighbors(id)
 	}
 	probes := probe.NewSet(net, rng.Split(), probe.DefaultPeriod)
+	probes.Instrument(s.Telemetry)
 	for i := 0; i < 5; i++ {
 		probes.TickAll()
 	}
@@ -111,13 +122,18 @@ func RunLive(s LiveSetup) (*LiveOutcome, error) {
 	case core.UtilityI:
 		router = transport.NewUtilityRouter(topo, quality.DefaultWeights(), contract, avail)
 	case core.UtilityII:
-		router = transport.NewUtilityIIRouter(topo, quality.DefaultWeights(), contract, avail)
+		r := transport.NewUtilityIIRouter(topo, quality.DefaultWeights(), contract, avail)
+		r.Instrument(s.Telemetry)
+		router = r
 	default:
 		return nil, fmt.Errorf("experiment: strategy %v has no live router", s.Strategy)
 	}
 
 	live := transport.NewNetwork(s.Latency)
 	defer live.Close()
+	if s.Telemetry != nil || s.Tracer != nil {
+		live.Instrument(s.Telemetry, s.Tracer)
+	}
 	for id := range topo {
 		if _, err := live.AddPeer(id, router); err != nil {
 			return nil, err
@@ -142,6 +158,10 @@ func RunLive(s LiveSetup) (*LiveOutcome, error) {
 
 	total := trace.TotalConnections(pairs)
 	out := &LiveOutcome{Strategy: s.Strategy}
+	// Window the metrics around the replay: with a shared registry the
+	// instruments may already carry counts from earlier runs, and Delta
+	// keeps the outcome per-window regardless.
+	pre := live.Metrics()
 	res := live.RunTrace(pairs, transport.TraceOptions{
 		Budget:  s.Budget,
 		Timeout: s.Timeout,
@@ -161,7 +181,7 @@ func RunLive(s LiveSetup) (*LiveOutcome, error) {
 		out.ReformationRate = float64(res.Reformations) / float64(total)
 	}
 	out.Outcomes = res.Outcomes
-	out.Metrics = live.Metrics()
+	out.Metrics = live.Metrics().Delta(pre)
 	return out, nil
 }
 

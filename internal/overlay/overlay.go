@@ -14,6 +14,7 @@ import (
 
 	"p2panon/internal/dist"
 	"p2panon/internal/sim"
+	"p2panon/internal/telemetry"
 )
 
 // NodeID identifies a peer. IDs are dense small integers assigned in join
@@ -89,6 +90,12 @@ type Network struct {
 	degree    int
 	rng       *dist.Source
 	observers []ChurnFunc
+
+	// churn counters, one per destination state; nil (no-op) until
+	// Instrument binds them into a telemetry registry.
+	churnOnline   *telemetry.Counter
+	churnOffline  *telemetry.Counter
+	churnDeparted *telemetry.Counter
 }
 
 // NewNetwork returns an empty overlay whose nodes will maintain neighbor
@@ -117,8 +124,26 @@ func (n *Network) OnChurn(fn ChurnFunc) {
 	}
 }
 
+// Instrument binds the overlay's churn counters into reg, exposed as
+// overlay_churn_total{state=online|offline|departed}. Call before driving
+// churn; transitions before the call are not retro-counted.
+func (n *Network) Instrument(reg *telemetry.Registry) {
+	reg.Help("overlay_churn_total", "node lifecycle transitions by destination state")
+	n.churnOnline = reg.Counter("overlay_churn_total", telemetry.Labels{"state": "online"})
+	n.churnOffline = reg.Counter("overlay_churn_total", telemetry.Labels{"state": "offline"})
+	n.churnDeparted = reg.Counter("overlay_churn_total", telemetry.Labels{"state": "departed"})
+}
+
 // notifyChurn fans a transition out to the registered observers.
 func (n *Network) notifyChurn(id NodeID, s State) {
+	switch s {
+	case Online:
+		n.churnOnline.Inc()
+	case Offline:
+		n.churnOffline.Inc()
+	case Departed:
+		n.churnDeparted.Inc()
+	}
 	for _, fn := range n.observers {
 		fn(id, s)
 	}

@@ -38,6 +38,9 @@ type Bank struct {
 	// ledger records per-account statements when EnableAudit was called.
 	ledger   map[AccountID][]LedgerEntry
 	auditSeq uint64
+
+	// tele holds the nil-safe counter set bound by Instrument.
+	tele bankInstruments
 }
 
 // NewBank creates a bank with a fresh RSA key of the given size (>= 1024
@@ -111,7 +114,8 @@ func (b *Bank) Withdraw(id AccountID, req *WithdrawalRequest) (*big.Int, error) 
 // Deposit verifies a token and credits the depositor. A replayed serial is
 // rejected with ErrDoubleSpend and the original depositor is reported so
 // the caller can attribute the cheat.
-func (b *Bank) Deposit(id AccountID, tok Token) error {
+func (b *Bank) Deposit(id AccountID, tok Token) (err error) {
+	defer func() { b.noteDeposit(err) }()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, ok := b.accounts[id]; !ok {

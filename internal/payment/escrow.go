@@ -125,5 +125,6 @@ func (e *Escrow) SettleFromEscrow(minter *ReceiptMinter, pf, pr Amount, claims [
 	if err != nil {
 		return accepted, 0, err
 	}
+	e.bank.noteSettlement(accepted, countRejected(claims, accepted))
 	return accepted, refund, nil
 }

@@ -129,6 +129,7 @@ func (s *Settlement) Run(claims []Claim) ([]Payout, error) {
 		}
 	}
 	if len(accepted) == 0 {
+		s.Bank.noteSettlement(nil, countRejected(claims, nil))
 		return nil, nil
 	}
 	share := s.Pr / Amount(len(accepted))
@@ -141,6 +142,7 @@ func (s *Settlement) Run(claims []Claim) ([]Payout, error) {
 			return accepted[:i], fmt.Errorf("payment: paying forwarder %d: %w", accepted[i].Forwarder, err)
 		}
 	}
+	s.Bank.noteSettlement(accepted, countRejected(claims, accepted))
 	return accepted, nil
 }
 

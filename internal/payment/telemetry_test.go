@@ -1,0 +1,125 @@
+package payment
+
+import (
+	"testing"
+
+	"p2panon/internal/telemetry"
+)
+
+func paymentCounter(snap telemetry.Snapshot, name string, labels map[string]string) int64 {
+	for _, c := range snap.Counters {
+		if c.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if c.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func TestDepositCountersClassifyOutcomes(t *testing.T) {
+	b := freshBank(t)
+	reg := telemetry.NewRegistry()
+	b.Instrument(reg)
+	b.OpenAccount(1, 100)
+	b.OpenAccount(2, 0)
+	b.OpenAccount(3, 0)
+
+	tok := withdrawToken(t, b, 1, 10)
+	if err := b.Deposit(2, tok); err != nil {
+		t.Fatal(err)
+	}
+	b.Deposit(3, tok)              // double spend
+	b.Deposit(2, Token{Denom: 5})  // bad signature
+	b.Deposit(99, Token{Denom: 5}) // unknown account
+
+	snap := reg.Snapshot()
+	want := map[string]int64{"ok": 1, "double_spend": 1, "bad_signature": 1, "unknown_account": 1}
+	for result, n := range want {
+		if got := paymentCounter(snap, metricDepositsTotal, map[string]string{"result": result}); got != n {
+			t.Fatalf("deposits{result=%s} = %d, want %d", result, got, n)
+		}
+	}
+	if got := paymentCounter(snap, metricCheatsTotal, map[string]string{"kind": "double_spend"}); got != 1 {
+		t.Fatalf("cheats{double_spend} = %d, want 1", got)
+	}
+}
+
+func TestSettlementCountersIncludeRejectedReceipts(t *testing.T) {
+	b := freshBank(t)
+	reg := telemetry.NewRegistry()
+	b.Instrument(reg)
+	b.OpenAccount(1, 10000)
+	b.OpenAccount(2, 0)
+	b.OpenAccount(3, 0)
+
+	minter, err := NewReceiptMinter([]byte("batch-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := minter.Mint(1, 1, 2)
+	forged := Receipt{Conn: 9, Hop: 9, Forwarder: 3} // bad MAC
+	s := &Settlement{Bank: b, Minter: minter, Initiator: 1, Pf: 10, Pr: 100}
+	payouts, err := s.Run([]Claim{
+		{Forwarder: 2, Receipts: []Receipt{good, good}}, // one dup rejected
+		{Forwarder: 3, Receipts: []Receipt{forged}},     // forgery rejected
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payouts) != 1 {
+		t.Fatalf("payouts = %+v", payouts)
+	}
+
+	snap := reg.Snapshot()
+	if got := paymentCounter(snap, metricSettlementsTotal, nil); got != 1 {
+		t.Fatalf("settlements = %d, want 1", got)
+	}
+	if got := paymentCounter(snap, metricPayoutsTotal, nil); got != 1 {
+		t.Fatalf("payouts counter = %d, want 1", got)
+	}
+	if got := paymentCounter(snap, metricSettledCredits, nil); got != int64(payouts[0].Amount) {
+		t.Fatalf("settled credits = %d, want %d", got, payouts[0].Amount)
+	}
+	// Two submitted receipts were discarded: the duplicate and the forgery.
+	if got := paymentCounter(snap, metricCheatsTotal, map[string]string{"kind": "rejected_receipt"}); got != 2 {
+		t.Fatalf("cheats{rejected_receipt} = %d, want 2", got)
+	}
+}
+
+func TestEscrowSettlementCounters(t *testing.T) {
+	b := freshBank(t)
+	reg := telemetry.NewRegistry()
+	b.Instrument(reg)
+	b.OpenAccount(1, 1000)
+	b.OpenAccount(2, 0)
+
+	minter, err := NewReceiptMinter([]byte("batch-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, err := b.OpenEscrow(1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := minter.Mint(1, 1, 2)
+	payouts, _, err := esc.SettleFromEscrow(minter, 10, 100, []Claim{{Forwarder: 2, Receipts: []Receipt{r}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payouts) != 1 {
+		t.Fatalf("payouts = %+v", payouts)
+	}
+	snap := reg.Snapshot()
+	if got := paymentCounter(snap, metricSettlementsTotal, nil); got != 1 {
+		t.Fatalf("settlements = %d, want 1", got)
+	}
+}

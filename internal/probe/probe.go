@@ -23,6 +23,13 @@ import (
 	"p2panon/internal/dist"
 	"p2panon/internal/overlay"
 	"p2panon/internal/sim"
+	"p2panon/internal/telemetry"
+)
+
+// Probe metric names (see Set.Instrument / Estimator.Instrument).
+const (
+	metricTicksTotal   = "probe_ticks_total"   // probing rounds run
+	metricUpdatesTotal = "probe_updates_total" // label result: credit|decay|init
 )
 
 // DefaultPeriod is the default probing period T (60 simulated seconds).
@@ -44,6 +51,9 @@ type Estimator struct {
 
 	session map[overlay.NodeID]float64 // observed session time t_s(u)
 	probes  int
+
+	// nil (no-op) until Instrument binds them.
+	ticks, credits, decays, inits *telemetry.Counter
 }
 
 // NewEstimator creates an estimator for owner's neighbor set. Session times
@@ -68,6 +78,18 @@ func NewEstimator(owner overlay.NodeID, net *overlay.Network, rng *dist.Source, 
 	return est
 }
 
+// Instrument binds the estimator's update counters into reg:
+// probe_ticks_total and probe_updates_total{result=credit|decay|init}.
+// Estimators sharing a registry share the series (their counts sum).
+func (est *Estimator) Instrument(reg *telemetry.Registry) {
+	reg.Help(metricTicksTotal, "probing rounds run across all estimators")
+	reg.Help(metricUpdatesTotal, "per-neighbor estimate updates: T credited, decayed on miss, or rand(0,T) initialised")
+	est.ticks = reg.Counter(metricTicksTotal, nil)
+	est.credits = reg.Counter(metricUpdatesTotal, telemetry.Labels{"result": "credit"})
+	est.decays = reg.Counter(metricUpdatesTotal, telemetry.Labels{"result": "decay"})
+	est.inits = reg.Counter(metricUpdatesTotal, telemetry.Labels{"result": "init"})
+}
+
 // Owner returns the observing node's ID.
 func (est *Estimator) Owner() overlay.NodeID { return est.owner }
 
@@ -83,6 +105,7 @@ func (est *Estimator) Probes() int { return est.probes }
 // observed session time ⇒ higher availability" ordering.
 func (est *Estimator) Tick() {
 	est.probes++
+	est.ticks.Inc()
 	current := est.net.NeighborsOf(est.owner)
 	inSet := make(map[overlay.NodeID]struct{}, len(current))
 	fresh := make(map[overlay.NodeID]struct{})
@@ -92,6 +115,7 @@ func (est *Estimator) Tick() {
 			// New neighbor: initialise to rand(0, T) per the paper.
 			est.session[v] = est.rng.Uniform(0, est.period.Seconds())
 			fresh[v] = struct{}{}
+			est.inits.Inc()
 		}
 	}
 	for v := range est.session {
@@ -105,8 +129,10 @@ func (est *Estimator) Tick() {
 		}
 		if est.net.Online(v) {
 			est.session[v] += est.period.Seconds()
+			est.credits.Inc()
 		} else {
 			est.session[v] *= DecayOnMiss
+			est.decays.Inc()
 		}
 	}
 }
@@ -169,6 +195,16 @@ type Set struct {
 	rng    *dist.Source
 	period sim.Time
 	byNode map[overlay.NodeID]*Estimator
+	reg    *telemetry.Registry
+}
+
+// Instrument binds every current and future estimator in the set into
+// reg (they share the probe_* series).
+func (s *Set) Instrument(reg *telemetry.Registry) {
+	s.reg = reg
+	for _, est := range s.byNode {
+		est.Instrument(reg)
+	}
 }
 
 // NewSet creates an empty estimator set.
@@ -186,6 +222,9 @@ func (s *Set) For(id overlay.NodeID) *Estimator {
 	est, ok := s.byNode[id]
 	if !ok {
 		est = NewEstimator(id, s.net, s.rng.Split(), s.period)
+		if s.reg != nil {
+			est.Instrument(s.reg)
+		}
 		s.byNode[id] = est
 	}
 	return est

@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"p2panon/internal/experiment"
@@ -184,14 +185,19 @@ func CDFSummaryTable(title string, cdfs []experiment.CDFSeries) *Table {
 }
 
 // Sparkline renders values as a unicode mini-chart for quick terminal
-// inspection.
+// inspection. Non-finite values render as the lowest tick, and the index
+// arithmetic is clamped so pathological ranges (±Inf endpoints) cannot
+// select an out-of-range rune.
 func Sparkline(vals []float64) string {
 	if len(vals) == 0 {
 		return ""
 	}
 	ticks := []rune("▁▂▃▄▅▆▇█")
-	lo, hi := vals[0], vals[0]
+	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		if v < lo {
 			lo = v
 		}
@@ -202,19 +208,33 @@ func Sparkline(vals []float64) string {
 	var b strings.Builder
 	for _, v := range vals {
 		idx := 0
-		if hi > lo {
+		if hi > lo && !math.IsNaN(v) && !math.IsInf(v, 0) {
 			idx = int((v - lo) / (hi - lo) * float64(len(ticks)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ticks) {
+				idx = len(ticks) - 1
+			}
 		}
 		b.WriteRune(ticks[idx])
 	}
 	return b.String()
 }
 
-// Histogram renders a stats.Histogram as an ASCII bar chart.
+// Histogram renders a stats.Histogram as an ASCII bar chart. A nil or
+// empty histogram renders as just the title, and a non-positive width
+// falls back to a single-column chart instead of panicking in Repeat.
 func Histogram(title string, h *stats.Histogram, width int) string {
 	var b strings.Builder
 	if title != "" {
 		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if h == nil {
+		return b.String()
+	}
+	if width < 1 {
+		width = 1
 	}
 	maxCount := 0
 	for _, c := range h.Counts {

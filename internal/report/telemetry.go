@@ -1,0 +1,72 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"p2panon/internal/telemetry"
+)
+
+// TelemetryTable renders a registry snapshot as one fixed-width table:
+// counters and gauges get a value row, histograms a count/mean/p50/p90/max
+// summary row. Series appear in the snapshot's order (sorted by name then
+// label set), so output is deterministic and diffable across runs.
+func TelemetryTable(title string, snap telemetry.Snapshot) *Table {
+	t := &Table{Title: title, Headers: []string{"series", "value", "mean", "p50", "p90", "max"}}
+	for _, c := range snap.Counters {
+		t.AddRow(seriesName(c.Name, c.Labels), fmt.Sprintf("%d", c.Value), "-", "-", "-", "-")
+	}
+	for _, g := range snap.Gauges {
+		t.AddRow(seriesName(g.Name, g.Labels), fmt.Sprintf("%d", g.Value), "-", "-", "-", "-")
+	}
+	for _, h := range snap.Histograms {
+		t.AddRow(seriesName(h.Name, h.Labels),
+			fmt.Sprintf("%d", h.Count),
+			F4(h.Mean()), F4(h.Quantile(0.5)), F4(h.Quantile(0.9)), F4(h.Quantile(1)))
+	}
+	return t
+}
+
+// seriesName renders name{k="v",...} like the Prometheus exposition.
+func seriesName(name string, labels telemetry.Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + labels.String() + "}"
+}
+
+// HistogramChart renders a telemetry histogram snapshot as an ASCII bar
+// chart, one row per bucket (non-cumulative counts, +Inf bucket last).
+// Empty snapshots render as just the title.
+func HistogramChart(title string, h telemetry.HistogramSnapshot, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if h.Count == 0 {
+		return b.String()
+	}
+	if width < 1 {
+		width = 1
+	}
+	var maxCount int64
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	label := func(i int) string {
+		if i < len(h.Bounds) {
+			return fmt.Sprintf("<=%g", h.Bounds[i])
+		}
+		return "+Inf"
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = int(c * int64(width) / maxCount)
+		}
+		fmt.Fprintf(&b, "%12s | %-*s %d\n", label(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", nil).Add(3)
+	reg.Histogram("lat_seconds", []float64{0.01}, nil).Observe(0.005)
+	tr := NewTracer(8)
+	tr.Record(Event{Kind: KindLaunch, Batch: 1, Conn: 1, Node: 0})
+
+	ts := httptest.NewServer(Handler(reg, tr))
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"hits_total 3", `lat_seconds_bucket{le="0.01"} 1`, "lat_seconds_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK || !strings.Contains(body, `"hits_total"`) {
+		t.Fatalf("/metrics.json status %d body %s", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/trace")
+	if code != http.StatusOK || !strings.Contains(body, `"launch"`) {
+		t.Fatalf("/trace status %d body %s", code, body)
+	}
+
+	code, _ = get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestServeEphemeral(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("up", nil).Set(1)
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "up 1") {
+		t.Fatalf("status %d body %s", code, body)
+	}
+	// /trace with a nil tracer serves an empty document, not an error.
+	code, body = get(t, "http://"+srv.Addr()+"/trace")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("nil-tracer /trace: status %d body %q", code, body)
+	}
+}

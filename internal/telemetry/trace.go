@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind names a connection-lifecycle event.
+type EventKind string
+
+// The connection lifecycle the transport records: a connection is
+// launched, forwarded hop by hop, possibly NACKed (mid-path departure or
+// contract rejection) and reformed, and finally delivered or failed;
+// settled marks the post-batch payment event.
+const (
+	KindLaunch         EventKind = "launch"
+	KindHopForward     EventKind = "hop-forward"
+	KindContractReject EventKind = "contract-reject"
+	KindNack           EventKind = "nack"
+	KindReformation    EventKind = "reformation"
+	KindDelivered      EventKind = "delivered"
+	KindFailed         EventKind = "failed"
+	KindSettled        EventKind = "settled"
+)
+
+// Event is one structured trace record. Node is the acting peer (the
+// forwarder for hop events, the initiator for connection-level events)
+// and Hop its path position where meaningful (0 = initiator).
+type Event struct {
+	Time   time.Time `json:"t"`
+	Kind   EventKind `json:"kind"`
+	Batch  int       `json:"batch"`
+	Conn   int       `json:"conn"`
+	Node   int       `json:"node"`
+	Hop    int       `json:"hop,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer records events into a bounded in-memory ring: when the ring is
+// full the oldest events are overwritten, so a long-lived process keeps
+// the most recent window at fixed memory cost. All methods are safe for
+// concurrent use and nil-safe (a nil *Tracer drops everything), so call
+// sites need no enabled-checks.
+//
+// Writers share the lock (RLock) and claim distinct slots with one atomic
+// add, so concurrent peer goroutines never serialise against each other on
+// the hot path; readers (Events and the exporters) take the lock
+// exclusively, which drains all in-flight writers first and therefore
+// observes only fully written events. Two writers can claim the same slot
+// only when the ring wraps past a stalled writer (indices a full capacity
+// apart); the per-slot spinlock serialises that rare collision so the ring
+// is race-free at any capacity.
+type Tracer struct {
+	mu  sync.RWMutex
+	buf []slot        // fixed length == capacity
+	pos atomic.Uint64 // events ever recorded; slot = (pos-1) mod cap
+}
+
+type slot struct {
+	lock atomic.Uint32 // 0 = free, 1 = writer inside
+	ev   Event
+}
+
+// NewTracer creates a tracer holding the most recent `capacity` events.
+// It panics if capacity < 1.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		panic("telemetry: NewTracer capacity < 1")
+	}
+	return &Tracer{buf: make([]slot, capacity)}
+}
+
+// Record appends ev to the ring, evicting the oldest event when full. A
+// zero Time is stamped with the current wall clock. Nil-safe.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	t.mu.RLock()
+	i := t.pos.Add(1) - 1
+	s := &t.buf[i%uint64(len(t.buf))]
+	for !s.lock.CompareAndSwap(0, 1) {
+	}
+	s.ev = ev
+	s.lock.Store(0)
+	t.mu.RUnlock()
+}
+
+// Events returns the retained events oldest-first. Nil-safe (returns nil).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.pos.Load()
+	n := uint64(len(t.buf))
+	count, start := total, uint64(0)
+	if total > n {
+		count, start = n, total%n
+	}
+	out := make([]Event, 0, count)
+	for k := uint64(0); k < count; k++ {
+		out = append(out, t.buf[(start+k)%n].ev)
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded. Nil-safe.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.pos.Load()
+}
+
+// Dropped returns how many events the ring has evicted. Nil-safe.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	total := t.pos.Load()
+	if total <= uint64(len(t.buf)) {
+		return 0
+	}
+	return total - uint64(len(t.buf))
+}
+
+// WriteJSONL writes the retained events as one JSON object per line,
+// oldest first. Nil-safe (writes nothing).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpJSONL writes the retained events to the named file (truncating).
+func (t *Tracer) DumpJSONL(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

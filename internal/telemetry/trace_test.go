@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: KindHopForward, Conn: i})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 6 + i; ev.Conn != want {
+			t.Fatalf("event %d has conn %d, want %d (oldest-first after wrap)", i, ev.Conn, want)
+		}
+		if ev.Time.IsZero() {
+			t.Fatalf("event %d not timestamped", i)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Kind: KindLaunch, Conn: 1})
+	tr.Record(Event{Kind: KindDelivered, Conn: 1})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != KindLaunch || evs[1].Kind != KindDelivered {
+		t.Fatalf("events = %+v", evs)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Kind: KindNack, Conn: i})
+				if i%50 == 0 {
+					_ = tr.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", tr.Total())
+	}
+	if got := len(tr.Events()); got != 64 {
+		t.Fatalf("retained %d, want 64", got)
+	}
+}
+
+// TestTracerConcurrentWrap hammers a tiny ring so concurrent writers
+// constantly claim the same slot (indices a full capacity apart) — the
+// collision path the per-slot spinlock serialises. Run under -race.
+func TestTracerConcurrentWrap(t *testing.T) {
+	tr := NewTracer(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tr.Record(Event{Kind: KindHopForward, Node: w, Conn: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != 16000 {
+		t.Fatalf("total = %d, want 16000", tr.Total())
+	}
+	for _, ev := range tr.Events() {
+		if ev.Kind != KindHopForward || ev.Time.IsZero() {
+			t.Fatalf("torn event survived: %+v", ev)
+		}
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tr.Record(Event{Time: base, Kind: KindLaunch, Batch: 1, Conn: 2, Node: 3})
+	tr.Record(Event{Time: base.Add(time.Millisecond), Kind: KindDelivered, Batch: 1, Conn: 2, Node: 3, Hop: 4, Detail: "path len 5"})
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines []Event
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, ev)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0].Kind != KindLaunch || lines[1].Kind != KindDelivered || lines[1].Detail != "path len 5" {
+		t.Fatalf("round-trip mismatch: %+v", lines)
+	}
+	if !lines[0].Time.Equal(base) {
+		t.Fatalf("timestamp mangled: %v", lines[0].Time)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := tr.DumpJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+}

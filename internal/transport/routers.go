@@ -9,6 +9,7 @@ import (
 	"p2panon/internal/game"
 	"p2panon/internal/overlay"
 	"p2panon/internal/quality"
+	"p2panon/internal/telemetry"
 )
 
 // Topology is the static neighbor map the live routers consult. The
@@ -207,6 +208,9 @@ type UtilityIIRouter struct {
 
 	cacheMu sync.Mutex
 	cache   map[[2]int]*spneCacheEntry
+
+	// SPNE cache instrumentation, bound by Instrument (nil-safe when not).
+	cacheHits, cacheMisses *telemetry.Counter
 }
 
 type spneCacheEntry struct {
@@ -233,6 +237,15 @@ func NewUtilityIIRouter(topo Topology, w quality.Weights, c core.Contract, avail
 		nodes:         int(maxID) + 1,
 		cache:         make(map[[2]int]*spneCacheEntry),
 	}
+}
+
+// Instrument binds the router's SPNE cache hit/miss counters into reg,
+// so game-layer solve reuse is visible on the exposition endpoint. Call
+// before traffic starts.
+func (r *UtilityIIRouter) Instrument(reg *telemetry.Registry) {
+	reg.Help(metricSPNECacheTotal, "SPNE table lookups served from cache (result=hit) vs solved fresh (result=miss)")
+	r.cacheHits = reg.Counter(metricSPNECacheTotal, telemetry.Labels{"result": "hit"})
+	r.cacheMisses = reg.Counter(metricSPNECacheTotal, telemetry.Labels{"result": "miss"})
 }
 
 // MarkDead implements ChurnAware: besides excluding id from candidates,
@@ -283,8 +296,10 @@ func (r *UtilityIIRouter) solve(initiator, responder overlay.NodeID, batch, conn
 	r.cacheMu.Lock()
 	defer r.cacheMu.Unlock()
 	if e, ok := r.cache[key]; ok && e.responder == responder && e.budget >= remaining {
+		r.cacheHits.Inc()
 		return e
 	}
+	r.cacheMisses.Inc()
 	budget := remaining
 	g := &game.PathGame{
 		Nodes:     r.nodes,

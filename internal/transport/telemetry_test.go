@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/quality"
+	"p2panon/internal/telemetry"
+)
+
+// lineTopology builds a 0-1-2-…-(n-1) path topology.
+func lineTopology(n int) Topology {
+	topo := make(Topology)
+	for i := 0; i < n; i++ {
+		var nbs []overlay.NodeID
+		if i > 0 {
+			nbs = append(nbs, overlay.NodeID(i-1))
+		}
+		if i < n-1 {
+			nbs = append(nbs, overlay.NodeID(i+1))
+		}
+		topo[overlay.NodeID(i)] = nbs
+	}
+	return topo
+}
+
+func newLineNetwork(t testing.TB, n int) *Network {
+	t.Helper()
+	topo := lineTopology(n)
+	router := NewRandomRouter(topo, dist.NewSource(7))
+	net := NewNetwork(0)
+	for id := range topo {
+		if _, err := net.AddPeer(id, router); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestTracerRecordsConnectionLifecycle(t *testing.T) {
+	net := newLineNetwork(t, 6)
+	defer net.Close()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(1024)
+	net.Instrument(reg, tr)
+	if net.Telemetry() != reg {
+		t.Fatal("Instrument did not rebind the registry")
+	}
+	if net.Tracer() != tr {
+		t.Fatal("Instrument did not attach the tracer")
+	}
+
+	path, err := net.Connect(0, 5, 1, 1, 8, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sawLaunch, sawForward, sawDelivered bool
+	for _, ev := range tr.Events() {
+		if ev.Batch != 1 || ev.Conn != 1 {
+			continue
+		}
+		switch ev.Kind {
+		case telemetry.KindLaunch:
+			sawLaunch = true
+			if ev.Node != 0 {
+				t.Fatalf("launch attributed to node %d, want initiator 0", ev.Node)
+			}
+		case telemetry.KindHopForward:
+			sawForward = true
+		case telemetry.KindDelivered:
+			sawDelivered = true
+			if ev.Hop != len(path) {
+				t.Fatalf("delivered hop %d, want path length %d", ev.Hop, len(path))
+			}
+		}
+	}
+	if !sawLaunch || !sawForward || !sawDelivered {
+		t.Fatalf("incomplete lifecycle: launch=%v forward=%v delivered=%v (events: %+v)",
+			sawLaunch, sawForward, sawDelivered, tr.Events())
+	}
+
+	m := net.Metrics()
+	if m.ConnectLatency.Count != 1 {
+		t.Fatalf("connect latency count = %d, want 1", m.ConnectLatency.Count)
+	}
+	if m.PathLength.Count != 1 || m.PathLength.Mean() != float64(len(path)) {
+		t.Fatalf("path length histogram = %+v for path %v", m.PathLength, path)
+	}
+
+	// The shared registry exposes the histograms in Prometheus format —
+	// the contract the acceptance criterion scrapes.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"transport_connect_latency_seconds_bucket", "transport_path_length_hops_bucket"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestMetricsResetAndDelta(t *testing.T) {
+	net := newLineNetwork(t, 5)
+	defer net.Close()
+	if _, err := net.Connect(0, 4, 1, 1, 8, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	first := net.Metrics()
+	if first.Connects != 1 || first.Sent == 0 {
+		t.Fatalf("unexpected first window: %v", first)
+	}
+	if _, err := net.Connect(0, 4, 1, 2, 8, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	window := net.Metrics().Delta(first)
+	if window.Connects != 1 {
+		t.Fatalf("windowed connects = %d, want 1", window.Connects)
+	}
+	if window.ConnectLatency.Count != 1 || window.PathLength.Count != 1 {
+		t.Fatalf("windowed histograms = %+v / %+v, want one observation each",
+			window.ConnectLatency, window.PathLength)
+	}
+	if window.Sent <= 0 || window.Sent >= net.Metrics().Sent {
+		t.Fatalf("windowed sent = %d out of range (lifetime %d)", window.Sent, net.Metrics().Sent)
+	}
+
+	net.ResetMetrics()
+	zero := net.Metrics()
+	if zero.Sent != 0 || zero.Connects != 0 || zero.ConnectLatency.Count != 0 || zero.InboxHighWater != 0 {
+		t.Fatalf("reset left %v", zero)
+	}
+	// The network stays fully usable after a reset.
+	if _, err := net.Connect(0, 4, 1, 3, 8, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Metrics().Connects; got != 1 {
+		t.Fatalf("post-reset connects = %d, want 1", got)
+	}
+}
+
+func TestNackHistogramAndTrace(t *testing.T) {
+	// The responder departs while the first FORWARD is in flight (node 1's
+	// router triggers the removal), so every attempt dies to a NACK.
+	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
+	r := NewRandomRouter(topo, dist.NewSource(7))
+	net := NewNetwork(0)
+	defer net.Close()
+	for id := range topo {
+		router := Router(r)
+		if id == 1 {
+			router = RouterFunc(func(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
+				net.RemovePeer(3)
+				return r.NextHop(self, pred, initiator, responder, batch, conn, remaining)
+			})
+		}
+		if _, err := net.AddPeer(id, router); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := telemetry.NewTracer(256)
+	net.Instrument(nil, tr)
+	_, err := net.Connect(0, 3, 1, 1, 8, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("connect to the departed responder unexpectedly succeeded")
+	}
+	m := net.Metrics()
+	if m.Nacks == 0 || m.NackHops.Count == 0 {
+		t.Fatalf("no NACKs observed: %v", m)
+	}
+	var sawNack, sawFailed bool
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case telemetry.KindNack:
+			sawNack = true
+		case telemetry.KindFailed:
+			sawFailed = true
+		}
+	}
+	if !sawNack || !sawFailed {
+		t.Fatalf("trace missing nack=%v failed=%v", sawNack, sawFailed)
+	}
+}
+
+func TestSPNECacheCounters(t *testing.T) {
+	topo := lineTopology(6)
+	avail := map[overlay.NodeID]float64{}
+	for id := range topo {
+		avail[id] = 0.5
+	}
+	r := NewUtilityIIRouter(topo, quality.DefaultWeights(), core.ContractWithTau(75, 2), avail)
+	reg := telemetry.NewRegistry()
+	r.Instrument(reg)
+	net := NewNetwork(0)
+	defer net.Close()
+	for id := range topo {
+		if _, err := net.AddPeer(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Connect(0, 5, 1, 1, 8, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var misses int64
+	for _, c := range snap.Counters {
+		if c.Name == metricSPNECacheTotal && c.Labels["result"] == "miss" {
+			misses = c.Value
+		}
+	}
+	if misses == 0 {
+		t.Fatalf("no SPNE cache misses recorded: %+v", snap.Counters)
+	}
+}

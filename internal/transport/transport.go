@@ -33,6 +33,7 @@ import (
 	"p2panon/internal/core"
 	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
 )
 
 // Router is a peer's routing brain: given that the peer holds a payload
@@ -155,7 +156,8 @@ type Network struct {
 
 	latency time.Duration
 	retry   RetryPolicy
-	metrics Metrics
+	metrics *Metrics
+	tracer  *telemetry.Tracer
 	wg      sync.WaitGroup
 	quit    chan struct{}
 	once    sync.Once
@@ -169,9 +171,35 @@ func NewNetwork(latency time.Duration) *Network {
 		markerSet: make(map[ChurnAware]struct{}),
 		latency:   latency,
 		retry:     DefaultRetryPolicy(),
+		metrics:   newMetrics(telemetry.NewRegistry()),
 		quit:      make(chan struct{}),
 	}
 }
+
+// Instrument rebinds the runtime's metrics into reg (so they appear on a
+// shared exposition endpoint next to other layers' instruments) and
+// attaches tr as the connection-lifecycle event tracer. Either argument
+// may be nil: a nil reg keeps the network's private registry, a nil
+// tracer disables event recording. Call before traffic starts — it is
+// not safe to race with in-flight connections.
+func (n *Network) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg != nil {
+		n.metrics = newMetrics(reg)
+	}
+	n.tracer = tr
+}
+
+// Telemetry returns the registry backing the runtime's metrics (the
+// network's own unless Instrument rebound it).
+func (n *Network) Telemetry() *telemetry.Registry { return n.metrics.reg }
+
+// Tracer returns the attached event tracer, or nil.
+func (n *Network) Tracer() *telemetry.Tracer { return n.tracer }
+
+// ResetMetrics zeroes the runtime's counters and histograms so the next
+// window reports from a clean slate (see MetricsSnapshot.Delta for the
+// subtraction-based alternative that keeps lifetime totals).
+func (n *Network) ResetMetrics() { n.metrics.Reset() }
 
 // SetRetry replaces the retry policy. Not safe to call concurrently with
 // Connect.
@@ -352,6 +380,13 @@ func (n *Network) onAsyncDrop(to overlay.NodeID, msg message) {
 // initiator itself) resolves the attempt directly.
 func (n *Network) nackBack(msg message, fromIdx int, reason string, fatal bool) {
 	n.metrics.nacks.Add(1)
+	n.metrics.nackHops.Observe(float64(len(msg.path)))
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.Event{
+			Kind: telemetry.KindNack, Batch: msg.batch, Conn: msg.conn,
+			Node: int(msg.initiator), Hop: len(msg.path), Detail: reason,
+		})
+	}
 	res := connResult{err: fmt.Errorf("transport: %s", reason), fatal: fatal}
 	if fromIdx < 0 || len(msg.path) == 0 {
 		resolve(msg.done, res)
@@ -477,6 +512,12 @@ func (p *Peer) handleForward(msg message) {
 	// timeout. The rejection is fatal: no reformation fixes a bad contract.
 	if msg.contract != nil && !msg.contract.Verify() {
 		p.net.metrics.contractRejects.Add(1)
+		if p.net.tracer != nil {
+			p.net.tracer.Record(telemetry.Event{
+				Kind: telemetry.KindContractReject, Batch: msg.batch, Conn: msg.conn,
+				Node: int(p.ID), Hop: len(msg.path) - 1,
+			})
+		}
 		p.net.nackBack(msg, len(msg.path)-2, "contract failed verification", true)
 		return
 	}
@@ -485,6 +526,12 @@ func (p *Peer) handleForward(msg message) {
 		p.mu.Lock()
 		p.forwards[msg.batch]++
 		p.mu.Unlock()
+	}
+	if p.net.tracer != nil {
+		p.net.tracer.Record(telemetry.Event{
+			Kind: telemetry.KindHopForward, Batch: msg.batch, Conn: msg.conn,
+			Node: int(p.ID), Hop: len(msg.path) - 1,
+		})
 	}
 	var next overlay.NodeID
 	if msg.remaining <= 0 {
@@ -548,6 +595,16 @@ func (p *Peer) handleNack(msg message) {
 	p.relayBack(msg, connResult{err: fmt.Errorf("transport: %s", msg.reason), fatal: msg.fatal})
 }
 
+// traceTerminal records a connection's terminal lifecycle event.
+func (n *Network) traceTerminal(kind telemetry.EventKind, batch, conn int, initiator overlay.NodeID, hop int, detail string) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Record(telemetry.Event{
+		Kind: kind, Batch: batch, Conn: conn, Node: int(initiator), Hop: hop, Detail: detail,
+	})
+}
+
 // connect runs one connection with bounded retry: each attempt gets an
 // even share of timeout as its deadline; a timed-out or NACKed attempt is
 // relaunched — a path reformation — after exponential backoff, until the
@@ -567,7 +624,14 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 	if policy.MaxAttempts < 1 {
 		policy.MaxAttempts = 1
 	}
-	deadline := time.Now().Add(timeout)
+	start := time.Now()
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.Event{
+			Kind: telemetry.KindLaunch, Batch: batch, Conn: conn,
+			Node: int(initiator), Detail: fmt.Sprintf("responder %d budget %d", responder, budget),
+		})
+	}
+	deadline := start.Add(timeout)
 	per := timeout / time.Duration(policy.MaxAttempts)
 	if per <= 0 {
 		per = timeout
@@ -596,6 +660,12 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			}
 			reforms++
 			n.metrics.reformations.Add(1)
+			if n.tracer != nil {
+				n.tracer.Record(telemetry.Event{
+					Kind: telemetry.KindReformation, Batch: batch, Conn: conn,
+					Node: int(initiator), Detail: fmt.Sprintf("attempt %d", attempt),
+				})
+			}
 		}
 		window := per
 		if window > remaining {
@@ -615,6 +685,7 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 		})
 		if !sent {
 			n.metrics.failures.Add(1)
+			n.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, "initiator departed")
 			return connResult{}, reforms, fmt.Errorf("transport: initiator %d departed", initiator)
 		}
 		timer := time.NewTimer(window)
@@ -623,11 +694,16 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			timer.Stop()
 			if res.err == nil {
 				n.metrics.connects.Add(1)
+				n.metrics.connectLatency.Observe(time.Since(start).Seconds())
+				n.metrics.pathLen.Observe(float64(len(res.path)))
+				n.traceTerminal(telemetry.KindDelivered, batch, conn, initiator, len(res.path),
+					fmt.Sprintf("path len %d after %d reformations", len(res.path), reforms))
 				return res, reforms, nil
 			}
 			lastErr = res.err
 			if res.fatal {
 				n.metrics.failures.Add(1)
+				n.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, res.err.Error())
 				return connResult{}, reforms, res.err
 			}
 		case <-timer.C:
@@ -639,6 +715,7 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 	if lastErr == nil {
 		lastErr = fmt.Errorf("transport: connection %d/%d timed out after %v", batch, conn, timeout)
 	}
+	n.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, lastErr.Error())
 	return connResult{}, reforms, fmt.Errorf("transport: connection %d/%d failed after %d reformations: %w", batch, conn, reforms, lastErr)
 }
 
