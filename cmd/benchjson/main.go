@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark runs can be archived and diffed as artifacts
+// (BENCH_PR3.json in the repo, bench-ci.json in CI).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out bench.json
+//	benchjson -in bench.txt -out bench.json
+//
+// It understands the standard benchmark line shape —
+//
+//	BenchmarkName-8   100   12345 ns/op   678 B/op   9 allocs/op
+//
+// plus the goos/goarch/pkg/cpu context headers, and records each metric
+// under its unit. Unknown units are kept verbatim in the metrics map, so
+// custom b.ReportMetric values survive the round trip.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix stripped;
+	// FullName preserves the printed form.
+	Name       string `json:"name"`
+	FullName   string `json:"full_name,omitempty"`
+	Package    string `json:"package,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// The standard metrics are always present (0 is meaningful — an
+	// allocation-free benchmark reports allocs_per_op 0, not a missing
+	// field).
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+	// Metrics holds any further unit → value pairs (MB/s, custom units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted artifact.
+type Document struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	doc, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// parse consumes `go test -bench` output and collects benchmark lines,
+// tracking the pkg/goos/goarch/cpu context headers as they appear.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				b.Package = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine parses one result line: name, iteration count, then
+// value/unit pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{FullName: fields[0], Iterations: iters}
+	b.Name = b.FullName
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	if b.Name == b.FullName {
+		b.FullName = "" // omit the duplicate
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: p2panon
+cpu: whatever chip
+BenchmarkFig3PayoffVsMaliciousUM1 	      10	 149806220 ns/op	42829881 B/op	  424178 allocs/op
+PASS
+ok  	p2panon	6.5s
+pkg: p2panon/internal/history
+BenchmarkSelectivityAt-8   	52441478	        22.66 ns/op	       0 B/op	       0 allocs/op
+BenchmarkThroughput 	     100	     12345 ns/op	  81.25 MB/s
+garbage line that is not a benchmark
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "whatever chip" {
+		t.Fatalf("context headers: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	fig3 := doc.Benchmarks[0]
+	if fig3.Name != "BenchmarkFig3PayoffVsMaliciousUM1" || fig3.FullName != "" {
+		t.Errorf("fig3 name %q full %q", fig3.Name, fig3.FullName)
+	}
+	if fig3.Package != "p2panon" || fig3.Iterations != 10 {
+		t.Errorf("fig3 pkg %q iters %d", fig3.Package, fig3.Iterations)
+	}
+	if fig3.NsPerOp != 149806220 || fig3.BytesPerOp != 42829881 || fig3.AllocsOp != 424178 {
+		t.Errorf("fig3 metrics %+v", fig3)
+	}
+
+	sel := doc.Benchmarks[1]
+	if sel.Name != "BenchmarkSelectivityAt" || sel.FullName != "BenchmarkSelectivityAt-8" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %+v", sel)
+	}
+	if sel.Package != "p2panon/internal/history" {
+		t.Errorf("pkg header not tracked across packages: %q", sel.Package)
+	}
+	if sel.NsPerOp != 22.66 || sel.AllocsOp != 0 {
+		t.Errorf("sel metrics %+v", sel)
+	}
+
+	tput := doc.Benchmarks[2]
+	if tput.Metrics["MB/s"] != 81.25 {
+		t.Errorf("custom unit lost: %+v", tput.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"BenchmarkBroken abc",
+		"BenchmarkBroken 10 xyz ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

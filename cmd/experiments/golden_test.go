@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runMain invokes main() in-process with the given CLI arguments and
+// returns everything it wrote to stdout. Stderr (timings) is discarded:
+// it is the one stream allowed to differ between runs.
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldStdout, oldStderr := os.Args, os.Stdout, os.Stderr
+	oldFlags := flag.CommandLine
+	defer func() {
+		os.Args, os.Stdout, os.Stderr = oldArgs, oldStdout, oldStderr
+		flag.CommandLine = oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("experiments", flag.ExitOnError)
+	os.Args = append([]string{"experiments"}, args...)
+
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devNull.Close()
+	os.Stdout, os.Stderr = outW, devNull
+
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(&buf, outR)
+	}()
+	main()
+	outW.Close()
+	<-done
+	outR.Close()
+	return buf.String()
+}
+
+// readCSVs returns the name → contents map of every CSV under dir except
+// timings.csv, which records real elapsed time and is exempt from the
+// determinism guarantee.
+func readCSVs(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	for _, e := range entries {
+		if e.Name() == "timings.csv" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestOutputIndependentOfJobs is the parallel-runner golden test: the full
+// quick suite at -jobs 8 and -jobs 1 must produce byte-identical stdout
+// and byte-identical CSV files for a fixed seed. Any section leaking
+// completion-order or worker-count dependence into its output fails here.
+func TestOutputIndependentOfJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	dir8 := t.TempDir()
+	dir1 := t.TempDir()
+	out8 := runMain(t, "-quick", "-trials", "1", "-seed", "11", "-jobs", "8", "-out", dir8)
+	out1 := runMain(t, "-quick", "-trials", "1", "-seed", "11", "-jobs", "1", "-out", dir1)
+	if out8 != out1 {
+		t.Errorf("stdout differs between -jobs 8 and -jobs 1:\n-jobs 8:\n%s\n-jobs 1:\n%s", out8, out1)
+	}
+	if out8 == "" {
+		t.Fatal("no stdout produced")
+	}
+
+	csv8 := readCSVs(t, dir8)
+	csv1 := readCSVs(t, dir1)
+	if len(csv8) == 0 {
+		t.Fatal("no CSV files produced")
+	}
+	if len(csv8) != len(csv1) {
+		t.Fatalf("CSV file count differs: %d vs %d", len(csv8), len(csv1))
+	}
+	for name, body8 := range csv8 {
+		body1, ok := csv1[name]
+		if !ok {
+			t.Errorf("%s written at -jobs 8 but not -jobs 1", name)
+			continue
+		}
+		if body8 != body1 {
+			t.Errorf("%s differs between -jobs 8 and -jobs 1", name)
+		}
+	}
+}
+
+// TestSubsetSelection pins -only filtering through the parallel runner: a
+// single selected section produces exactly its own header and CSV.
+func TestSubsetSelection(t *testing.T) {
+	dir := t.TempDir()
+	out := runMain(t, "-quick", "-trials", "1", "-seed", "2", "-only", "fig12", "-jobs", "4", "-out", dir)
+	if !bytes.Contains([]byte(out), []byte("== FIG12")) {
+		t.Errorf("fig12 section missing from output:\n%s", out)
+	}
+	if bytes.Contains([]byte(out), []byte("== FIG3")) {
+		t.Errorf("unselected section ran:\n%s", out)
+	}
+	csvs := readCSVs(t, dir)
+	if _, ok := csvs["fig12.csv"]; !ok || len(csvs) != 1 {
+		t.Errorf("expected exactly fig12.csv, got %v", keys(csvs))
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

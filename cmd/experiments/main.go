@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-trials N] [-seed S] [-out DIR] [-only LIST]
+//	experiments [-quick] [-trials N] [-seed S] [-out DIR] [-only LIST] [-jobs N]
+//
+// Sections are independent simulations, so they run on a bounded worker
+// pool (-jobs, default GOMAXPROCS). Output is assembled in registration
+// order after the runs complete: stdout and the CSV files are
+// byte-identical for a fixed (config, seed) whatever -jobs is. Per-section
+// wall-clock timings go to stderr (and timings.csv with -out) so the
+// deterministic streams stay free of timing noise.
 //
 // -only selects a comma-separated subset of:
 // fig3,fig4,tab2,fig5,fig6,fig7,fig12,prop1,prop23,abl-tau,abl-w,abl-pos,abl-cost,abl-term,abl-churn,
@@ -13,11 +20,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"p2panon/internal/core"
@@ -31,6 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	outDir := flag.String("out", "", "directory for CSV output (optional)")
 	only := flag.String("only", "", "comma-separated experiment subset")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent experiment sections")
 	flag.Parse()
 
 	base := experiment.Default()
@@ -47,43 +58,43 @@ func main() {
 	}
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
-	r := &runner{base: base, trials: *trials, outDir: *outDir}
+	r := &runner{outDir: *outDir, jobs: *jobs}
 	allStrategies := []core.Strategy{core.Random, core.UtilityI, core.UtilityII}
 
 	if want("fig3") {
-		r.section("FIG3: average payoff for a non-malicious node (Utility Model I)", func() error {
+		r.section("fig3", "FIG3: average payoff for a non-malicious node (Utility Model I)", func(emit emitFunc) error {
 			s, err := experiment.PayoffVsMalicious(base, core.UtilityI, experiment.DefaultFractions, *trials)
 			if err != nil {
 				return err
 			}
-			return r.emit("fig3", report.SeriesTable("Fig. 3: avg good-node payoff vs f (UM-I, 95% CI)", "f", s))
+			return emit("fig3", report.SeriesTable("Fig. 3: avg good-node payoff vs f (UM-I, 95% CI)", "f", s))
 		})
 	}
 	if want("fig4") {
-		r.section("FIG4: average payoff for a non-malicious node (Utility Model II)", func() error {
+		r.section("fig4", "FIG4: average payoff for a non-malicious node (Utility Model II)", func(emit emitFunc) error {
 			s, err := experiment.PayoffVsMalicious(base, core.UtilityII, experiment.DefaultFractions, *trials)
 			if err != nil {
 				return err
 			}
-			return r.emit("fig4", report.SeriesTable("Fig. 4: avg good-node payoff vs f (UM-II, 95% CI)", "f", s))
+			return emit("fig4", report.SeriesTable("Fig. 4: avg good-node payoff vs f (UM-II, 95% CI)", "f", s))
 		})
 	}
 	if want("tab2") {
-		r.section("TAB2: routing efficiency for utility model I", func() error {
+		r.section("tab2", "TAB2: routing efficiency for utility model I", func(emit emitFunc) error {
 			tab, err := experiment.RunTable2(base, experiment.DefaultTaus, []float64{0.1, 0.5, 0.9}, *trials)
 			if err != nil {
 				return err
 			}
-			return r.emit("table2", report.Table2Render(tab))
+			return emit("table2", report.Table2Render(tab))
 		})
 	}
 	if want("fig5") {
-		r.section("FIG5: forwarder-set size by routing strategy (+ fixed-path baseline)", func() error {
+		r.section("fig5", "FIG5: forwarder-set size by routing strategy (+ fixed-path baseline)", func(emit emitFunc) error {
 			ss, err := experiment.ForwarderSetVsMalicious(base, experiment.Fig5Strategies, experiment.DefaultFractions, *trials)
 			if err != nil {
 				return err
 			}
-			return r.emit("fig5", report.MultiSeriesTable("Fig. 5: avg ‖π‖ vs f", "f", ss))
+			return emit("fig5", report.MultiSeriesTable("Fig. 5: avg ‖π‖ vs f", "f", ss))
 		})
 	}
 	for _, fig := range []struct {
@@ -92,21 +103,21 @@ func main() {
 	}{{"fig6", 0.1}, {"fig7", 0.5}} {
 		fig := fig
 		if want(fig.id) {
-			r.section(fmt.Sprintf("%s: CDF of good-node payoffs at f=%g", strings.ToUpper(fig.id), fig.f), func() error {
+			r.section(fig.id, fmt.Sprintf("%s: CDF of good-node payoffs at f=%g", strings.ToUpper(fig.id), fig.f), func(emit emitFunc) error {
 				cdfs, err := experiment.PayoffCDFs(base, allStrategies, fig.f, *trials, 25)
 				if err != nil {
 					return err
 				}
 				title := fmt.Sprintf("Fig. %s: payoff CDF, f=%g", fig.id[3:], fig.f)
-				if err := r.emit(fig.id, report.CDFTable(title, cdfs)); err != nil {
+				if err := emit(fig.id, report.CDFTable(title, cdfs)); err != nil {
 					return err
 				}
-				return r.emit(fig.id+"-summary", report.CDFSummaryTable("distribution summary", cdfs))
+				return emit(fig.id+"-summary", report.CDFSummaryTable("distribution summary", cdfs))
 			})
 		}
 	}
 	if want("fig12") {
-		r.section("FIG12: Figures 1-2 scenario (scripted topology)", func() error {
+		r.section("fig12", "FIG12: Figures 1-2 scenario (scripted topology)", func(emit emitFunc) error {
 			res := experiment.RunFig12(8, 100, base.Seed)
 			t := &report.Table{
 				Title:   "Figs. 1-2: random+churn vs stable routing on the scripted topology",
@@ -114,11 +125,11 @@ func main() {
 			}
 			t.AddRow("random, node X flapping", fmt.Sprintf("%d", res.RandomSetSize), report.F(res.RandomShare))
 			t.AddRow("stable utility routing", fmt.Sprintf("%d", res.StableSetSize), report.F(res.StableShare))
-			return r.emit("fig12", t)
+			return emit("fig12", t)
 		})
 	}
 	if want("prop1") {
-		r.section("PROP1: path-reformation (new-edge) rates", func() error {
+		r.section("prop1", "PROP1: path-reformation (new-edge) rates", func(emit emitFunc) error {
 			res, err := experiment.RunProp1(base, *trials)
 			if err != nil {
 				return err
@@ -131,11 +142,11 @@ func main() {
 			t.AddRow("random routing, analytic lower bound 1-k/N", report.F4(res.RandomBound))
 			t.AddRow("utility routing, measured", report.F4(res.UtilityRate))
 			t.AddRow("utility routing, analytic prod(1-p_i)", report.F4(res.UtilityPredict))
-			return r.emit("prop1", t)
+			return emit("prop1", t)
 		})
 	}
 	if want("prop23") {
-		r.section("PROP23: participation vs P_f thresholds", func() error {
+		r.section("prop23", "PROP23: participation vs P_f thresholds", func(emit emitFunc) error {
 			pfs := []float64{1, 3, 5, 6.9, 7.1, 10, 25, 50, 100}
 			pts, err := experiment.RunParticipation(base, pfs, *trials)
 			if err != nil {
@@ -149,11 +160,11 @@ func main() {
 				t.AddRow(report.F(p.Pf), report.F4(p.DeclineRate), report.F4(p.DirectFraction),
 					fmt.Sprintf("%v", p.Prop3Satisfied), report.F(p.Prop2Threshold))
 			}
-			return r.emit("prop23", t)
+			return emit("prop23", t)
 		})
 	}
 	if want("abl-tau") {
-		r.section("ABL-TAU: tau sensitivity", func() error {
+		r.section("abl-tau", "ABL-TAU: tau sensitivity", func(emit emitFunc) error {
 			pts, err := experiment.RunTauAblation(base, []float64{0.25, 0.5, 1, 2, 4, 8}, *trials)
 			if err != nil {
 				return err
@@ -165,11 +176,11 @@ func main() {
 			for _, p := range pts {
 				t.AddRow(report.F(p.Tau), report.F(p.AvgSetSize), report.F(p.AvgPayoff), report.F(p.Efficiency))
 			}
-			return r.emit("abl-tau", t)
+			return emit("abl-tau", t)
 		})
 	}
 	if want("abl-w") {
-		r.section("ABL-W: selectivity/availability weighting", func() error {
+		r.section("abl-w", "ABL-W: selectivity/availability weighting", func(emit emitFunc) error {
 			pts, err := experiment.RunWeightAblation(base, []float64{0, 0.25, 0.5, 0.75, 1}, *trials)
 			if err != nil {
 				return err
@@ -181,11 +192,11 @@ func main() {
 			for _, p := range pts {
 				t.AddRow(report.F(p.Ws), report.F(p.AvgSetSize), report.F4(p.NewEdgeRate))
 			}
-			return r.emit("abl-w", t)
+			return emit("abl-w", t)
 		})
 	}
 	if want("abl-pos") {
-		r.section("ABL-POS: position-aware selectivity (§2.3 predecessor differentiation)", func() error {
+		r.section("abl-pos", "ABL-POS: position-aware selectivity (§2.3 predecessor differentiation)", func(emit emitFunc) error {
 			res, err := experiment.RunPositionAblation(base, *trials)
 			if err != nil {
 				return err
@@ -196,11 +207,11 @@ func main() {
 			}
 			t.AddRow("position-agnostic", report.F(res.AgnosticSetSize), report.F4(res.AgnosticNewEdge))
 			t.AddRow("position-aware", report.F(res.AwareSetSize), report.F4(res.AwareNewEdge))
-			return r.emit("abl-pos", t)
+			return emit("abl-pos", t)
 		})
 	}
 	if want("abl-cost") {
-		r.section("ABL-COST: uniform vs bandwidth-proportional link costs (§3)", func() error {
+		r.section("abl-cost", "ABL-COST: uniform vs bandwidth-proportional link costs (§3)", func(emit emitFunc) error {
 			res, err := experiment.RunCostAblation(base, *trials)
 			if err != nil {
 				return err
@@ -211,11 +222,11 @@ func main() {
 			}
 			t.AddRow("uniform C^t=2", report.F(res.UniformSetSize), report.F(res.UniformPayoff), report.F(res.UniformNet))
 			t.AddRow("bandwidth-proportional", report.F(res.BandwidthSetSize), report.F(res.BandwidthPayoff), report.F(res.BandwidthNet))
-			return r.emit("abl-cost", t)
+			return emit("abl-cost", t)
 		})
 	}
 	if want("abl-term") {
-		r.section("ABL-TERM: hop-budget vs Crowds-coin termination", func() error {
+		r.section("abl-term", "ABL-TERM: hop-budget vs Crowds-coin termination", func(emit emitFunc) error {
 			pts, err := experiment.RunTerminationAblation(base, []float64{0.5, 0.66, 0.75, 0.9}, *trials)
 			if err != nil {
 				return err
@@ -232,11 +243,11 @@ func main() {
 				t.AddRow(p.Mode.String(), pf, report.F(p.AvgLen), report.F(p.AvgSetSize),
 					report.F(p.AvgQuality), report.F(p.AvgPayoff))
 			}
-			return r.emit("abl-term", t)
+			return emit("abl-term", t)
 		})
 	}
 	if want("abl-churn") {
-		r.section("ABL-CHURN: churn-intensity sensitivity", func() error {
+		r.section("abl-churn", "ABL-CHURN: churn-intensity sensitivity", func(emit emitFunc) error {
 			pts, err := experiment.RunChurnAblation(base, []float64{15, 30, 60, 120, 240}, *trials)
 			if err != nil {
 				return err
@@ -249,11 +260,11 @@ func main() {
 				t.AddRow(report.F(p.MedianSessionMin), report.F(p.AvgSetSize),
 					report.F(p.AvgPayoff), report.F4(p.NewEdgeRate), report.F4(p.SkippedFraction))
 			}
-			return r.emit("abl-churn", t)
+			return emit("abl-churn", t)
 		})
 	}
 	if want("cmp-rep") {
-		r.section("CMP-REP: reputation baseline vs incentive mechanism under collusion", func() error {
+		r.section("cmp-rep", "CMP-REP: reputation baseline vs incentive mechanism under collusion", func(emit emitFunc) error {
 			cmp, err := experiment.RunReputationComparison(base, 0.1, 400, *trials)
 			if err != nil {
 				return err
@@ -266,11 +277,11 @@ func main() {
 			t.AddRow("reputation routing, overall", report.F4(cmp.ReputationOverall))
 			t.AddRow("reputation routing, after inflation compounds", report.F4(cmp.ReputationLate))
 			t.AddRow("incentive mechanism (UM-I)", report.F4(cmp.IncentiveCapture))
-			return r.emit("cmp-rep", t)
+			return emit("cmp-rep", t)
 		})
 	}
 	if want("atk-int") {
-		r.section("ATK-INT: intersection attack", func() error {
+		r.section("atk-int", "ATK-INT: intersection attack", func(emit emitFunc) error {
 			s := base
 			s.Churn = true
 			res, err := experiment.RunIntersection(s, allStrategies, *trials)
@@ -285,11 +296,11 @@ func main() {
 				t.AddRow(x.Strategy.String(), report.F(x.AvgFinalSet), report.F4(x.IdentifiedRate),
 					report.F4(x.AvgDegree), report.F(x.AvgForwarderSet))
 			}
-			return r.emit("atk-int", t)
+			return emit("atk-int", t)
 		})
 	}
 	if want("traj") {
-		r.section("TRAJ: per-connection convergence (Prop. 1 dynamics)", func() error {
+		r.section("traj", "TRAJ: per-connection convergence (Prop. 1 dynamics)", func(emit emitFunc) error {
 			trajs, err := experiment.RunTrajectory(base, []core.Strategy{core.Random, core.UtilityI, core.UtilityII}, *trials)
 			if err != nil {
 				return err
@@ -310,28 +321,32 @@ func main() {
 					report.F4(u1[i].NewEdgeRate), report.F(u1[i].CumSetSize),
 					report.F4(u2[i].NewEdgeRate), report.F(u2[i].CumSetSize))
 			}
-			return r.emit("traj", t)
+			return emit("traj", t)
 		})
 	}
 	if want("scale") {
-		r.section("SCALE: population-size sweep (paper's N=40 was 'for simulation simplicity')", func() error {
+		sec := r.section("scale", "SCALE: population-size sweep (paper's N=40 was 'for simulation simplicity')", nil)
+		sec.fn = func(emit emitFunc) error {
 			pts, err := experiment.RunScale(base, []int{40, 80, 160, 320}, *trials, 0)
 			if err != nil {
 				return err
 			}
 			t := &report.Table{
 				Title:   "N sweep, constant per-node load, parallel trials (UM-I vs random)",
-				Headers: []string{"N", "random ‖π‖", "UM-I ‖π‖", "separation", "UM-I payoff", "wall clock"},
+				Headers: []string{"N", "random ‖π‖", "UM-I ‖π‖", "separation", "UM-I payoff"},
 			}
 			for _, p := range pts {
 				t.AddRow(fmt.Sprintf("%d", p.N), report.F(p.RandomSetSize), report.F(p.UtilitySetSize),
-					report.F(p.SeparationRatio), report.F(p.UtilityPayoff), p.WallClock.Round(time.Millisecond).String())
+					report.F(p.SeparationRatio), report.F(p.UtilityPayoff))
+				// Wall clock is real elapsed time, so it goes through the
+				// timing channel (stderr), keeping stdout/CSV deterministic.
+				fmt.Fprintf(&sec.notes, "scale N=%d: %s\n", p.N, p.WallClock.Round(time.Millisecond))
 			}
-			return r.emit("scale", t)
-		})
+			return emit("scale", t)
+		}
 	}
 	if want("def-jitter") {
-		r.section("DEF-JITTER: §5 availability-attack countermeasure", func() error {
+		r.section("def-jitter", "DEF-JITTER: §5 availability-attack countermeasure", func(emit emitFunc) error {
 			s := base
 			s.MaliciousFraction = 0.2
 			pts, err := experiment.RunJitterDefense(s, []int{1, 2, 3, 4}, *trials)
@@ -346,11 +361,11 @@ func main() {
 				t.AddRow(fmt.Sprintf("%.0f", p.TopK), report.F4(p.AttackCapture),
 					report.F(p.AvgSetSize), report.F(p.AvgPayoff))
 			}
-			return r.emit("def-jitter", t)
+			return emit("def-jitter", t)
 		})
 	}
 	if want("atk-traffic") {
-		r.section("ATK-TRAFFIC: §5 traffic-analysis attack", func() error {
+		r.section("atk-traffic", "ATK-TRAFFIC: §5 traffic-analysis attack", func(emit emitFunc) error {
 			res, err := experiment.RunTrafficAnalysis(base, 600, *trials)
 			if err != nil {
 				return err
@@ -364,11 +379,11 @@ func main() {
 			t.AddRow("identified (rank 1) rate", report.F4(res.IdentifiedRate))
 			t.AddRow("initiator mean correlation", report.F4(res.MeanScore))
 			t.AddRow("suspect population", fmt.Sprintf("%d", res.Population))
-			return r.emit("atk-traffic", t)
+			return emit("atk-traffic", t)
 		})
 	}
 	if want("atk-avail") {
-		r.section("ATK-AVAIL: availability attack (§5)", func() error {
+		r.section("atk-avail", "ATK-AVAIL: availability attack (§5)", func(emit emitFunc) error {
 			s := base
 			s.MaliciousFraction = 0.2
 			s.Churn = true
@@ -382,47 +397,178 @@ func main() {
 			}
 			t.AddRow("churning (baseline)", report.F4(res.BaselineCapture), "-")
 			t.AddRow("always-online (attack)", report.F4(res.AttackCapture), report.F4(res.GuessAccuracy))
-			return r.emit("atk-avail", t)
+			return emit("atk-avail", t)
 		})
 	}
 
-	if r.failed {
+	if !r.run() {
 		os.Exit(1)
 	}
 }
 
+// emitFunc renders one named table into the owning section's output; the
+// name doubles as the CSV file stem under -out.
+type emitFunc func(name string, t *report.Table) error
+
+type namedTable struct {
+	name  string
+	table *report.Table
+}
+
+// section is one registered experiment: its identity, the work closure,
+// and — after run() — its buffered text, tables, error and wall-clock.
+type section struct {
+	id    string
+	title string
+	fn    func(emit emitFunc) error
+
+	buf     bytes.Buffer
+	notes   bytes.Buffer // free-form timing notes, drained to stderr
+	tables  []namedTable
+	err     error
+	elapsed time.Duration
+}
+
+// runner registers sections, runs them on a bounded worker pool, and
+// assembles the output in registration order so stdout and the CSV files
+// are independent of -jobs and of section completion order.
 type runner struct {
-	base   experiment.Setup
-	trials int
-	outDir string
-	failed bool
+	outDir   string
+	jobs     int
+	sections []*section
 }
 
-func (r *runner) section(title string, fn func() error) {
-	fmt.Printf("== %s ==\n", title)
+// section registers an experiment; nothing runs until run(). It returns
+// the registered section so closures needing access to its note buffer
+// can be bound after construction.
+func (r *runner) section(id, title string, fn func(emit emitFunc) error) *section {
+	s := &section{id: id, title: title, fn: fn}
+	r.sections = append(r.sections, s)
+	return s
+}
+
+// run executes every registered section on the pool, then prints buffered
+// section output in registration order, writes CSVs, and prints the timing
+// summary to stderr. It reports whether every section succeeded.
+func (r *runner) run() bool {
+	workers := r.jobs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(r.sections) {
+		workers = len(r.sections)
+	}
 	start := time.Now()
-	if err := fn(); err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		r.failed = true
-		return
+	jobs := make(chan *section)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				s.run()
+			}
+		}()
 	}
-	fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+	for _, s := range r.sections {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	ok := true
+	for _, s := range r.sections {
+		fmt.Printf("== %s ==\n", s.title)
+		os.Stdout.Write(s.buf.Bytes())
+		if s.err != nil {
+			fmt.Fprintf(os.Stderr, "error: %s: %v\n", s.id, s.err)
+			ok = false
+			continue
+		}
+		fmt.Println()
+		if err := r.writeCSVs(s); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %s: %v\n", s.id, err)
+			ok = false
+		}
+	}
+	r.timingSummary(wall, workers)
+	return ok
 }
 
-func (r *runner) emit(name string, t *report.Table) error {
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
+// run executes one section, rendering its tables into the private buffer.
+func (s *section) run() {
+	start := time.Now()
+	s.err = s.fn(func(name string, t *report.Table) error {
+		s.tables = append(s.tables, namedTable{name: name, table: t})
+		return t.Render(&s.buf)
+	})
+	s.elapsed = time.Since(start)
+}
+
+// writeCSVs writes a completed section's tables under outDir.
+func (r *runner) writeCSVs(s *section) error {
 	if r.outDir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(r.outDir, name+".csv"))
+	for _, nt := range s.tables {
+		f, err := os.Create(filepath.Join(r.outDir, nt.name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := nt.table.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timingSummary prints per-section wall-clock times to stderr — stderr so
+// the deterministic stdout stream stays byte-identical across runs — and,
+// with -out, mirrors them to timings.csv.
+func (r *runner) timingSummary(wall time.Duration, workers int) {
+	if len(r.sections) == 0 {
+		return
+	}
+	var sum time.Duration
+	fmt.Fprintf(os.Stderr, "section timings (jobs=%d):\n", workers)
+	for _, s := range r.sections {
+		status := ""
+		if s.err != nil {
+			status = "  (failed)"
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %8.2fs%s\n", s.id, s.elapsed.Seconds(), status)
+		for _, line := range strings.Split(strings.TrimRight(s.notes.String(), "\n"), "\n") {
+			if line != "" {
+				fmt.Fprintf(os.Stderr, "    %s\n", line)
+			}
+		}
+		sum += s.elapsed
+	}
+	fmt.Fprintf(os.Stderr, "  %-12s %8.2fs (wall %.2fs)\n", "total", sum.Seconds(), wall.Seconds())
+	if r.outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "error: timings: %v\n", err)
+		return
+	}
+	f, err := os.Create(filepath.Join(r.outDir, "timings.csv"))
 	if err != nil {
-		return err
+		fmt.Fprintf(os.Stderr, "error: timings: %v\n", err)
+		return
 	}
 	defer f.Close()
-	return t.CSV(f)
+	fmt.Fprintln(f, "section,seconds")
+	for _, s := range r.sections {
+		fmt.Fprintf(f, "%s,%.3f\n", s.id, s.elapsed.Seconds())
+	}
+	fmt.Fprintf(f, "total,%.3f\n", sum.Seconds())
 }

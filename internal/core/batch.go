@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"p2panon/internal/game"
 	"p2panon/internal/history"
@@ -34,6 +33,60 @@ type Batch struct {
 	// fixedPath is the FixedPath baseline's current source-routed relay
 	// sequence (excluding endpoints); rebuilt when a member goes offline.
 	fixedPath []overlay.NodeID
+
+	// histQual counts quality-relevant history mutations of this batch:
+	// recorded rows whose successor is not R (delivery rows never feed a
+	// scored edge), plus any row at all when capacity eviction is active.
+	// Together with the overlay and probe versions it stamps the solved
+	// SPNE table below, mirroring the transport router's cache semantics:
+	// a table is reused only while every input it consumed is unchanged.
+	histQual uint64
+
+	// spne is the batch's cached Utility Model II prescription table,
+	// solved to the full MaxHops budget (rows for h ≤ budget are
+	// budget-independent, so one table serves every drawn budget). Also
+	// reused as the solve scratch buffer on invalidation.
+	spne      [][]game.Decision
+	spneStamp spneStamp
+
+	// cands and scored are per-hop scratch buffers (candidate filter and
+	// Model-I utility ranking), reused to keep the routing loop
+	// allocation-free.
+	cands  []overlay.NodeID
+	scored []scoredCand
+}
+
+// spneStamp records the version vector a cached SPNE table was solved
+// under: the overlay structural version, the probe-set estimate version,
+// the batch's quality-relevant history version, and the connection index
+// (irrelevant while the batch has no quality-relevant history, because
+// every selectivity is then 0 whatever k is).
+type spneStamp struct {
+	valid bool
+	net   uint64
+	probe uint64
+	hist  uint64
+	k     int
+}
+
+// scoredCand is one Model-I candidate with its utility and edge quality.
+type scoredCand struct {
+	id overlay.NodeID
+	u  float64
+	q  float64
+}
+
+// scoredLess orders Model-I candidates: descending utility, then
+// descending edge quality (the paper's tie-break), then ascending ID for
+// determinism. Distinct IDs make it a strict total order.
+func scoredLess(a, c scoredCand) bool {
+	if a.u != c.u {
+		return a.u > c.u
+	}
+	if a.q != c.q {
+		return a.q > c.q
+	}
+	return a.id < c.id
 }
 
 type edge struct{ from, to overlay.NodeID }
@@ -136,11 +189,12 @@ func (b *Batch) RunConnection() *PathResult {
 		return res
 	}
 
-	// Utility Model II: solve the stage game once for this connection;
-	// every good holder then plays its SPNE prescription.
+	// Utility Model II: fetch the stage-game SPNE for this connection;
+	// every good holder then plays its prescription. The solved table is
+	// cached batch-scoped and reused while its inputs are unchanged.
 	var spne [][]game.Decision
 	if b.Strategy == UtilityII {
-		spne = b.solveStageGame(budget)
+		spne = b.spneTable()
 	}
 
 	cur := b.Initiator
@@ -234,10 +288,10 @@ func (b *Batch) chooseNext(cur, pred overlay.NodeID, remaining int, spne [][]gam
 	switch strat {
 	case Random:
 		// Uniform choice; skip decliners by resampling without
-		// replacement.
-		order := append([]overlay.NodeID(nil), candidates...)
-		shuffleIDs(b.sys.rng, order)
-		for _, v := range order {
+		// replacement. candidates is this batch's scratch buffer and is
+		// not read again this hop, so the shuffle can run in place.
+		shuffleIDs(b.sys.rng, candidates)
+		for _, v := range candidates {
 			if b.sys.accepts(v, b.Contract) {
 				return v, b.sys.scorer(cur, b.ID).Edge(v, b.Responder, b.k)
 			}
@@ -279,12 +333,7 @@ func (b *Batch) chooseNext(cur, pred overlay.NodeID, remaining int, spne [][]gam
 // quality, then lower ID for determinism), and return the first acceptor.
 func (b *Batch) chooseUtilityI(cur, pred overlay.NodeID, candidates []overlay.NodeID, res *PathResult) (overlay.NodeID, float64) {
 	sc := b.sys.scorer(cur, b.ID)
-	type scored struct {
-		id overlay.NodeID
-		u  float64
-		q  float64
-	}
-	scoredCands := make([]scored, 0, len(candidates))
+	scoredCands := b.scored[:0]
 	for _, v := range candidates {
 		var q float64
 		if b.sys.cfg.PositionAware {
@@ -294,18 +343,18 @@ func (b *Batch) chooseUtilityI(cur, pred overlay.NodeID, candidates []overlay.No
 		}
 		u := b.Contract.Pf + q*b.Contract.Pr -
 			(b.sys.cfg.Cost.Participation + b.sys.cfg.Cost.Transmission(int(cur), int(v)))
-		scoredCands = append(scoredCands, scored{id: v, u: u, q: q})
+		scoredCands = append(scoredCands, scoredCand{id: v, u: u, q: q})
 	}
-	sort.Slice(scoredCands, func(i, j int) bool {
-		a, c := scoredCands[i], scoredCands[j]
-		if a.u != c.u {
-			return a.u > c.u
+	b.scored = scoredCands
+	// Insertion sort on (utility desc, quality desc — the paper's
+	// tie-break — then ID asc). The ordering is a strict total order, so
+	// this matches what any correct sort produces, without sort.Slice's
+	// closure allocation on a hot per-hop path.
+	for i := 1; i < len(scoredCands); i++ {
+		for j := i; j > 0 && scoredLess(scoredCands[j], scoredCands[j-1]); j-- {
+			scoredCands[j], scoredCands[j-1] = scoredCands[j-1], scoredCands[j]
 		}
-		if a.q != c.q {
-			return a.q > c.q // paper: ties broken by higher quality
-		}
-		return a.id < c.id
-	})
+	}
 	// §5 availability-attack countermeasure: jitter the argmax across the
 	// top-K candidates so an always-online adversary cannot deterministically
 	// park itself on the stable path.
@@ -330,8 +379,10 @@ func (b *Batch) chooseUtilityI(cur, pred overlay.NodeID, candidates []overlay.No
 // other than the immediate predecessor, the responder and the initiator.
 // (R is reached by explicit delivery; routing back through I would reveal
 // nothing useful and unbalance the length normalisation.)
+// The returned slice is the batch's reusable scratch buffer: it is valid
+// only until the next candidates call.
 func (b *Batch) candidates(cur, pred overlay.NodeID) []overlay.NodeID {
-	var out []overlay.NodeID
+	out := b.cands[:0]
 	for _, v := range b.sys.Net.Node(cur).Neighbors {
 		if v == pred || v == b.Responder || v == b.Initiator || v == cur {
 			continue
@@ -341,6 +392,7 @@ func (b *Batch) candidates(cur, pred overlay.NodeID) []overlay.NodeID {
 		}
 		out = append(out, v)
 	}
+	b.cands = out
 	return out
 }
 
@@ -354,6 +406,13 @@ func (b *Batch) recordHop(res *PathResult, cur, pred, next overlay.NodeID, q flo
 	// routed, keyed by this connection, with its predecessor for position
 	// disambiguation (§2.3, Table 1).
 	b.sys.Hist.For(cur, b.ID).Record(history.ConnID(b.k), pred, next)
+	// A row with successor R never feeds a scored edge (candidates exclude
+	// R and the delivery edge is fixed at 1), so it leaves cached SPNE
+	// qualities exact — unless capacity eviction is on, when recording it
+	// can push a quality-relevant row out.
+	if next != b.Responder || b.sys.cfg.HistoryCapacity > 0 {
+		b.histQual++
+	}
 
 	// Forwarding instances are credited to interior nodes only.
 	if cur != b.Initiator {
@@ -372,33 +431,64 @@ func (b *Batch) recordHop(res *PathResult, cur, pred, next overlay.NodeID, q flo
 	}
 }
 
+// spneTable returns the SPNE prescription table for the current
+// connection, reusing the batch's cached solve when every input it
+// consumed — overlay topology, probe estimates, this batch's
+// quality-relevant history and (when history matters) the connection
+// index — is unchanged. Otherwise it re-solves, recycling the previous
+// table as scratch.
+func (b *Batch) spneTable() [][]game.Decision {
+	netV, probeV := b.sys.Net.Version(), b.sys.Probes.Version()
+	st := b.spneStamp
+	if st.valid && st.net == netV && st.probe == probeV && st.hist == b.histQual &&
+		(b.histQual == 0 || st.k == b.k) {
+		return b.spne
+	}
+	b.spne = b.solveStageGame(b.spne)
+	b.spneStamp = spneStamp{valid: true, net: netV, probe: probeV, hist: b.histQual, k: b.k}
+	return b.spne
+}
+
 // solveStageGame builds and solves the L-stage path game for Utility Model
 // II over the current online overlay: vertices are all node IDs (offline
 // ones get no outgoing edges), each online node i has edges to its online
 // neighbors with q from i's own scorer, and every online node has the
 // delivery edge (i, R) with quality 1.
-func (b *Batch) solveStageGame(budget int) [][]game.Decision {
+//
+// Edge qualities are materialised into a dense reusable matrix by walking
+// each node's neighbor list — O(N·d) scorer calls — instead of memoising
+// an O(N²) closure behind a map, which profiling showed dominated
+// Utility-II runs. The game is solved to the full configured MaxHops so
+// the table serves any drawn per-connection budget (rows for h ≤ budget
+// are identical either way — backward induction fills bottom-up).
+func (b *Batch) solveStageGame(scratch [][]game.Decision) [][]game.Decision {
 	n := b.sys.Net.Len()
-	type key struct{ i, j int }
-	cache := make(map[key]float64, n*4)
-	eq := func(i, j int) float64 {
-		if q, ok := cache[key{i, j}]; ok {
-			return q
+	qm := b.sys.qualMatrix(n)
+	for i := 0; i < n; i++ {
+		id := overlay.NodeID(i)
+		if id == b.Responder || !b.sys.Net.Online(id) {
+			continue
 		}
-		q := b.stageEdgeQuality(overlay.NodeID(i), overlay.NodeID(j))
-		cache[key{i, j}] = q
-		return q
+		row := qm[i*n : (i+1)*n]
+		row[b.Responder] = 1 // delivery edge, last-edge rule
+		sc := b.sys.scorer(id, b.ID)
+		for _, v := range b.sys.Net.Node(id).Neighbors {
+			if v == id || v == b.Responder || v == b.Initiator || !b.sys.Net.Online(v) {
+				continue
+			}
+			row[v] = sc.Edge(v, b.Responder, b.k)
+		}
 	}
 	g := &game.PathGame{
 		Nodes:       n,
 		Responder:   int(b.Responder),
-		EdgeQuality: eq,
+		EdgeQuality: func(i, j int) float64 { return qm[i*n+j] },
 		Pf:          b.Contract.Pf,
 		Pr:          b.Contract.Pr,
 		Cost:        b.sys.cfg.Cost,
-		MaxHops:     budget,
+		MaxHops:     b.sys.cfg.MaxHops,
 	}
-	return g.Solve()
+	return g.SolveInto(scratch)
 }
 
 // stageEdgeQuality returns q(i, j) for the stage game, or -1 when the edge

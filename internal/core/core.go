@@ -194,6 +194,29 @@ type System struct {
 	cfg     Config
 	rng     *dist.Source
 	batches int
+
+	// scorers caches the per-(node, batch) edge-quality scorer: the
+	// routing loop asks for one per hop, and allocating each time was a
+	// measurable share of the per-connection cost. Entries are validated
+	// against the live profile/estimator pointers, so a dropped batch
+	// (history.Store.DropBatch) or freshly minted estimator rebuilds.
+	scorers map[scorerKey]*quality.Scorer
+
+	// minCt memoises minTransmission per node; the whole memo is keyed to
+	// the overlay's structural version, so any churn or neighbor edit
+	// invalidates it exactly.
+	minCt        map[overlay.NodeID]float64
+	minCtVersion uint64
+
+	// qualScratch is the dense edge-quality matrix reused by Utility
+	// Model II stage-game solves (row-major n×n, -1 = no edge). The
+	// simulator is single-threaded per System, so one scratch suffices.
+	qualScratch []float64
+}
+
+type scorerKey struct {
+	node  overlay.NodeID
+	batch int
 }
 
 // NewSystem constructs a routing system over an existing overlay. Probing
@@ -207,20 +230,33 @@ func NewSystem(cfg Config, net *overlay.Network, probes *probe.Set, rng *dist.So
 		return nil, fmt.Errorf("core: nil dependency (net=%v probes=%v rng=%v)", net == nil, probes == nil, rng == nil)
 	}
 	return &System{
-		Net:    net,
-		Probes: probes,
-		Hist:   history.NewStore(cfg.HistoryCapacity),
-		cfg:    cfg,
-		rng:    rng,
+		Net:     net,
+		Probes:  probes,
+		Hist:    history.NewStore(cfg.HistoryCapacity),
+		cfg:     cfg,
+		rng:     rng,
+		scorers: make(map[scorerKey]*quality.Scorer),
+		minCt:   make(map[overlay.NodeID]float64),
 	}, nil
 }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// scorer returns node's edge-quality scorer for the given batch.
+// scorer returns node's edge-quality scorer for the given batch, cached
+// per (node, batch). The cached entry is revalidated against the current
+// profile and estimator pointers — both are stable for a live batch, and
+// a mismatch (e.g. after Batch.Close dropped the profiles) rebuilds.
 func (s *System) scorer(node overlay.NodeID, batch int) *quality.Scorer {
-	return quality.NewScorer(s.cfg.Weights, s.Hist.For(node, batch), s.Probes.For(node))
+	h := s.Hist.For(node, batch)
+	p := s.Probes.For(node)
+	key := scorerKey{node, batch}
+	if sc, ok := s.scorers[key]; ok && sc.History == h && sc.Probe == p {
+		return sc
+	}
+	sc := quality.NewScorer(s.cfg.Weights, h, p)
+	s.scorers[key] = sc
+	return sc
 }
 
 // accepts reports whether node agrees to forward under contract c: good
@@ -240,8 +276,18 @@ func (s *System) accepts(node overlay.NodeID, c Contract) bool {
 }
 
 // minTransmission returns the minimum C^t over node's online neighbors
-// (or 0 when it has none — delivery to R is then its only move).
+// (or 0 when it has none — delivery to R is then its only move). The
+// result is memoised per node against the overlay's structural version:
+// participation checks run once per candidate per hop, and between churn
+// events the answer cannot change.
 func (s *System) minTransmission(node overlay.NodeID) float64 {
+	if v := s.Net.Version(); v != s.minCtVersion {
+		clear(s.minCt)
+		s.minCtVersion = v
+	}
+	if ct, ok := s.minCt[node]; ok {
+		return ct
+	}
 	min := -1.0
 	for _, v := range s.Net.Node(node).Neighbors {
 		if !s.Net.Online(v) {
@@ -253,7 +299,21 @@ func (s *System) minTransmission(node overlay.NodeID) float64 {
 		}
 	}
 	if min < 0 {
-		return 0
+		min = 0
 	}
+	s.minCt[node] = min
 	return min
+}
+
+// qualMatrix returns the reusable n×n edge-quality scratch, reset to the
+// no-edge sentinel.
+func (s *System) qualMatrix(n int) []float64 {
+	if cap(s.qualScratch) < n*n {
+		s.qualScratch = make([]float64, n*n)
+	}
+	s.qualScratch = s.qualScratch[:n*n]
+	for i := range s.qualScratch {
+		s.qualScratch[i] = -1
+	}
+	return s.qualScratch
 }

@@ -112,4 +112,7 @@ func (b *Batch) GoodPayoffs() []NodePayoff {
 // scratch.
 func (b *Batch) Close() {
 	b.sys.Hist.DropBatch(b.ID)
+	// The dropped profiles back any cached SPNE solve; a (hypothetical)
+	// later connection must not resurrect it.
+	b.spneStamp.valid = false
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/game"
+	"p2panon/internal/overlay"
+	"p2panon/internal/probe"
+	"p2panon/internal/sim"
+)
+
+// freshOracleSolve solves the batch's stage game from scratch through the
+// pre-index scan path: the map-free stageEdgeQuality oracle and a freshly
+// allocated table. It is the reference the cached spneTable is checked
+// against.
+func freshOracleSolve(b *Batch) [][]game.Decision {
+	g := &game.PathGame{
+		Nodes:     b.sys.Net.Len(),
+		Responder: int(b.Responder),
+		EdgeQuality: func(i, j int) float64 {
+			return b.stageEdgeQuality(overlay.NodeID(i), overlay.NodeID(j))
+		},
+		Pf:      b.Contract.Pf,
+		Pr:      b.Contract.Pr,
+		Cost:    b.sys.cfg.Cost,
+		MaxHops: b.sys.cfg.MaxHops,
+	}
+	return g.Solve()
+}
+
+func requireSameTable(t *testing.T, step string, got, want [][]game.Decision) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: table rows %d != %d", step, len(got), len(want))
+	}
+	for h := range got {
+		if len(got[h]) != len(want[h]) {
+			t.Fatalf("%s: row %d len %d != %d", step, h, len(got[h]), len(want[h]))
+		}
+		for i := range got[h] {
+			if got[h][i] != want[h][i] {
+				t.Fatalf("%s: table[%d][%d] = %+v, fresh solve %+v", step, h, i, got[h][i], want[h][i])
+			}
+		}
+	}
+}
+
+// TestSPNECacheMatchesFreshSolve is the cache-equivalence property test:
+// across random topologies, the cached Utility Model II table must equal a
+// fresh solve at every point — after connections mutate history, after
+// probe ticks move estimates, and after churn (leave / rejoin / join /
+// neighbor repair) invalidates the topology. Any missed invalidation shows
+// up as a stale decision differing from the oracle.
+func TestSPNECacheMatchesFreshSolve(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234} {
+		rng := dist.NewSource(seed ^ 0x9e3779b97f4a7c15)
+		sys := testSystem(t, 24, seed, 0)
+		b, err := sys.NewBatch(0, 23, Contract{Pf: 75, Pr: 150}, UtilityII)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(step string) {
+			requireSameTable(t, step, b.spneTable(), freshOracleSolve(b))
+		}
+		check("initial")
+		now := sim.Time(0)
+		for round := 0; round < 30; round++ {
+			now += 60
+			switch rng.Intn(5) {
+			case 0: // take a random non-endpoint node offline
+				ids := sys.Net.OnlineIDs()
+				id := ids[rng.Intn(len(ids))]
+				if id != b.Initiator && id != b.Responder {
+					sys.Net.Leave(now, id, false)
+				}
+			case 1: // bring an offline node back
+				for _, id := range sys.Net.AllIDs() {
+					if !sys.Net.Online(id) && sys.Net.Node(id).State == overlay.Offline {
+						sys.Net.Rejoin(now, id)
+						break
+					}
+				}
+			case 2: // grow the overlay
+				sys.Net.Join(now, false)
+			case 3: // neighbor repair + probe tick
+				for _, id := range sys.Net.OnlineIDs() {
+					sys.Net.RefreshNeighbors(id)
+				}
+				sys.Probes.TickAll()
+			case 4: // history mutation via a real connection
+				b.RunConnection()
+			}
+			check("round")
+		}
+	}
+}
+
+// TestSPNECacheHitReusesTable pins the cache-hit fast path: with every
+// input unchanged, spneTable must hand back the same backing table rather
+// than re-solving into fresh storage.
+func TestSPNECacheHitReusesTable(t *testing.T) {
+	sys := testSystem(t, 16, 5, 0)
+	b, err := sys.NewBatch(0, 15, Contract{Pf: 75, Pr: 150}, UtilityII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := b.spneTable()
+	second := b.spneTable()
+	if &first[0][0] != &second[0][0] {
+		t.Fatal("unchanged inputs re-solved the SPNE table")
+	}
+	sys.Net.Touch()
+	third := b.spneTable()
+	requireSameTable(t, "after Touch", third, freshOracleSolve(b))
+}
+
+// TestSPNECacheInvalidatedOnClose pins that closing a batch (dropping its
+// history profiles) also drops the cached solve.
+func TestSPNECacheInvalidatedOnClose(t *testing.T) {
+	sys := testSystem(t, 16, 9, 0)
+	b, err := sys.NewBatch(0, 15, Contract{Pf: 75, Pr: 150}, UtilityII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RunConnection()
+	b.spneTable()
+	b.Close()
+	if b.spneStamp.valid {
+		t.Fatal("Close left the SPNE cache stamp valid")
+	}
+}
+
+func newBenchSystem(tb testing.TB, n int, seed uint64) *System {
+	tb.Helper()
+	rng := dist.NewSource(seed)
+	net := overlay.NewNetwork(5, rng.Split())
+	for i := 0; i < n; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	probes := probe.NewSet(net, rng.Split(), 60)
+	for i := 0; i < 5; i++ {
+		probes.TickAll()
+	}
+	sys, err := NewSystem(DefaultConfig(), net, probes, rng.Split())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkScorerReuse measures the per-hop scorer lookup the routing loop
+// performs — a cache hit after this PR, a NewScorer allocation before it.
+func BenchmarkScorerReuse(b *testing.B) {
+	sys := newBenchSystem(b, 64, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.scorer(overlay.NodeID(i%64), 1)
+	}
+}
+
+// BenchmarkSPNESimCache measures fetching the Utility Model II table with
+// every input unchanged — the steady-state path of a static overlay.
+func BenchmarkSPNESimCache(b *testing.B) {
+	sys := newBenchSystem(b, 64, 13)
+	batch, err := sys.NewBatch(0, 63, Contract{Pf: 75, Pr: 150}, UtilityII)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch.spneTable() // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = batch.spneTable()
+	}
+}
+
+// BenchmarkSPNESolveCold measures a full re-solve (the invalidation path),
+// for contrast with the cache hit above and with the pre-index map-memo
+// solver this PR replaced.
+func BenchmarkSPNESolveCold(b *testing.B) {
+	sys := newBenchSystem(b, 64, 13)
+	batch, err := sys.NewBatch(0, 63, Contract{Pf: 75, Pr: 150}, UtilityII)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Net.Touch()
+		_ = batch.spneTable()
+	}
+}

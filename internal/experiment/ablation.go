@@ -288,6 +288,7 @@ func RunFig12(k int, pr float64, seed uint64) *Fig12Result {
 		net.Node(6).Neighbors = []overlay.NodeID{8}
 		net.Node(7).Neighbors = []overlay.NodeID{8}
 		net.Node(8).Neighbors = []overlay.NodeID{6, 7}
+		net.Touch() // hand-edited topology: invalidate version-keyed caches
 		probes := probe.NewSet(net, rng.Split(), 60)
 		for i := 0; i < 3; i++ {
 			probes.TickAll()

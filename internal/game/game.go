@@ -327,7 +327,15 @@ var negInf = math.Inf(-1)
 // report: each subgame G_l is solved exactly given optimal play in later
 // stages, so the assembled profile is subgame perfect by construction (the
 // one-shot deviation principle for finite games).
-func (g *PathGame) Solve() [][]Decision {
+func (g *PathGame) Solve() [][]Decision { return g.SolveInto(nil) }
+
+// SolveInto is Solve reusing a previously returned table as scratch when
+// its dimensions still fit, avoiding the per-solve allocations on hot
+// simulation paths. Every cell is overwritten, so the result is identical
+// to a fresh Solve; pass nil (or a mismatched table) to allocate anew. The
+// returned table aliases the argument when it was reused — callers caching
+// tables must pass only buffers they own.
+func (g *PathGame) SolveInto(table [][]Decision) [][]Decision {
 	if g.Nodes < 1 || g.Responder < 0 || g.Responder >= g.Nodes {
 		panic(fmt.Sprintf("game: PathGame with Nodes=%d Responder=%d", g.Nodes, g.Responder))
 	}
@@ -337,9 +345,13 @@ func (g *PathGame) Solve() [][]Decision {
 	if g.EdgeQuality == nil {
 		panic("game: PathGame with nil EdgeQuality")
 	}
-	table := make([][]Decision, g.MaxHops+1)
+	if len(table) != g.MaxHops+1 || len(table) == 0 || len(table[0]) != g.Nodes {
+		table = make([][]Decision, g.MaxHops+1)
+		for h := range table {
+			table[h] = make([]Decision, g.Nodes)
+		}
+	}
 	// h = 0: only R itself has a (trivially) complete path.
-	table[0] = make([]Decision, g.Nodes)
 	for i := 0; i < g.Nodes; i++ {
 		q := negInf
 		if i == g.Responder {
@@ -348,7 +360,6 @@ func (g *PathGame) Solve() [][]Decision {
 		table[0][i] = Decision{Node: i, Next: -1, Utility: negInf, Quality: q}
 	}
 	for h := 1; h <= g.MaxHops; h++ {
-		table[h] = make([]Decision, g.Nodes)
 		for i := 0; i < g.Nodes; i++ {
 			if i == g.Responder {
 				// R holds the payload: the path is complete.

@@ -8,6 +8,14 @@
 //
 // The predecessor is stored so that a node occupying two different
 // positions on the same path can distinguish its two outgoing edges.
+//
+// Selectivity queries sit on the routing hot path — they run once per
+// candidate per hop per connection across every experiment sweep — so the
+// profile maintains incremental indexes (distinct-connection counts per
+// successor and per (predecessor, successor) position) updated on Record
+// and eviction. EdgeUses, EdgeUsesAt and Connections are O(1) lookups and
+// allocation-free; the straightforward full-entry scans are kept as
+// unexported oracles for the equivalence tests.
 package history
 
 import (
@@ -27,17 +35,44 @@ type Entry struct {
 	Successor   overlay.NodeID
 }
 
+// posKey identifies a position-differentiated outgoing edge: the payload
+// arrived from Pred and left toward Succ.
+type posKey struct {
+	pred, succ overlay.NodeID
+}
+
+// rowKey is a full (connection, predecessor, successor) triple; rowMult
+// counts exact duplicate rows so eviction can tell when a triple is gone.
+type rowKey struct {
+	conn       ConnID
+	pred, succ overlay.NodeID
+}
+
+// connSuccKey pairs a connection with a successor for the distinct-conn
+// count behind EdgeUses.
+type connSuccKey struct {
+	conn ConnID
+	succ overlay.NodeID
+}
+
 // Profile is the history store of a single node for a single (I, R) batch.
 // The zero value is not usable; construct with NewProfile.
 type Profile struct {
 	owner   overlay.NodeID
 	entries []Entry
-	// edgeCount[successor] counts distinct connections that used the edge
-	// owner→successor; a connection that visits the node twice with the
-	// same successor is still one connection.
-	edgeConns map[overlay.NodeID]map[ConnID]struct{}
-	conns     map[ConnID]struct{}
-	capacity  int // max entries retained, 0 = unlimited
+	// Incremental indexes. Each *Mult map counts stored rows sharing a
+	// key; the matching *Distinct structures count keys with multiplicity
+	// > 0, which is exactly the "distinct connections" the paper's
+	// selectivity needs. All are updated in O(1) on Record and eviction.
+	rowMult      map[rowKey]int      // exact (conn, pred, succ) row multiplicity
+	posDistinct  map[posKey]int      // distinct conns per (pred, succ) edge position
+	edgeMult     map[connSuccKey]int // rows per (conn, succ)
+	succDistinct map[overlay.NodeID]int
+	connMult     map[ConnID]int // rows per conn
+	predMult     map[overlay.NodeID]int
+	conns        int // distinct connections recorded
+	capacity     int // max entries retained, 0 = unlimited
+	version      uint64
 }
 
 // NewProfile creates an empty history profile for the given node.
@@ -49,10 +84,14 @@ func NewProfile(owner overlay.NodeID, capacity int) *Profile {
 		panic(fmt.Sprintf("history: capacity %d", capacity))
 	}
 	return &Profile{
-		owner:     owner,
-		edgeConns: make(map[overlay.NodeID]map[ConnID]struct{}),
-		conns:     make(map[ConnID]struct{}),
-		capacity:  capacity,
+		owner:        owner,
+		rowMult:      make(map[rowKey]int),
+		posDistinct:  make(map[posKey]int),
+		edgeMult:     make(map[connSuccKey]int),
+		succDistinct: make(map[overlay.NodeID]int),
+		connMult:     make(map[ConnID]int),
+		predMult:     make(map[overlay.NodeID]int),
+		capacity:     capacity,
 	}
 }
 
@@ -63,58 +102,72 @@ func (p *Profile) Owner() overlay.NodeID { return p.owner }
 func (p *Profile) Len() int { return len(p.entries) }
 
 // Connections returns the number of distinct connections recorded.
-func (p *Profile) Connections() int { return len(p.conns) }
+func (p *Profile) Connections() int { return p.conns }
+
+// Version returns a counter incremented on every mutation (Record or
+// eviction); callers cache derived values against it.
+func (p *Profile) Version() uint64 { return p.version }
 
 // Record stores one forwarding instance: the owner forwarded connection
 // cid, received from pred (overlay.None if the owner was the first hop),
 // and sent to succ.
 func (p *Profile) Record(cid ConnID, pred, succ overlay.NodeID) {
+	p.version++
 	p.entries = append(p.entries, Entry{Conn: cid, Predecessor: pred, Successor: succ})
-	set, ok := p.edgeConns[succ]
-	if !ok {
-		set = make(map[ConnID]struct{})
-		p.edgeConns[succ] = set
+	rk := rowKey{cid, pred, succ}
+	p.rowMult[rk]++
+	if p.rowMult[rk] == 1 {
+		p.posDistinct[posKey{pred, succ}]++
 	}
-	set[cid] = struct{}{}
-	p.conns[cid] = struct{}{}
+	ek := connSuccKey{cid, succ}
+	p.edgeMult[ek]++
+	if p.edgeMult[ek] == 1 {
+		p.succDistinct[succ]++
+	}
+	p.connMult[cid]++
+	if p.connMult[cid] == 1 {
+		p.conns++
+	}
+	p.predMult[pred]++
 	if p.capacity > 0 && len(p.entries) > p.capacity {
 		p.evictOldest()
 	}
 }
 
-// evictOldest removes the oldest entry and rebuilds derived counts for the
-// affected successor.
+// evictOldest removes the oldest entry, decrementing the incremental
+// indexes in O(1).
 func (p *Profile) evictOldest() {
+	p.version++
 	old := p.entries[0]
 	p.entries = p.entries[1:]
-	// Does any remaining entry still use (old.Conn, old.Successor)?
-	stillEdge := false
-	stillConn := false
-	for _, e := range p.entries {
-		if e.Conn == old.Conn {
-			stillConn = true
-			if e.Successor == old.Successor {
-				stillEdge = true
-			}
+	rk := rowKey{old.Conn, old.Predecessor, old.Successor}
+	if p.rowMult[rk]--; p.rowMult[rk] == 0 {
+		delete(p.rowMult, rk)
+		pk := posKey{old.Predecessor, old.Successor}
+		if p.posDistinct[pk]--; p.posDistinct[pk] == 0 {
+			delete(p.posDistinct, pk)
 		}
 	}
-	if !stillEdge {
-		if set, ok := p.edgeConns[old.Successor]; ok {
-			delete(set, old.Conn)
-			if len(set) == 0 {
-				delete(p.edgeConns, old.Successor)
-			}
+	ek := connSuccKey{old.Conn, old.Successor}
+	if p.edgeMult[ek]--; p.edgeMult[ek] == 0 {
+		delete(p.edgeMult, ek)
+		if p.succDistinct[old.Successor]--; p.succDistinct[old.Successor] == 0 {
+			delete(p.succDistinct, old.Successor)
 		}
 	}
-	if !stillConn {
-		delete(p.conns, old.Conn)
+	if p.connMult[old.Conn]--; p.connMult[old.Conn] == 0 {
+		delete(p.connMult, old.Conn)
+		p.conns--
+	}
+	if p.predMult[old.Predecessor]--; p.predMult[old.Predecessor] == 0 {
+		delete(p.predMult, old.Predecessor)
 	}
 }
 
 // EdgeUses returns the number of distinct recorded connections that used
-// the edge owner→succ.
+// the edge owner→succ. O(1), allocation-free.
 func (p *Profile) EdgeUses(succ overlay.NodeID) int {
-	return len(p.edgeConns[succ])
+	return p.succDistinct[succ]
 }
 
 // Selectivity returns σ(owner, succ) for the k-th connection of the batch:
@@ -133,9 +186,14 @@ func (p *Profile) Selectivity(succ overlay.NodeID, k int) float64 {
 
 // EntriesFor returns the stored entries whose predecessor matches pred,
 // letting a node distinguish its outgoing edges by path position as §2.3
-// describes.
+// describes. The result is sized exactly from the predecessor index; nil
+// when no entry matches.
 func (p *Profile) EntriesFor(pred overlay.NodeID) []Entry {
-	var out []Entry
+	n := p.predMult[pred]
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, n)
 	for _, e := range p.entries {
 		if e.Predecessor == pred {
 			out = append(out, e)
@@ -147,14 +205,9 @@ func (p *Profile) EntriesFor(pred overlay.NodeID) []Entry {
 // EdgeUsesAt returns the number of distinct recorded connections on which
 // the owner, holding the payload received from pred, forwarded to succ —
 // the position-differentiated count §2.3's predecessor trick enables.
+// O(1), allocation-free.
 func (p *Profile) EdgeUsesAt(pred, succ overlay.NodeID) int {
-	conns := make(map[ConnID]struct{})
-	for _, e := range p.entries {
-		if e.Predecessor == pred && e.Successor == succ {
-			conns[e.Conn] = struct{}{}
-		}
-	}
-	return len(conns)
+	return p.posDistinct[posKey{pred, succ}]
 }
 
 // SelectivityAt is the position-aware variant of Selectivity: σ computed
@@ -173,10 +226,44 @@ func (p *Profile) SelectivityAt(pred, succ overlay.NodeID, k int) float64 {
 	return sigma
 }
 
+// scanEdgeUses is the pre-index full-scan implementation of EdgeUses, kept
+// as the oracle the equivalence tests check the incremental index against.
+func (p *Profile) scanEdgeUses(succ overlay.NodeID) int {
+	conns := make(map[ConnID]struct{})
+	for _, e := range p.entries {
+		if e.Successor == succ {
+			conns[e.Conn] = struct{}{}
+		}
+	}
+	return len(conns)
+}
+
+// scanEdgeUsesAt is the pre-index full-scan implementation of EdgeUsesAt
+// (test oracle).
+func (p *Profile) scanEdgeUsesAt(pred, succ overlay.NodeID) int {
+	conns := make(map[ConnID]struct{})
+	for _, e := range p.entries {
+		if e.Predecessor == pred && e.Successor == succ {
+			conns[e.Conn] = struct{}{}
+		}
+	}
+	return len(conns)
+}
+
+// scanConnections is the full-scan implementation of Connections (test
+// oracle).
+func (p *Profile) scanConnections() int {
+	conns := make(map[ConnID]struct{})
+	for _, e := range p.entries {
+		conns[e.Conn] = struct{}{}
+	}
+	return len(conns)
+}
+
 // Successors returns the distinct successors recorded, ascending.
 func (p *Profile) Successors() []overlay.NodeID {
-	out := make([]overlay.NodeID, 0, len(p.edgeConns))
-	for v := range p.edgeConns {
+	out := make([]overlay.NodeID, 0, len(p.succDistinct))
+	for v := range p.succDistinct {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -91,6 +91,12 @@ type Network struct {
 	rng       *dist.Source
 	observers []ChurnFunc
 
+	// version counts structural changes — lifecycle transitions and actual
+	// neighbor-set edits — so routing-layer caches (SPNE tables, min-cost
+	// memos) can invalidate exactly when topology state they consumed may
+	// have moved. Pure queries never advance it.
+	version uint64
+
 	// churn counters, one per destination state; nil (no-op) until
 	// Instrument binds them into a telemetry registry.
 	churnOnline   *telemetry.Counter
@@ -136,6 +142,7 @@ func (n *Network) Instrument(reg *telemetry.Registry) {
 
 // notifyChurn fans a transition out to the registered observers.
 func (n *Network) notifyChurn(id NodeID, s State) {
+	n.version++
 	switch s {
 	case Online:
 		n.churnOnline.Inc()
@@ -151,6 +158,18 @@ func (n *Network) notifyChurn(id NodeID, s State) {
 
 // Degree returns the configured neighbor-set size d.
 func (n *Network) Degree() int { return n.degree }
+
+// Version returns the structural-change counter: it advances on every
+// Join, Rejoin and Leave, and on RefreshNeighbors calls that actually
+// modify a neighbor set. Equal versions guarantee an unchanged topology
+// (node set, online set and neighbor sets). Callers that hand-edit a
+// Node's Neighbors slice directly (scripted topologies) must call Touch
+// afterwards.
+func (n *Network) Version() uint64 { return n.version }
+
+// Touch records an out-of-band structural change: call it after mutating
+// a Node's Neighbors slice directly so version-keyed caches invalidate.
+func (n *Network) Touch() { n.version++ }
 
 // Len returns the total number of nodes ever created (any state).
 func (n *Network) Len() int { return len(n.nodes) }
@@ -291,12 +310,21 @@ func (n *Network) pickNeighbors(self NodeID, keep []NodeID) []NodeID {
 func (n *Network) RefreshNeighbors(id NodeID) {
 	node := n.Node(id)
 	keep := node.Neighbors[:0]
+	dropped := 0
 	for _, v := range node.Neighbors {
 		if n.Node(v).State != Departed {
 			keep = append(keep, v)
+		} else {
+			dropped++
 		}
 	}
 	node.Neighbors = n.pickNeighbors(id, keep)
+	// Only an actual edit — a departed neighbor dropped or a replacement
+	// found — is a structural change; the common repair-finds-nothing call
+	// must not invalidate topology-keyed caches.
+	if dropped > 0 || len(node.Neighbors) != len(keep) {
+		n.version++
+	}
 }
 
 // Availability returns the node's ground-truth availability at time now:

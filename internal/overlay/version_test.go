@@ -1,0 +1,61 @@
+package overlay
+
+import (
+	"testing"
+
+	"p2panon/internal/dist"
+)
+
+// TestVersionTracksStructuralChanges checks the structural version moves
+// on lifecycle transitions and on neighbor repairs that edit the set, and
+// stays put for queries and no-op repairs.
+func TestVersionTracksStructuralChanges(t *testing.T) {
+	net := NewNetwork(3, dist.NewSource(1))
+	v := net.Version()
+	for i := 0; i < 6; i++ {
+		net.Join(0, false)
+	}
+	if net.Version() == v {
+		t.Fatal("Join did not advance version")
+	}
+
+	// Queries must not advance it.
+	v = net.Version()
+	net.OnlineIDs()
+	net.NeighborsOf(0)
+	net.Online(3)
+	net.Availability(5, 0)
+	if net.Version() != v {
+		t.Fatal("queries advanced version")
+	}
+
+	// Top up early joiners (the first nodes joined a sparse network), then
+	// check that a repair finding nothing to do is not a structural change.
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	v = net.Version()
+	net.RefreshNeighbors(0)
+	if net.Version() != v {
+		t.Fatal("no-op RefreshNeighbors advanced version")
+	}
+
+	net.Leave(1, 2, true) // departs permanently
+	if net.Version() == v {
+		t.Fatal("Leave did not advance version")
+	}
+
+	// Now a repair on a node that held the departed neighbor edits the set.
+	v = net.Version()
+	refreshed := false
+	for _, id := range net.OnlineIDs() {
+		if net.IsNeighbor(id, 2) {
+			net.RefreshNeighbors(id)
+			refreshed = true
+			break
+		}
+	}
+	if refreshed && net.Version() == v {
+		t.Fatal("neighbor-editing RefreshNeighbors did not advance version")
+	}
+}

@@ -52,6 +52,17 @@ type Estimator struct {
 	session map[overlay.NodeID]float64 // observed session time t_s(u)
 	probes  int
 
+	// total caches Σ_v t_s(v) so Availability is O(1) instead of summing
+	// the session map per call (the routing layer queries it once per
+	// candidate per hop). Invalidated whenever Tick mutates the map.
+	total      float64
+	totalValid bool
+
+	// setVersion, when non-nil, is the owning Set's change counter; Tick
+	// bumps it so availability-keyed caches (e.g. solved SPNE tables) can
+	// invalidate.
+	setVersion *uint64
+
 	// nil (no-op) until Instrument binds them.
 	ticks, credits, decays, inits *telemetry.Counter
 }
@@ -106,6 +117,10 @@ func (est *Estimator) Probes() int { return est.probes }
 func (est *Estimator) Tick() {
 	est.probes++
 	est.ticks.Inc()
+	est.totalValid = false
+	if est.setVersion != nil {
+		*est.setVersion++
+	}
 	current := est.net.NeighborsOf(est.owner)
 	inSet := make(map[overlay.NodeID]struct{}, len(current))
 	fresh := make(map[overlay.NodeID]struct{})
@@ -148,10 +163,15 @@ func (est *Estimator) SessionTime(u overlay.NodeID) float64 {
 // accumulated it returns an uninformative uniform 1/|D(s)| so that routing
 // has a well-defined score from the first connection.
 func (est *Estimator) Availability(u overlay.NodeID) float64 {
-	total := 0.0
-	for _, t := range est.session {
-		total += t
+	if !est.totalValid {
+		total := 0.0
+		for _, t := range est.session {
+			total += t
+		}
+		est.total = total
+		est.totalValid = true
 	}
+	total := est.total
 	if total <= 0 {
 		if n := len(est.session); n > 0 {
 			if _, ok := est.session[u]; ok {
@@ -196,7 +216,15 @@ type Set struct {
 	period sim.Time
 	byNode map[overlay.NodeID]*Estimator
 	reg    *telemetry.Registry
+
+	// version counts estimate updates across the whole set: every Tick of
+	// a member estimator advances it. Equal versions guarantee unchanged
+	// availability scores.
+	version uint64
 }
+
+// Version returns the set-wide estimate-change counter.
+func (s *Set) Version() uint64 { return s.version }
 
 // Instrument binds every current and future estimator in the set into
 // reg (they share the probe_* series).
@@ -222,6 +250,7 @@ func (s *Set) For(id overlay.NodeID) *Estimator {
 	est, ok := s.byNode[id]
 	if !ok {
 		est = NewEstimator(id, s.net, s.rng.Split(), s.period)
+		est.setVersion = &s.version
 		if s.reg != nil {
 			est.Instrument(s.reg)
 		}

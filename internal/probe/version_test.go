@@ -1,0 +1,71 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+)
+
+// TestSetVersionAdvancesPerTick checks the set-wide version moves when any
+// member estimator ticks, and that queries leave it alone.
+func TestSetVersionAdvancesPerTick(t *testing.T) {
+	rng := dist.NewSource(1)
+	net := overlay.NewNetwork(3, rng.Split())
+	for i := 0; i < 5; i++ {
+		net.Join(0, false)
+	}
+	set := NewSet(net, rng.Split(), DefaultPeriod)
+	v := set.Version()
+	set.TickAll()
+	if set.Version() == v {
+		t.Fatal("TickAll did not advance set version")
+	}
+	v = set.Version()
+	set.For(0).Availability(1)
+	set.For(0).Snapshot()
+	if set.Version() != v {
+		t.Fatal("queries advanced set version")
+	}
+	set.For(0).Tick()
+	if set.Version() != v+1 {
+		t.Fatalf("single Tick advanced version by %d, want 1", set.Version()-v)
+	}
+}
+
+// TestAvailabilityCachedTotalMatchesFreshSum drives churn through several
+// ticks and checks the O(1) cached-total Availability agrees with a fresh
+// sum over the session map.
+func TestAvailabilityCachedTotalMatchesFreshSum(t *testing.T) {
+	rng := dist.NewSource(7)
+	net := overlay.NewNetwork(4, rng.Split())
+	for i := 0; i < 8; i++ {
+		net.Join(0, false)
+	}
+	set := NewSet(net, rng.Split(), DefaultPeriod)
+	for tick := 0; tick < 6; tick++ {
+		if tick == 3 {
+			net.Leave(10, 1, false) // a miss: decay path
+		}
+		set.TickAll()
+		for _, id := range net.OnlineIDs() {
+			est := set.For(id)
+			total := 0.0
+			for _, v := range est.session {
+				total += v
+			}
+			for u := range est.session {
+				want := 0.0
+				if total > 0 {
+					want = est.session[u] / total
+				} else if n := len(est.session); n > 0 {
+					want = 1 / float64(n)
+				}
+				if got := est.Availability(u); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("tick %d: Availability(%d→%d) = %g, want %g", tick, id, u, got, want)
+				}
+			}
+		}
+	}
+}

@@ -95,6 +95,31 @@ func TestScorerCombinesHistoryAndProbe(t *testing.T) {
 	}
 }
 
+// TestScorerEdgeAllocationFree pins the hot-path guarantee the routing
+// loop depends on: with the history position indexes and the cached probe
+// total, Edge and EdgeAt perform no allocations per call.
+func TestScorerEdgeAllocationFree(t *testing.T) {
+	sc, net := buildScorer(t)
+	sc.Probe.Tick()
+	sc.Probe.Tick()
+	nb := net.NeighborsOf(0)
+	for c := 1; c <= 4; c++ {
+		sc.History.Record(history.ConnID(c), nb[c%len(nb)], nb[(c+1)%len(nb)])
+	}
+	v, pred := nb[0], nb[1]
+	r := overlay.NodeID(11)
+	if got := testing.AllocsPerRun(200, func() {
+		sc.Edge(v, r, 5)
+	}); got != 0 {
+		t.Errorf("Edge allocates %.1f per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		sc.EdgeAt(pred, v, r, 5)
+	}); got != 0 {
+		t.Errorf("EdgeAt allocates %.1f per call, want 0", got)
+	}
+}
+
 func TestNewScorerPanicsOnBadWeights(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# bench.sh — run the tracked benchmark set and archive it as JSON.
+#
+# Usage: scripts/bench.sh [output.json]    (default BENCH_PR3.json)
+#
+# Two tiers:
+#   - experiment benchmarks (repo root): whole figure pipelines, few
+#     iterations because each run is seconds of simulation;
+#   - micro-benchmarks (internal packages): the hot paths the performance
+#     work targets, timed properly.
+# The combined text output is converted by cmd/benchjson into one JSON
+# document with ns/op, B/op and allocs/op per benchmark.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== experiment benchmarks =="
+go test -run '^$' \
+  -bench 'BenchmarkFig3PayoffVsMaliciousUM1|BenchmarkFig4PayoffVsMaliciousUM2|BenchmarkFig5ForwarderSetSize|BenchmarkSingleRunUM1|BenchmarkSingleRunUM2' \
+  -benchmem -benchtime 5x . | tee "$tmp"
+
+echo "== micro-benchmarks =="
+go test -run '^$' \
+  -bench 'BenchmarkSelectivityAt|BenchmarkScorerReuse|BenchmarkSPNESimCache|BenchmarkSPNESolveCold' \
+  -benchmem -benchtime 1s ./internal/... | tee -a "$tmp"
+
+go run ./cmd/benchjson -in "$tmp" -out "$out"
+echo "wrote $out"
