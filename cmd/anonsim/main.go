@@ -8,6 +8,14 @@
 //	        [-pairs 100] [-tx 2000] [-maxconn 20] [-churn] [-seed 1] [-v]
 //	        [-live] [-live-removals 2]
 //	        [-metrics-addr :9090] [-trace-out trace.jsonl] [-metrics-every 5s]
+//	        [-faults plan.json | -faults gen:<seed>]
+//
+// With -faults, anonsim runs a deterministic fault-injection plan (see
+// internal/faultsim) instead of the simulator: it loads the plan JSON (or
+// generates one from a seed with gen:<seed>), replays the seeded world,
+// checks every system invariant and exits non-zero on a violation. With
+// -trace-out the run's full event trace is written as JSONL — byte-identical
+// across runs of the same plan.
 //
 // With -live, the simulator summary is followed by a live replay: the same
 // strategy routes real connections over the goroutine-per-peer transport
@@ -60,7 +68,12 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write connection lifecycle events as JSONL to this file at exit")
 	traceCap := flag.Int("trace-cap", 65536, "event-ring capacity for lifecycle tracing")
 	metricsEvery := flag.Duration("metrics-every", 0, "log a telemetry snapshot table to stderr at this interval (0 = off)")
+	faults := flag.String("faults", "", "run a deterministic fault-injection plan instead of the simulator: a plan JSON path, or gen:<seed>")
 	flag.Parse()
+
+	if *faults != "" {
+		os.Exit(runFaults(*faults, *traceOut))
+	}
 
 	// The unified registry/tracer back every instrumented layer of the
 	// run; they stay nil (all hooks no-ops) unless a telemetry flag asks

@@ -2,6 +2,7 @@ package churn
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"p2panon/internal/dist"
@@ -193,5 +194,87 @@ func TestDepartProbOneEmptiesNetwork(t *testing.T) {
 	}
 	if drv.Departures() != 20 {
 		t.Fatalf("departures = %d", drv.Departures())
+	}
+}
+
+// observeSessions runs the driver to the horizon and returns every completed
+// session duration, in event order, measured purely through the overlay's
+// churn observer and the engine clock — the same signals the probe layer's
+// availability estimator consumes.
+func observeSessions(t *testing.T, cfg Config, seed uint64, horizon sim.Time) []float64 {
+	t.Helper()
+	e, net, drv := setup(t, cfg, seed)
+	start := make(map[overlay.NodeID]sim.Time)
+	var durations []float64
+	net.OnChurn(func(id overlay.NodeID, s overlay.State) {
+		switch s {
+		case overlay.Online:
+			start[id] = e.Now()
+		case overlay.Offline, overlay.Departed:
+			if began, ok := start[id]; ok {
+				durations = append(durations, float64(e.Now()-began))
+				delete(start, id)
+			}
+		}
+	})
+	drv.Start(e)
+	e.RunUntil(horizon)
+	return durations
+}
+
+// TestSessionDurationsConvergeToMedian is the property test for the churn
+// process: session times observed from the outside (Online→Offline
+// transitions under the harness clock) must have an empirical median that
+// converges to the configured Pareto median, and the whole observation
+// sequence must be a pure function of the seed.
+func TestSessionDurationsConvergeToMedian(t *testing.T) {
+	cfg := Config{
+		N:           100,
+		Session:     dist.ParetoFromMedian(120, 1.5),
+		MeanOffTime: 30,
+		// DepartProb 0: every node cycles sessions for the whole run, so the
+		// sample count grows with the horizon instead of the population.
+	}
+	horizon := sim.Hours(4)
+	durations := observeSessions(t, cfg, 99, horizon)
+	if len(durations) < 1000 {
+		t.Fatalf("only %d completed sessions; the churn process barely ran", len(durations))
+	}
+	sorted := append([]float64(nil), durations...)
+	sort.Float64s(sorted)
+	got := sorted[len(sorted)/2]
+	want := cfg.Session.Median()
+	if rel := math.Abs(got-want) / want; rel > 0.10 {
+		t.Fatalf("empirical session median %.1fs vs configured %.1fs (%.1f%% off, n=%d)",
+			got, want, 100*rel, len(durations))
+	}
+	// Every observed duration respects the Pareto lower bound.
+	if sorted[0] < cfg.Session.Xm-1e-9 {
+		t.Fatalf("session of %.3fs below the Pareto minimum %.3fs", sorted[0], cfg.Session.Xm)
+	}
+
+	// Same seed, same horizon: the observation sequence replays exactly.
+	again := observeSessions(t, cfg, 99, horizon)
+	if len(again) != len(durations) {
+		t.Fatalf("replay produced %d sessions, first run %d", len(again), len(durations))
+	}
+	for i := range durations {
+		if durations[i] != again[i] {
+			t.Fatalf("replay diverged at session %d: %g vs %g", i, durations[i], again[i])
+		}
+	}
+	// A different seed must not.
+	other := observeSessions(t, cfg, 100, horizon)
+	if len(other) == len(durations) {
+		same := true
+		for i := range durations {
+			if durations[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical session sequences")
+		}
 	}
 }

@@ -1,0 +1,220 @@
+package faultsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"p2panon/internal/telemetry"
+)
+
+// Result is everything one deterministic run produced: the full event
+// trace, the invariant verdict and the headline counters.
+type Result struct {
+	Plan       Plan
+	Events     []telemetry.Event
+	Violations []Violation
+
+	Sends, OfflineDrops, Stale                    int64
+	Launches, Hops, Nacks, Timeouts, Reformations int64
+	Delivered, Failed, FaultsInjected             int64
+	SettledBatches, SkippedBatches, FailedSettles int
+	TraceDropped                                  uint64
+	VirtualSeconds                                float64
+}
+
+// OK reports whether every invariant held.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// TraceJSONL renders the event trace as JSON lines, oldest first. Two runs
+// of the same plan must produce byte-identical output — that equality IS
+// the determinism guarantee, and the test suite asserts it.
+func (r *Result) TraceJSONL() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range r.Events {
+		if err := enc.Encode(ev); err != nil {
+			// Event is a plain struct of scalars; encoding cannot fail.
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// Run executes the plan in a fresh deterministic world and checks every
+// invariant. The error return is for unusable plans (validation, key
+// generation); invariant failures land in Result.Violations.
+func Run(p Plan) (*Result, error) {
+	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := newWorld(p)
+	if err != nil {
+		return nil, err
+	}
+	w.setup()
+	w.eng.Run()
+
+	res := &Result{
+		Plan:           p,
+		Events:         w.tracer.Events(),
+		Sends:          w.cSends.Value(),
+		OfflineDrops:   w.cDrops.Value(),
+		Stale:          w.cStale.Value(),
+		Launches:       w.cLaunches.Value(),
+		Hops:           w.cHops.Value(),
+		Nacks:          w.cNacks.Value(),
+		Timeouts:       w.cTimeouts.Value(),
+		Reformations:   w.cReforms.Value(),
+		Delivered:      w.cDelivered.Value(),
+		Failed:         w.cFailed.Value(),
+		FaultsInjected: w.cFaults.Value(),
+		TraceDropped:   w.tracer.Dropped(),
+		VirtualSeconds: float64(w.eng.Now()),
+	}
+	for _, rec := range w.batches {
+		switch {
+		case rec.settled:
+			res.SettledBatches++
+		case rec.skipped:
+			res.SkippedBatches++
+		default:
+			res.FailedSettles++
+		}
+	}
+	res.Violations = w.checkInvariants()
+	return res, nil
+}
+
+// failsLike reports whether the plan still violates at least one
+// invariant — the predicate Shrink minimises against.
+func failsLike(p Plan) bool {
+	res, err := Run(p)
+	if err != nil {
+		return false // an unrunnable plan is not a reproducer
+	}
+	return !res.OK()
+}
+
+// Shrink minimises a failing plan's fault schedule with ddmin delta
+// debugging: it repeatedly tries dropping chunks of faults (halving
+// granularity as chunks stop shrinking) and keeps any subset that still
+// violates an invariant. Determinism makes each probe exact — the same
+// subset either always fails or never does. The returned plan is
+// 1-minimal: removing any single remaining fault makes the run pass.
+// If p does not fail at all, p is returned unchanged.
+func Shrink(p Plan) Plan {
+	p = p.Normalize()
+	if !failsLike(p) {
+		return p
+	}
+	withFaults := func(fs []Fault) Plan {
+		q := p
+		q.Faults = append([]Fault(nil), fs...)
+		return q
+	}
+	// The fault-free plan failing means the defect needs no faults at all.
+	if len(p.Faults) == 0 || failsLike(withFaults(nil)) {
+		return withFaults(nil)
+	}
+	faults := append([]Fault(nil), p.Faults...)
+	n := 2
+	for len(faults) >= 2 {
+		chunk := (len(faults) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(faults); start += chunk {
+			end := start + chunk
+			if end > len(faults) {
+				end = len(faults)
+			}
+			complement := append(append([]Fault(nil), faults[:start]...), faults[end:]...)
+			if failsLike(withFaults(complement)) {
+				faults = complement
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(faults) {
+				break
+			}
+			n *= 2
+			if n > len(faults) {
+				n = len(faults)
+			}
+		}
+	}
+	return withFaults(faults)
+}
+
+// TB is the subset of testing.TB the harness needs. Keeping it local lets
+// non-test binaries (cmd/anonsim) drive Check without importing testing.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Logf(format string, args ...any)
+	Name() string
+}
+
+// Check runs the plan and fails t on any invariant violation, first
+// shrinking the fault schedule to a minimal reproducer and saving it as
+// JSON (to $FAULTSIM_ARTIFACT_DIR when set, else the working directory)
+// so the failure replays with `anonsim -faults <file>`.
+func Check(t TB, p Plan) *Result {
+	t.Helper()
+	res, err := Run(p)
+	if err != nil {
+		t.Fatalf("faultsim: plan unusable: %v", err)
+		return nil
+	}
+	if res.OK() {
+		return res
+	}
+	min := Shrink(p)
+	minRes, err := Run(min)
+	if err != nil || minRes.OK() {
+		// Shrinking must preserve failure; fall back to the original.
+		min, minRes = p.Normalize(), res
+	}
+	path := artifactPath(t.Name(), min.Seed)
+	if err := SavePlan(path, min); err != nil {
+		t.Logf("faultsim: could not save reproducer: %v", err)
+		path = "<unsaved>"
+	}
+	var report bytes.Buffer
+	for _, v := range minRes.Violations {
+		fmt.Fprintf(&report, "\n  - %s", v)
+	}
+	t.Fatalf("faultsim: seed %d violated %d invariant(s) (shrunk to %d of %d faults, reproducer %s):%s",
+		p.Seed, len(minRes.Violations), len(min.Faults), len(p.Normalize().Faults), path, report.String())
+	return minRes
+}
+
+// artifactPath picks where a failing plan is written.
+func artifactPath(testName string, seed uint64) string {
+	dir := os.Getenv("FAULTSIM_ARTIFACT_DIR")
+	if dir == "" {
+		dir = "."
+	} else {
+		os.MkdirAll(dir, 0o755)
+	}
+	name := fmt.Sprintf("faultsim-%s-seed%d.json", sanitize(testName), seed)
+	return filepath.Join(dir, name)
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,216 @@
+package faultsim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDeterministicTraces is the core replay guarantee: the same plan run
+// twice produces byte-identical event traces and identical counters.
+func TestDeterministicTraces(t *testing.T) {
+	p := GeneratePlan(42)
+	r1, err := Run(p)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	r2, err := Run(p)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	t1, t2 := r1.TraceJSONL(), r2.TraceJSONL()
+	if !bytes.Equal(t1, t2) {
+		t.Fatalf("traces differ across identical runs: %d vs %d bytes", len(t1), len(t2))
+	}
+	if len(t1) == 0 {
+		t.Fatal("empty trace — the world did not run")
+	}
+	if r1.Sends != r2.Sends || r1.Delivered != r2.Delivered || r1.Failed != r2.Failed ||
+		r1.Nacks != r2.Nacks || r1.Timeouts != r2.Timeouts || r1.VirtualSeconds != r2.VirtualSeconds {
+		t.Fatalf("counters differ across identical runs:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// TestBenignPlansHoldInvariants: generated noise plans (drops, delays,
+// duplicates, reorders, crashes, restarts, inflated claims, double
+// deposits, probe lies — everything except the planted settlement defect)
+// must be absorbed without violating any invariant.
+func TestBenignPlansHoldInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, err := Run(GeneratePlan(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			t.Errorf("seed %d: %d violation(s):", seed, len(res.Violations))
+			for _, v := range res.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
+		if res.Delivered == 0 {
+			t.Errorf("seed %d: no connection ever delivered; the plan exercised nothing", seed)
+		}
+	}
+}
+
+// TestDoubleSpendCaughtAndShrunk plants the settlement double-spend in a
+// noisy plan: the conservation checker must fire, and Shrink must reduce
+// the schedule to a minimal reproducer (the acceptance bound is 5; the
+// true minimum is the one double-spend fault).
+func TestDoubleSpendCaughtAndShrunk(t *testing.T) {
+	p := GeneratePlan(7)
+	p.Faults = append(p.Faults, Fault{Kind: FaultDoubleSpend, Batch: 1})
+	res, err := Run(p)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.OK() {
+		t.Fatal("planted double-spend was not caught by any invariant")
+	}
+	caught := false
+	for _, v := range res.Violations {
+		if v.Invariant == InvConservation || v.Invariant == InvDoubleSettle {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("double-spend violated %v but never payment-conservation/double-settle", res.Violations)
+	}
+
+	min := Shrink(p)
+	if len(min.Faults) > 5 {
+		t.Fatalf("shrunk reproducer has %d faults, want <= 5: %+v", len(min.Faults), min.Faults)
+	}
+	minRes, err := Run(min)
+	if err != nil {
+		t.Fatalf("shrunk plan unrunnable: %v", err)
+	}
+	if minRes.OK() {
+		t.Fatal("shrunk plan no longer fails — Shrink did not preserve the defect")
+	}
+	if len(min.Faults) != 1 || min.Faults[0].Kind != FaultDoubleSpend {
+		t.Logf("note: minimal reproducer is %+v (expected the lone double-spend)", min.Faults)
+	}
+}
+
+// TestShrinkPassesThroughCleanPlan: a passing plan shrinks to itself.
+func TestShrinkPassesThroughCleanPlan(t *testing.T) {
+	p := GeneratePlan(3)
+	min := Shrink(p)
+	if len(min.Faults) != len(p.Normalize().Faults) {
+		t.Fatalf("clean plan was shrunk from %d to %d faults", len(p.Normalize().Faults), len(min.Faults))
+	}
+}
+
+// TestPlanRoundTrip: SavePlan/LoadPlan preserve the schedule exactly.
+func TestPlanRoundTrip(t *testing.T) {
+	p := GeneratePlan(11)
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SavePlan(path, p); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	q, err := LoadPlan(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if q.Seed != p.Seed || len(q.Faults) != len(p.Faults) {
+		t.Fatalf("round trip lost data: %+v vs %+v", q, p)
+	}
+	for i := range p.Faults {
+		if q.Faults[i] != p.Faults[i] {
+			t.Fatalf("fault %d changed: %+v vs %+v", i, q.Faults[i], p.Faults[i])
+		}
+	}
+}
+
+// TestCheckSavesReproducer: Check on a failing plan must write the shrunk
+// plan JSON into FAULTSIM_ARTIFACT_DIR and fail the TB.
+func TestCheckSavesReproducer(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("FAULTSIM_ARTIFACT_DIR", dir)
+	p := GeneratePlan(7)
+	p.Faults = append(p.Faults, Fault{Kind: FaultDoubleSpend, Batch: 1})
+	rec := &recordingTB{name: "TestCheckSavesReproducer"}
+	Check(rec, p)
+	if !rec.fataled {
+		t.Fatal("Check did not fail on a violating plan")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "faultsim-*.json"))
+	if len(matches) == 0 {
+		t.Fatalf("no reproducer JSON written to %s", dir)
+	}
+	min, err := LoadPlan(matches[0])
+	if err != nil {
+		t.Fatalf("saved reproducer unloadable: %v", err)
+	}
+	if len(min.Faults) > 5 {
+		t.Fatalf("saved reproducer has %d faults, want <= 5", len(min.Faults))
+	}
+}
+
+// TestCheckPassesCleanPlan: Check must not fail a healthy plan.
+func TestCheckPassesCleanPlan(t *testing.T) {
+	res := Check(t, GeneratePlan(1))
+	if res == nil || !res.OK() {
+		t.Fatal("Check failed a clean plan")
+	}
+}
+
+// TestSeededPlans is the CI sweep: FAULTSIM_SEEDS (comma-separated) picks
+// the seed set, defaulting to a small smoke range for local runs.
+func TestSeededPlans(t *testing.T) {
+	spec := os.Getenv("FAULTSIM_SEEDS")
+	if spec == "" {
+		spec = "101,102,103"
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		seed, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil {
+			t.Fatalf("FAULTSIM_SEEDS entry %q: %v", tok, err)
+		}
+		t.Run("seed"+tok, func(t *testing.T) {
+			Check(t, GeneratePlan(seed))
+		})
+	}
+}
+
+// TestValidateRejectsBadPlans spot-checks schedule validation.
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []Plan{
+		{Nodes: 2},
+		{Router: "magic"},
+		{Faults: []Fault{{Kind: "melt"}}},
+		{Faults: []Fault{{Kind: FaultDrop}}},          // missing batch/conn/msg
+		{Faults: []Fault{{Kind: FaultCrash, At: -1}}}, // negative time
+		{Faults: []Fault{{Kind: FaultDoubleSpend}}},   // missing batch
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad plan validated: %+v", i, p)
+		}
+	}
+	if err := GeneratePlan(1).Validate(); err != nil {
+		t.Errorf("generated plan invalid: %v", err)
+	}
+}
+
+// recordingTB captures Check's verdict without failing the real test.
+type recordingTB struct {
+	name    string
+	fataled bool
+	lastLog string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.fataled = true
+}
+func (r *recordingTB) Logf(format string, args ...any) {}
+func (r *recordingTB) Name() string                    { return r.name }

@@ -1,0 +1,294 @@
+// Package faultsim is a deterministic fault-injection harness for the
+// whole stack: overlay, churn, probing, routing, the forwarding protocol
+// and escrow settlement run inside a single-threaded discrete-event world
+// (on sim.Engine) whose every source of randomness derives from one
+// uint64 seed. A declarative Plan schedules faults — message drops,
+// delays, duplicates and reorderings, peer crashes and restarts
+// mid-batch, inflated forwarding claims, settlement double-spends, probe
+// lies — and after the run a set of system-wide invariant checkers must
+// hold. Because the world is deterministic, the same (plan, seed)
+// produces a byte-identical event trace on every run, a failing plan
+// replays exactly, and Shrink can bisect a fault schedule down to a
+// minimal reproducer.
+//
+// The live transport runtime is concurrent by design and therefore
+// cannot give byte-identical traces; the harness instead re-implements
+// the transport's protocol semantics (FORWARD/CONFIRM/NACK, path
+// accumulation, reverse-path routing around corpses, bounded retry with
+// exponential backoff) as simulation events, reusing the real routers,
+// payment bank/escrow, churn driver, probe estimators and telemetry —
+// so the state machines under test are the production ones, only the
+// scheduler is virtual.
+package faultsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Fault kinds. Message faults (drop, delay, duplicate, reorder) match the
+// Nth message sent for a given connection; node faults (crash, restart,
+// double-deposit, probe-lie) fire at an absolute virtual time; settlement
+// faults (inflate, double-spend) apply when their batch settles.
+const (
+	// FaultDrop discards the matched message instead of delivering it.
+	FaultDrop = "drop"
+	// FaultDelay delivers the matched message Delay seconds late.
+	FaultDelay = "delay"
+	// FaultDuplicate delivers the matched message twice, the copy Delay
+	// seconds after the original.
+	FaultDuplicate = "duplicate"
+	// FaultReorder holds the matched message back Delay seconds so that
+	// messages sent after it overtake it.
+	FaultReorder = "reorder"
+	// FaultCrash forces Node offline at time At (mid-batch peer failure).
+	FaultCrash = "crash"
+	// FaultRestart brings a crashed/offline Node back online at time At.
+	FaultRestart = "restart"
+	// FaultInflate pads Node's settlement claim for Batch with Count
+	// forged and duplicated receipts (the §5 inflated-forwarding cheat).
+	FaultInflate = "inflate"
+	// FaultDoubleSpend submits Node's settlement claim for Batch twice,
+	// so an unguarded settlement pays the same receipts two times.
+	FaultDoubleSpend = "double-spend"
+	// FaultDoubleDeposit has Node withdraw a blind token and deposit it
+	// twice at time At; the bank must reject the replayed serial.
+	FaultDoubleDeposit = "double-deposit"
+	// FaultProbeLie pins Node's reported availability to 1.0 from time At
+	// on, regardless of what probing observed.
+	FaultProbeLie = "probe-lie"
+)
+
+// Fault is one scheduled fault. Which fields matter depends on Kind; see
+// the Fault* constants.
+type Fault struct {
+	Kind  string  `json:"kind"`
+	At    float64 `json:"at,omitempty"`    // virtual seconds (node faults)
+	Node  int     `json:"node,omitempty"`  // target node / forwarder
+	Batch int     `json:"batch,omitempty"` // target batch (message + settlement faults)
+	Conn  int     `json:"conn,omitempty"`  // target connection (message faults)
+	Msg   int     `json:"msg,omitempty"`   // Nth send of that connection, from 1
+	Delay float64 `json:"delay,omitempty"` // seconds (delay/duplicate/reorder)
+	Count int     `json:"count,omitempty"` // junk receipts (inflate)
+}
+
+// Plan declares one harness run: the world configuration and the fault
+// schedule. The zero value of most fields means "use the default"; call
+// Normalize (Run does it for you) to fill them in.
+type Plan struct {
+	Seed uint64 `json:"seed"`
+
+	// World shape.
+	Nodes             int     `json:"nodes,omitempty"`
+	Degree            int     `json:"degree,omitempty"`
+	MaliciousFraction float64 `json:"malicious_fraction,omitempty"`
+	Churn             bool    `json:"churn,omitempty"` // enable session churn
+
+	// Workload.
+	Batches int    `json:"batches,omitempty"`
+	Conns   int    `json:"conns,omitempty"` // connections per batch (k)
+	Budget  int    `json:"budget,omitempty"`
+	Router  string `json:"router,omitempty"` // random | utility | utility2
+
+	// Protocol timing, in virtual seconds.
+	Latency        float64 `json:"latency,omitempty"`
+	AttemptTimeout float64 `json:"attempt_timeout,omitempty"`
+	BackoffBase    float64 `json:"backoff_base,omitempty"`
+	BackoffMax     float64 `json:"backoff_max,omitempty"`
+	MaxAttempts    int     `json:"max_attempts,omitempty"`
+
+	// Incentives.
+	Pf      int64 `json:"pf,omitempty"`
+	Pr      int64 `json:"pr,omitempty"`
+	Opening int64 `json:"opening,omitempty"` // per-account opening balance
+
+	// Probing.
+	ProbePeriod float64 `json:"probe_period,omitempty"` // seconds, 0 = default
+
+	// TraceCap bounds the event ring; the trace-capacity invariant fails
+	// if the run records more events than this.
+	TraceCap int `json:"trace_cap,omitempty"`
+
+	// KeyBits sizes the bank's RSA key (small keys keep runs fast; the
+	// crypto is exercised, not benchmarked).
+	KeyBits int `json:"key_bits,omitempty"`
+
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// Normalize fills zero fields with defaults and returns the plan.
+func (p Plan) Normalize() Plan {
+	if p.Nodes == 0 {
+		p.Nodes = 24
+	}
+	if p.Degree == 0 {
+		p.Degree = 5
+	}
+	if p.Batches == 0 {
+		p.Batches = 3
+	}
+	if p.Conns == 0 {
+		p.Conns = 6
+	}
+	if p.Budget == 0 {
+		p.Budget = 5
+	}
+	if p.Router == "" {
+		p.Router = "utility"
+	}
+	if p.Latency == 0 {
+		p.Latency = 0.01 // 10ms links
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = 2
+	}
+	if p.BackoffBase == 0 {
+		p.BackoffBase = 0.05
+	}
+	if p.BackoffMax == 0 {
+		p.BackoffMax = 0.4
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Pf == 0 {
+		p.Pf = 75
+	}
+	if p.Pr == 0 {
+		p.Pr = 150
+	}
+	if p.Opening == 0 {
+		p.Opening = 1 << 20
+	}
+	if p.ProbePeriod == 0 {
+		p.ProbePeriod = 60
+	}
+	if p.TraceCap == 0 {
+		p.TraceCap = 1 << 14
+	}
+	if p.KeyBits == 0 {
+		p.KeyBits = 1024
+	}
+	return p
+}
+
+// Validate reports the first configuration error, or nil.
+func (p Plan) Validate() error {
+	p = p.Normalize()
+	if p.Nodes < 4 {
+		return fmt.Errorf("faultsim: %d nodes, need at least 4", p.Nodes)
+	}
+	if p.Degree < 1 {
+		return fmt.Errorf("faultsim: degree %d", p.Degree)
+	}
+	if p.MaliciousFraction < 0 || p.MaliciousFraction > 1 {
+		return fmt.Errorf("faultsim: malicious fraction %g", p.MaliciousFraction)
+	}
+	switch p.Router {
+	case "random", "utility", "utility2":
+	default:
+		return fmt.Errorf("faultsim: unknown router %q", p.Router)
+	}
+	if p.Latency < 0 || p.AttemptTimeout <= 0 || p.BackoffBase < 0 || p.BackoffMax < 0 {
+		return errors.New("faultsim: negative timing parameter")
+	}
+	if p.Pf < 0 || p.Pr < 0 || p.Opening <= 0 {
+		return errors.New("faultsim: bad incentive parameters")
+	}
+	for i, f := range p.Faults {
+		switch f.Kind {
+		case FaultDrop, FaultDelay, FaultDuplicate, FaultReorder:
+			if f.Batch < 1 || f.Conn < 1 || f.Msg < 1 {
+				return fmt.Errorf("faultsim: fault %d (%s) needs batch, conn and msg >= 1", i, f.Kind)
+			}
+		case FaultCrash, FaultRestart, FaultDoubleDeposit, FaultProbeLie:
+			if f.At < 0 {
+				return fmt.Errorf("faultsim: fault %d (%s) at negative time", i, f.Kind)
+			}
+		case FaultInflate, FaultDoubleSpend:
+			if f.Batch < 1 {
+				return fmt.Errorf("faultsim: fault %d (%s) needs batch >= 1", i, f.Kind)
+			}
+		default:
+			return fmt.Errorf("faultsim: fault %d has unknown kind %q", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// LoadPlan reads a plan from a JSON file.
+func LoadPlan(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("faultsim: parsing %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// SavePlan writes the plan as indented JSON.
+func SavePlan(path string, p Plan) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GeneratePlan derives a benign noise plan from a seed: churn plus a
+// pseudo-random mix of message, node and claim faults that a correct
+// system must absorb without violating any invariant. It never schedules
+// a double-spend — that fault exists to prove the conservation checker
+// bites, not to pass. CI runs GeneratePlan over a seed range.
+func GeneratePlan(seed uint64) Plan {
+	p := Plan{Seed: seed, Churn: true}.Normalize()
+	// An independent generator stream: the world consumes the seed itself.
+	rng := newPlanRNG(seed)
+	kinds := []string{
+		FaultDrop, FaultDelay, FaultDuplicate, FaultReorder,
+		FaultCrash, FaultRestart, FaultInflate, FaultDoubleDeposit, FaultProbeLie,
+	}
+	n := 4 + int(rng.next()%5) // 4..8 faults
+	for i := 0; i < n; i++ {
+		kind := kinds[rng.next()%uint64(len(kinds))]
+		f := Fault{Kind: kind}
+		switch kind {
+		case FaultDrop, FaultDelay, FaultDuplicate, FaultReorder:
+			f.Batch = 1 + int(rng.next()%uint64(p.Batches))
+			f.Conn = 1 + int(rng.next()%uint64(p.Conns))
+			f.Msg = 1 + int(rng.next()%6)
+			f.Delay = 0.05 + float64(rng.next()%40)/100 // 0.05..0.44s
+		case FaultCrash, FaultRestart, FaultDoubleDeposit, FaultProbeLie:
+			f.Node = int(rng.next() % uint64(p.Nodes))
+			f.At = float64(rng.next() % 120) // inside the first batches
+		case FaultInflate:
+			f.Batch = 1 + int(rng.next()%uint64(p.Batches))
+			f.Node = int(rng.next() % uint64(p.Nodes))
+			f.Count = 1 + int(rng.next()%4)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p
+}
+
+// planRNG is a tiny splitmix64 stream for plan generation, independent of
+// the dist package so generated plans never perturb world randomness.
+type planRNG struct{ x uint64 }
+
+func newPlanRNG(seed uint64) *planRNG { return &planRNG{x: seed ^ 0x6a09e667f3bcc909} }
+
+func (r *planRNG) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,823 @@
+package faultsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"p2panon/internal/churn"
+	"p2panon/internal/core"
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/payment"
+	"p2panon/internal/probe"
+	"p2panon/internal/quality"
+	"p2panon/internal/sim"
+	"p2panon/internal/telemetry"
+	"p2panon/internal/transport"
+)
+
+// Harness metric names. Every counter with a trace-event twin is checked
+// against the trace by the reconciliation invariant; sends, offline drops
+// and stale replies have no per-event trace (they would flood the ring)
+// and are reported in Result only.
+const (
+	metricSends     = "faultsim_sends_total"
+	metricDrops     = "faultsim_offline_drops_total"
+	metricStale     = "faultsim_stale_total"
+	metricLaunches  = "faultsim_launches_total"
+	metricHops      = "faultsim_hops_total"
+	metricNacks     = "faultsim_nacks_total"
+	metricTimeouts  = "faultsim_timeouts_total"
+	metricReforms   = "faultsim_reformations_total"
+	metricDelivered = "faultsim_delivered_total"
+	metricFailed    = "faultsim_failed_total"
+	metricFaults    = "faultsim_faults_injected_total"
+)
+
+// wkind is a protocol message kind inside the world.
+type wkind uint8
+
+const (
+	wFwd wkind = iota
+	wConfirm
+	wNack
+)
+
+func (k wkind) String() string {
+	switch k {
+	case wFwd:
+		return "forward"
+	case wConfirm:
+		return "confirm"
+	default:
+		return "nack"
+	}
+}
+
+// wmsg is one in-flight protocol message. For forward messages `path` is
+// the accumulated forwarder path (appended on handling, always copied so
+// duplicated messages cannot alias); for reverse messages `hop` is the
+// index in path of the node the message is addressed to.
+type wmsg struct {
+	kind                 wkind
+	batch, conn, attempt int
+	from, to             overlay.NodeID
+	initiator, responder overlay.NodeID
+	remaining            int
+	path                 []overlay.NodeID
+	hop                  int
+	reason               string
+}
+
+// connState tracks the single in-flight connection (connections within a
+// batch run sequentially, as the live runtime's Connect loop does).
+type connState struct {
+	batch, conn int
+	attempt     int
+	resolved    bool
+	backoff     float64
+	reforms     int
+}
+
+// deliveredConn records one confirmed delivery for the path-contiguity
+// invariant.
+type deliveredConn struct {
+	path    []overlay.NodeID
+	attempt int
+}
+
+// batchRecord is everything invariant checking needs about one batch.
+type batchRecord struct {
+	batch                int
+	skipped              bool
+	initiator, responder overlay.NodeID
+	lock                 payment.Amount
+	escrow               *payment.Escrow
+	minter               *payment.ReceiptMinter
+	router               transport.Router
+	receipts             map[overlay.NodeID][]payment.Receipt
+	delivered            map[int]deliveredConn
+	payouts              []payment.Payout
+	refund               payment.Amount
+	settleErr            error
+	settled              bool
+	expectRejected       int
+}
+
+// faultSlot is a message fault awaiting its matching send.
+type faultSlot struct {
+	Fault
+	used bool
+}
+
+// world is the deterministic protocol world: overlay, churn, probing,
+// routing, forwarding, escrow settlement — all scheduled on one sim.Engine
+// so that a (plan, seed) pair replays byte-identically.
+type world struct {
+	plan   Plan
+	eng    *sim.Engine
+	net    *overlay.Network
+	drv    *churn.Driver
+	probes *probe.Set
+	bank   *payment.Bank
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
+	rng       *dist.Source // world randomness (endpoints, churn, probes)
+	routerRNG *dist.Source // router randomness, split per batch
+
+	cSends, cDrops, cStale                        *telemetry.Counter
+	cLaunches, cHops, cNacks, cTimeouts, cReforms *telemetry.Counter
+	cDelivered, cFailed, cFaults                  *telemetry.Counter
+
+	accounts     map[overlay.NodeID]struct{}
+	openingTotal payment.Amount
+
+	msgSeq         map[[2]int]int // per-(batch,conn) send counter
+	msgFaults      []*faultSlot
+	probeLies      map[overlay.NodeID]bool
+	expectCheatsDS int
+
+	batches      []*batchRecord
+	cur          *connState
+	curRec       *batchRecord
+	finished     bool
+	anySettleErr bool
+}
+
+func newWorld(p Plan) (*world, error) {
+	bank, err := payment.NewBank(p.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	rng := dist.NewSource(p.Seed)
+	reg := telemetry.NewRegistry()
+	w := &world{
+		plan:      p,
+		eng:       sim.NewEngine(),
+		bank:      bank,
+		reg:       reg,
+		tracer:    telemetry.NewTracer(p.TraceCap),
+		rng:       rng,
+		accounts:  make(map[overlay.NodeID]struct{}),
+		msgSeq:    make(map[[2]int]int),
+		probeLies: make(map[overlay.NodeID]bool),
+	}
+	w.net = overlay.NewNetwork(p.Degree, rng.Split())
+	w.probes = probe.NewSet(w.net, rng.Split(), sim.Time(p.ProbePeriod))
+	w.routerRNG = rng.Split()
+
+	w.cSends = reg.Counter(metricSends, nil)
+	w.cDrops = reg.Counter(metricDrops, nil)
+	w.cStale = reg.Counter(metricStale, nil)
+	w.cLaunches = reg.Counter(metricLaunches, nil)
+	w.cHops = reg.Counter(metricHops, nil)
+	w.cNacks = reg.Counter(metricNacks, nil)
+	w.cTimeouts = reg.Counter(metricTimeouts, nil)
+	w.cReforms = reg.Counter(metricReforms, nil)
+	w.cDelivered = reg.Counter(metricDelivered, nil)
+	w.cFailed = reg.Counter(metricFailed, nil)
+	w.cFaults = reg.Counter(metricFaults, nil)
+	return w, nil
+}
+
+// vtime maps virtual seconds onto a fixed epoch so trace timestamps are
+// seed-determined, never wall-clock.
+func (w *world) vtime() time.Time {
+	return time.Unix(0, 0).UTC().Add(time.Duration(float64(w.eng.Now()) * float64(time.Second)))
+}
+
+// trace stamps ev with the virtual clock and records it.
+func (w *world) trace(ev telemetry.Event) {
+	ev.Time = w.vtime()
+	w.tracer.Record(ev)
+}
+
+// traceFault records the application of a scheduled fault. Counter and
+// event move together so reconciliation can compare them.
+func (w *world) traceFault(f Fault, detail string) {
+	w.cFaults.Inc()
+	w.trace(telemetry.Event{
+		Kind: telemetry.KindFault, Batch: f.Batch, Conn: f.Conn, Node: f.Node,
+		Detail: fmt.Sprintf("%s: %s", f.Kind, detail),
+	})
+}
+
+// setup wires the world together and schedules everything up to the first
+// batch. Initial joins happen synchronously (the churn driver seeds the
+// population at t=0), so accounts exist before any traffic.
+func (w *world) setup() {
+	w.bank.Instrument(w.reg)
+	w.net.Instrument(w.reg)
+	w.net.OnChurn(func(id overlay.NodeID, s overlay.State) {
+		switch s {
+		case overlay.Online:
+			if _, ok := w.accounts[id]; !ok {
+				opening := payment.Amount(w.plan.Opening)
+				if err := w.bank.OpenAccount(payment.AccountID(id), opening); err == nil {
+					w.accounts[id] = struct{}{}
+					w.openingTotal += opening
+				}
+			}
+			w.markLive(id)
+		case overlay.Offline, overlay.Departed:
+			w.markDead(id)
+		}
+	})
+
+	cfg := churn.DefaultConfig()
+	cfg.N = w.plan.Nodes
+	cfg.MaliciousFraction = w.plan.MaliciousFraction
+	cfg.Static = !w.plan.Churn
+	w.drv = churn.NewDriver(cfg, w.net, w.rng.Split())
+	w.drv.Start(w.eng)
+	w.probes.Attach(w.eng)
+
+	for i := range w.plan.Faults {
+		f := w.plan.Faults[i]
+		switch f.Kind {
+		case FaultCrash, FaultRestart, FaultDoubleDeposit, FaultProbeLie:
+			w.eng.AfterFunc(sim.Time(f.At), func(*sim.Engine) { w.applyNodeFault(f) })
+		case FaultDrop, FaultDelay, FaultDuplicate, FaultReorder:
+			w.msgFaults = append(w.msgFaults, &faultSlot{Fault: f})
+		}
+	}
+
+	// Two probing periods of warm-up give availability estimates something
+	// to say before the first utility-routed batch.
+	w.eng.AfterFunc(sim.Time(2*w.plan.ProbePeriod+1), func(*sim.Engine) { w.startBatch(1) })
+}
+
+func (w *world) markDead(id overlay.NodeID) {
+	if w.curRec == nil || w.curRec.router == nil {
+		return
+	}
+	if ca, ok := w.curRec.router.(transport.ChurnAware); ok {
+		ca.MarkDead(id)
+	}
+}
+
+func (w *world) markLive(id overlay.NodeID) {
+	if w.curRec == nil || w.curRec.router == nil {
+		return
+	}
+	if ca, ok := w.curRec.router.(transport.ChurnAware); ok {
+		ca.MarkLive(id)
+	}
+}
+
+// availMap aggregates probe-observed session times into availability
+// shares. It deliberately avoids Estimator.Availability/Snapshot (their
+// sums iterate Go maps, whose order is randomized) and instead walks the
+// sorted online set so the result is identical on every run.
+func (w *world) availMap() map[overlay.NodeID]float64 {
+	online := w.net.OnlineIDs()
+	raw := make(map[overlay.NodeID]float64, len(online))
+	var total float64
+	for _, v := range online {
+		var t float64
+		for _, obs := range online {
+			if obs == v {
+				continue
+			}
+			t += w.probes.For(obs).SessionTime(v)
+		}
+		raw[v] = t
+		total += t
+	}
+	avail := make(map[overlay.NodeID]float64, len(online))
+	for _, v := range online {
+		if total > 0 {
+			avail[v] = raw[v] / total
+		} else {
+			avail[v] = 1 / float64(len(online))
+		}
+	}
+	for v := range w.probeLies {
+		if _, ok := avail[v]; ok {
+			avail[v] = 1
+		}
+	}
+	return avail
+}
+
+func (w *world) buildRouter(topo transport.Topology, avail map[overlay.NodeID]float64) transport.Router {
+	c := core.Contract{Pf: float64(w.plan.Pf), Pr: float64(w.plan.Pr)}
+	switch w.plan.Router {
+	case "random":
+		return transport.NewRandomRouter(topo, w.routerRNG.Split())
+	case "utility2":
+		return transport.NewUtilityIIRouter(topo, quality.DefaultWeights(), c, avail)
+	default:
+		return transport.NewUtilityRouter(topo, quality.DefaultWeights(), c, avail)
+	}
+}
+
+func (w *world) routerFor(batch int) transport.Router {
+	if batch >= 1 && batch <= len(w.batches) {
+		return w.batches[batch-1].router
+	}
+	return nil
+}
+
+// startBatch opens escrow, snapshots the topology, builds the router and
+// launches the batch's first connection.
+func (w *world) startBatch(b int) {
+	rec := &batchRecord{
+		batch:     b,
+		receipts:  make(map[overlay.NodeID][]payment.Receipt),
+		delivered: make(map[int]deliveredConn),
+	}
+	w.batches = append(w.batches, rec)
+	w.curRec = rec
+
+	good := w.net.GoodOnline()
+	if len(good) < 2 {
+		rec.skipped = true
+		w.nextBatch()
+		return
+	}
+	ii := w.rng.Intn(len(good))
+	rr := w.rng.Intn(len(good) - 1)
+	if rr >= ii {
+		rr++
+	}
+	rec.initiator, rec.responder = good[ii], good[rr]
+
+	topo := transport.SnapshotTopology(w.net)
+	rec.router = w.buildRouter(topo, w.availMap())
+
+	minter, err := payment.NewReceiptMinter([]byte(fmt.Sprintf("faultsim-batch-%d-%d", w.plan.Seed, b)))
+	if err != nil {
+		rec.skipped = true
+		rec.settleErr = err
+		w.anySettleErr = true
+		w.nextBatch()
+		return
+	}
+	rec.minter = minter
+
+	// Lock twice the worst-case legitimate payout: a double-paid claim must
+	// *succeed* and be caught by the conservation checker, not bounce off an
+	// exhausted escrow.
+	rec.lock = 2 * (payment.Amount(w.plan.Conns*w.plan.Budget)*payment.Amount(w.plan.Pf) + payment.Amount(w.plan.Pr))
+	escrow, err := w.bank.OpenEscrow(payment.AccountID(rec.initiator), rec.lock)
+	if err != nil {
+		rec.skipped = true
+		rec.settleErr = err
+		w.anySettleErr = true
+		w.nextBatch()
+		return
+	}
+	rec.escrow = escrow
+	w.launchConn(1)
+}
+
+func (w *world) nextBatch() {
+	b := w.curRec.batch
+	w.curRec = nil
+	if b >= w.plan.Batches {
+		w.finished = true
+		w.eng.Stop()
+		return
+	}
+	w.eng.AfterFunc(sim.Time(w.plan.ProbePeriod/2), func(*sim.Engine) { w.startBatch(b + 1) })
+}
+
+func (w *world) launchConn(c int) {
+	rec := w.curRec
+	w.cur = &connState{batch: rec.batch, conn: c, attempt: 1, backoff: w.plan.BackoffBase}
+	w.cLaunches.Inc()
+	w.trace(telemetry.Event{
+		Kind: telemetry.KindLaunch, Batch: rec.batch, Conn: c, Node: int(rec.initiator),
+		Detail: fmt.Sprintf("responder %d budget %d", rec.responder, w.plan.Budget),
+	})
+	w.startAttempt()
+}
+
+// startAttempt arms the attempt deadline and injects the first forward
+// message at the initiator.
+func (w *world) startAttempt() {
+	cur, rec := w.cur, w.curRec
+	if !w.net.Online(rec.initiator) {
+		w.failConn("offline", "initiator offline")
+		return
+	}
+	attempt := cur.attempt
+	w.eng.AfterFunc(sim.Time(w.plan.AttemptTimeout), func(*sim.Engine) {
+		if w.cur != cur || cur.attempt != attempt || cur.resolved {
+			return
+		}
+		cur.resolved = true
+		w.cTimeouts.Inc()
+		w.trace(telemetry.Event{
+			Kind: telemetry.KindTimeout, Batch: cur.batch, Conn: cur.conn, Node: int(rec.initiator),
+			Detail: fmt.Sprintf("attempt %d", attempt),
+		})
+		w.retryOrFail("timeout", "attempt deadline")
+	})
+	w.send(wmsg{
+		kind: wFwd, batch: cur.batch, conn: cur.conn, attempt: attempt,
+		from: overlay.None, to: rec.initiator,
+		initiator: rec.initiator, responder: rec.responder,
+		remaining: w.plan.Budget,
+	})
+}
+
+// send pushes a message onto the wire, applying at most one matching
+// message fault.
+func (w *world) send(m wmsg) {
+	w.cSends.Inc()
+	key := [2]int{m.batch, m.conn}
+	w.msgSeq[key]++
+	seq := w.msgSeq[key]
+	lat := sim.Time(w.plan.Latency)
+	for _, fs := range w.msgFaults {
+		if fs.used || fs.Batch != m.batch || fs.Conn != m.conn || fs.Msg != seq {
+			continue
+		}
+		fs.used = true
+		w.traceFault(fs.Fault, fmt.Sprintf("msg %d (%s %d->%d)", seq, m.kind, m.from, m.to))
+		switch fs.Kind {
+		case FaultDrop:
+			return
+		case FaultDelay, FaultReorder:
+			w.eng.AfterFunc(lat+sim.Time(fs.Delay), func(*sim.Engine) { w.deliver(m) })
+			return
+		case FaultDuplicate:
+			w.eng.AfterFunc(lat, func(*sim.Engine) { w.deliver(m) })
+			w.eng.AfterFunc(lat+sim.Time(fs.Delay), func(*sim.Engine) { w.deliver(m) })
+			return
+		}
+	}
+	w.eng.AfterFunc(lat, func(*sim.Engine) { w.deliver(m) })
+}
+
+// deliver hands a message to its target, or handles the target being
+// offline: forwards NACK back from the last live hop, reverse messages
+// route around the corpse (or die at a dead initiator, where the attempt
+// timeout cleans up).
+func (w *world) deliver(m wmsg) {
+	if !w.net.Online(m.to) {
+		w.cDrops.Inc()
+		w.markDead(m.to)
+		switch m.kind {
+		case wFwd:
+			w.nackBack(m, len(m.path)-1, fmt.Sprintf("next hop %d offline", m.to))
+		default:
+			if m.hop > 0 {
+				m.hop--
+				m.to = m.path[m.hop]
+				w.send(m)
+			}
+		}
+		return
+	}
+	if m.kind == wFwd {
+		w.handleForward(m)
+		return
+	}
+	w.handleReverse(m)
+}
+
+// handleForward appends the receiving node to the path and either confirms
+// (responder reached) or routes onward; an exhausted hop budget forwards
+// straight to the responder, exactly like the live runtime.
+func (w *world) handleForward(m wmsg) {
+	self := m.to
+	path := append(append([]overlay.NodeID(nil), m.path...), self)
+	m.path = path
+	if self == m.responder {
+		hop := len(path) - 2
+		if hop < 0 {
+			hop = 0
+		}
+		w.send(wmsg{
+			kind: wConfirm, batch: m.batch, conn: m.conn, attempt: m.attempt,
+			initiator: m.initiator, responder: m.responder,
+			path: path, hop: hop, to: path[hop],
+		})
+		return
+	}
+	w.cHops.Inc()
+	w.trace(telemetry.Event{
+		Kind: telemetry.KindHopForward, Batch: m.batch, Conn: m.conn, Node: int(self),
+		Hop: len(path) - 1, Detail: fmt.Sprintf("attempt %d", m.attempt),
+	})
+	next := m.responder
+	if m.remaining > 0 {
+		if router := w.routerFor(m.batch); router != nil {
+			pred := overlay.None
+			if len(path) >= 2 {
+				pred = path[len(path)-2]
+			}
+			nh, deliverNow := router.NextHop(self, pred, m.initiator, m.responder, m.batch, m.conn, m.remaining)
+			if !deliverNow && nh != overlay.None {
+				next = nh
+			}
+		}
+	}
+	out := m
+	out.from = self
+	out.to = next
+	out.remaining = m.remaining - 1
+	w.send(out)
+}
+
+// handleReverse relays a confirm/nack one hop toward the initiator, or
+// accepts it on arrival at path[0].
+func (w *world) handleReverse(m wmsg) {
+	if m.hop <= 0 {
+		if m.kind == wConfirm {
+			w.acceptConfirm(m)
+		} else {
+			w.acceptNack(m)
+		}
+		return
+	}
+	m.hop--
+	m.to = m.path[m.hop]
+	w.send(m)
+}
+
+// nackBack originates a NACK at path[fromIdx] (or directly at the
+// initiator when the path is empty).
+func (w *world) nackBack(m wmsg, fromIdx int, reason string) {
+	n := wmsg{
+		kind: wNack, batch: m.batch, conn: m.conn, attempt: m.attempt,
+		initiator: m.initiator, responder: m.responder,
+		path: m.path, reason: reason,
+	}
+	if fromIdx < 0 || len(m.path) == 0 {
+		w.acceptNack(n)
+		return
+	}
+	n.hop = fromIdx
+	n.to = m.path[fromIdx]
+	w.send(n)
+}
+
+// current reports whether m addresses the in-flight attempt; anything else
+// is stale (late duplicate, superseded attempt, settled batch).
+func (w *world) current(m wmsg) bool {
+	cur := w.cur
+	return cur != nil && cur.batch == m.batch && cur.conn == m.conn &&
+		cur.attempt == m.attempt && !cur.resolved
+}
+
+func (w *world) acceptConfirm(m wmsg) {
+	if !w.current(m) {
+		w.cStale.Inc()
+		return
+	}
+	cur, rec := w.cur, w.curRec
+	cur.resolved = true
+	w.cDelivered.Inc()
+	w.trace(telemetry.Event{
+		Kind: telemetry.KindDelivered, Batch: m.batch, Conn: m.conn, Node: int(m.initiator),
+		Hop:    len(m.path),
+		Detail: fmt.Sprintf("attempt %d path %d after %d reformations", m.attempt, len(m.path), cur.reforms),
+	})
+	rec.delivered[m.conn] = deliveredConn{path: append([]overlay.NodeID(nil), m.path...), attempt: m.attempt}
+	for i := 1; i <= len(m.path)-2; i++ {
+		f := m.path[i]
+		rec.receipts[f] = append(rec.receipts[f], rec.minter.Mint(m.conn, i, payment.AccountID(f)))
+	}
+	w.finishConn()
+}
+
+func (w *world) acceptNack(m wmsg) {
+	if !w.current(m) {
+		w.cStale.Inc()
+		return
+	}
+	w.cur.resolved = true
+	w.cNacks.Inc()
+	w.trace(telemetry.Event{
+		Kind: telemetry.KindNack, Batch: m.batch, Conn: m.conn, Node: int(m.initiator),
+		Hop: len(m.path), Detail: m.reason,
+	})
+	w.retryOrFail("nack", m.reason)
+}
+
+// retryOrFail either schedules a path reformation after backoff or fails
+// the connection for good. Every traced NACK/timeout flows through here,
+// which is what makes the reformation-accounting invariant exact.
+func (w *world) retryOrFail(cause, reason string) {
+	cur := w.cur
+	if cur.attempt >= w.plan.MaxAttempts {
+		w.failConn(cause, reason)
+		return
+	}
+	pause := cur.backoff
+	cur.backoff *= 2
+	if cur.backoff > w.plan.BackoffMax {
+		cur.backoff = w.plan.BackoffMax
+	}
+	w.eng.AfterFunc(sim.Time(pause), func(*sim.Engine) {
+		if w.cur != cur {
+			return
+		}
+		cur.reforms++
+		cur.attempt++
+		cur.resolved = false
+		w.cReforms.Inc()
+		w.trace(telemetry.Event{
+			Kind: telemetry.KindReformation, Batch: cur.batch, Conn: cur.conn, Node: int(w.curRec.initiator),
+			Detail: fmt.Sprintf("attempt %d", cur.attempt),
+		})
+		w.startAttempt()
+	})
+}
+
+func (w *world) failConn(cause, reason string) {
+	cur := w.cur
+	cur.resolved = true
+	w.cFailed.Inc()
+	w.trace(telemetry.Event{
+		Kind: telemetry.KindFailed, Batch: cur.batch, Conn: cur.conn, Node: int(w.curRec.initiator),
+		Detail: fmt.Sprintf("cause=%s: %s", cause, reason),
+	})
+	w.finishConn()
+}
+
+func (w *world) finishConn() {
+	c := w.cur.conn
+	w.cur = nil
+	if c < w.plan.Conns {
+		w.eng.AfterFunc(0, func(*sim.Engine) { w.launchConn(c + 1) })
+		return
+	}
+	w.eng.AfterFunc(0, func(*sim.Engine) { w.settleBatch() })
+}
+
+// settleBatch assembles claims from the minted receipts (sorted by
+// forwarder for determinism), applies any settlement faults, mirrors the
+// bank's rejection rule into expectRejected, and settles from escrow.
+func (w *world) settleBatch() {
+	rec := w.curRec
+	fwds := make([]overlay.NodeID, 0, len(rec.receipts))
+	for f := range rec.receipts {
+		fwds = append(fwds, f)
+	}
+	sort.Slice(fwds, func(i, j int) bool { return fwds[i] < fwds[j] })
+	claims := make([]payment.Claim, 0, len(fwds))
+	for _, f := range fwds {
+		claims = append(claims, payment.Claim{
+			Forwarder: payment.AccountID(f),
+			Receipts:  append([]payment.Receipt(nil), rec.receipts[f]...),
+		})
+	}
+	for i := range w.plan.Faults {
+		f := w.plan.Faults[i]
+		if f.Batch != rec.batch {
+			continue
+		}
+		switch f.Kind {
+		case FaultInflate:
+			claims = w.applyInflate(rec, claims, f)
+		case FaultDoubleSpend:
+			claims = w.applyDoubleSpend(claims, f)
+		}
+	}
+	rec.expectRejected = expectRejected(rec.minter, claims)
+
+	payouts, refund, err := rec.escrow.SettleFromEscrow(
+		rec.minter, payment.Amount(w.plan.Pf), payment.Amount(w.plan.Pr), claims)
+	rec.payouts, rec.refund = payouts, refund
+	if err != nil {
+		rec.settleErr = err
+		w.anySettleErr = true
+		rec.escrow.Close() // best effort: return whatever is still locked
+	} else {
+		rec.settled = true
+		w.trace(telemetry.Event{
+			Kind: telemetry.KindSettled, Batch: rec.batch, Node: int(rec.initiator),
+			Detail: fmt.Sprintf("%d payouts, refund %d", len(payouts), refund),
+		})
+	}
+	w.nextBatch()
+}
+
+// applyInflate pads the target's claim with forged receipts plus one
+// duplicate of a real receipt when it has any — the §5 inflated forwarding
+// count. A correct settlement rejects every one of them.
+func (w *world) applyInflate(rec *batchRecord, claims []payment.Claim, f Fault) []payment.Claim {
+	target := payment.AccountID(f.Node)
+	idx := -1
+	for i := range claims {
+		if claims[i].Forwarder == target {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		claims = append(claims, payment.Claim{Forwarder: target})
+		idx = len(claims) - 1
+	}
+	for i := 0; i < f.Count; i++ {
+		claims[idx].Receipts = append(claims[idx].Receipts,
+			payment.Receipt{Conn: 100000 + i, Hop: i, Forwarder: target})
+	}
+	if rs := rec.receipts[overlay.NodeID(f.Node)]; len(rs) > 0 {
+		claims[idx].Receipts = append(claims[idx].Receipts, rs[0])
+	}
+	w.traceFault(f, fmt.Sprintf("claim of node %d padded with %d forged receipts", f.Node, f.Count))
+	return claims
+}
+
+// applyDoubleSpend submits a claim twice. SettleFromEscrow has no
+// cross-claim dedup, so the duplicate is paid again and inflates ‖π‖ —
+// the planted defect the payment-conservation invariant must catch.
+func (w *world) applyDoubleSpend(claims []payment.Claim, f Fault) []payment.Claim {
+	if len(claims) == 0 {
+		w.traceFault(f, "no claims to duplicate (noop)")
+		return claims
+	}
+	idx := 0
+	for i := range claims {
+		if claims[i].Forwarder == payment.AccountID(f.Node) {
+			idx = i
+			break
+		}
+	}
+	dup := payment.Claim{
+		Forwarder: claims[idx].Forwarder,
+		Receipts:  append([]payment.Receipt(nil), claims[idx].Receipts...),
+	}
+	claims = append(claims, dup)
+	w.traceFault(f, fmt.Sprintf("claim of forwarder %d submitted twice", dup.Forwarder))
+	return claims
+}
+
+// expectRejected mirrors the settlement's own CountValid/countRejected
+// arithmetic so the invariant layer can predict the bank's
+// rejected-receipt cheat counter exactly.
+func expectRejected(minter *payment.ReceiptMinter, claims []payment.Claim) int {
+	acceptedBy := make(map[payment.AccountID]int, len(claims))
+	for _, c := range claims {
+		if m := minter.CountValid(c.Forwarder, c.Receipts); m > 0 {
+			acceptedBy[c.Forwarder] = m
+		}
+	}
+	rejected := 0
+	for _, c := range claims {
+		if d := len(c.Receipts) - acceptedBy[c.Forwarder]; d > 0 {
+			rejected += d
+		}
+	}
+	return rejected
+}
+
+// applyNodeFault fires a time-scheduled fault. Faults whose precondition
+// no longer holds (crashing an offline node, restarting an online one)
+// degrade to traced no-ops so shrunk plans stay replayable.
+func (w *world) applyNodeFault(f Fault) {
+	id := overlay.NodeID(f.Node)
+	now := w.eng.Now()
+	var detail string
+	switch f.Kind {
+	case FaultCrash:
+		if w.net.Exists(id) && w.net.Online(id) {
+			w.net.Leave(now, id, false)
+			detail = fmt.Sprintf("node %d crashed", f.Node)
+		} else {
+			detail = fmt.Sprintf("node %d not online (noop)", f.Node)
+		}
+	case FaultRestart:
+		if w.net.Exists(id) && w.net.Node(id).State == overlay.Offline {
+			w.net.Rejoin(now, id)
+			detail = fmt.Sprintf("node %d restarted", f.Node)
+		} else {
+			detail = fmt.Sprintf("node %d not offline (noop)", f.Node)
+		}
+	case FaultDoubleDeposit:
+		detail = w.applyDoubleDeposit(id)
+	case FaultProbeLie:
+		w.probeLies[id] = true
+		detail = fmt.Sprintf("node %d reports availability 1.0 from now on", f.Node)
+	}
+	w.traceFault(f, detail)
+}
+
+// applyDoubleDeposit withdraws one blind token and deposits it twice. The
+// bank must reject the replayed serial; expectCheatsDS records that the
+// attempt was actually made so reconciliation notices a bank that does not.
+func (w *world) applyDoubleDeposit(id overlay.NodeID) string {
+	acct := payment.AccountID(id)
+	if _, ok := w.accounts[id]; !ok {
+		return fmt.Sprintf("node %d has no account (noop)", id)
+	}
+	tokens, err := w.bank.WithdrawAmount(acct, 4, nil)
+	if err != nil || len(tokens) == 0 {
+		return fmt.Sprintf("node %d withdraw failed (noop): %v", id, err)
+	}
+	tok := tokens[0]
+	if err := w.bank.Deposit(acct, tok); err != nil {
+		return fmt.Sprintf("node %d first deposit failed: %v", id, err)
+	}
+	w.expectCheatsDS++
+	err = w.bank.Deposit(acct, tok)
+	return fmt.Sprintf("node %d replayed a serial, rejected=%v", id, err != nil)
+}

@@ -1,6 +1,7 @@
 package payment
 
 import (
+	"bytes"
 	"math/big"
 	"testing"
 )
@@ -39,6 +40,101 @@ func FuzzVerifyToken(f *testing.F) {
 			if mut.Denom != tok.Denom || mut.Serial != tok.Serial || mut.Sig.Cmp(tok.Sig) != 0 {
 				t.Fatalf("forged token verified: denom=%d", mut.Denom)
 			}
+		}
+	})
+}
+
+// FuzzTokenWire throws arbitrary byte strings at the token decoder: it
+// must never panic, and anything it accepts must re-encode to exactly the
+// input (canonical form). The seed corpus covers the interesting
+// boundaries — truncated headers, truncated and oversized signature
+// lengths, padded signatures and trailing garbage.
+func FuzzTokenWire(f *testing.F) {
+	b, err := NewBank(1024)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b.OpenAccount(1, 1000)
+	req, err := NewWithdrawalRequest(b.PublicKey(), 10, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blindSig, err := b.Withdraw(1, req)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tok, err := req.Unblind(blindSig)
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuine, err := EncodeToken(tok)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine)
+	f.Add([]byte{})                                // empty
+	f.Add(genuine[:tokenHeaderSize-1])             // truncated header
+	f.Add(genuine[:tokenHeaderSize])               // header only, sig missing
+	f.Add(genuine[:len(genuine)-1])                // truncated signature
+	f.Add(append(append([]byte{}, genuine...), 0)) // trailing garbage
+	oversized := append([]byte{}, genuine...)
+	oversized[40], oversized[41] = 0xff, 0xff // sigLen 65535 > MaxSigBytes
+	f.Add(oversized)
+	padded := append([]byte{}, genuine[:tokenHeaderSize]...)
+	padded[40], padded[41] = 0, 3
+	padded = append(padded, 0, 1, 2) // leading-zero (non-canonical) sig
+	f.Add(padded)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeToken(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeToken(dec)
+		if err != nil {
+			t.Fatalf("decoded token failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical decode: %x re-encoded as %x", data, re)
+		}
+		// A forged decode must still never verify.
+		if VerifyToken(b.PublicKey(), dec) && !bytes.Equal(data, genuine) {
+			t.Fatal("forged wire token verified")
+		}
+	})
+}
+
+// FuzzReceiptWire covers the receipt round trip: arbitrary input never
+// panics the decoder, accepted input is canonical, and a structured
+// receipt survives encode→decode unchanged (including MAC validity).
+func FuzzReceiptWire(f *testing.F) {
+	m, err := NewReceiptMinter([]byte("fuzz-wire-secret"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuine := m.Mint(3, 1, 7)
+	enc := EncodeReceipt(genuine)
+	f.Add(enc, 3, 1, int64(7))
+	f.Add([]byte{}, 0, 0, int64(0))
+	f.Add(enc[:ReceiptWireSize-1], -1, 1<<30, int64(-9))          // truncated
+	f.Add(append(append([]byte{}, enc...), 0xaa), 5, 5, int64(5)) // oversized
+	f.Fuzz(func(t *testing.T, data []byte, conn, hop int, fwd int64) {
+		if dec, err := DecodeReceipt(data); err == nil {
+			if !bytes.Equal(EncodeReceipt(dec), data) {
+				t.Fatalf("non-canonical receipt decode of %x", data)
+			}
+		}
+		// Structured round trip, including negative/extreme field values.
+		r := Receipt{Conn: conn, Hop: hop, Forwarder: AccountID(fwd)}
+		copy(r.MAC[:], data)
+		back, err := DecodeReceipt(EncodeReceipt(r))
+		if err != nil {
+			t.Fatalf("round trip of %+v failed: %v", r, err)
+		}
+		if back != r {
+			t.Fatalf("round trip changed receipt: %+v -> %+v", r, back)
+		}
+		if m.Verify(back) != m.Verify(r) {
+			t.Fatal("wire round trip changed MAC validity")
 		}
 	})
 }

@@ -1,0 +1,113 @@
+package payment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Wire encodings for the two payment artifacts that cross the network: a
+// blind token handed to a forwarder (spend) and a forwarding receipt
+// submitted at settlement. Both encodings are canonical — every valid
+// byte string decodes to exactly one value and re-encodes to the same
+// bytes — so tokens and receipts can be compared, deduplicated and MACed
+// by their encoding without a parse step.
+//
+// Token:   8B denom (big-endian) | 32B serial | 2B sig length | sig bytes
+// Receipt: 8B conn | 8B hop | 8B forwarder | 32B MAC  (56 bytes fixed)
+
+// MaxSigBytes bounds a token signature: 1024 bytes covers an 8192-bit RSA
+// modulus, far beyond any key this repo generates. The cap keeps a hostile
+// length prefix from asking the decoder for megabytes.
+const MaxSigBytes = 1024
+
+// ReceiptWireSize is the fixed encoded size of a Receipt.
+const ReceiptWireSize = 8 + 8 + 8 + 32
+
+const tokenHeaderSize = 8 + 32 + 2
+
+// Wire decoding errors.
+var (
+	ErrShortBuffer  = errors.New("payment: wire buffer too short")
+	ErrTrailingData = errors.New("payment: trailing bytes after encoded value")
+	ErrBadSigLength = errors.New("payment: signature length invalid")
+	ErrNonCanonical = errors.New("payment: non-canonical signature encoding")
+)
+
+// EncodeToken renders tok in the canonical wire format. It returns an
+// error on a nil or oversized signature rather than panicking: tokens
+// arrive from the payment layer but also from tests and fuzzers.
+func EncodeToken(tok Token) ([]byte, error) {
+	if tok.Sig == nil || tok.Sig.Sign() < 0 {
+		return nil, errors.New("payment: token has no valid signature to encode")
+	}
+	sig := tok.Sig.Bytes() // minimal big-endian, empty for zero
+	if len(sig) > MaxSigBytes {
+		return nil, fmt.Errorf("%w: %d bytes > max %d", ErrBadSigLength, len(sig), MaxSigBytes)
+	}
+	out := make([]byte, tokenHeaderSize+len(sig))
+	binary.BigEndian.PutUint64(out[0:8], uint64(tok.Denom))
+	copy(out[8:40], tok.Serial[:])
+	binary.BigEndian.PutUint16(out[40:42], uint16(len(sig)))
+	copy(out[42:], sig)
+	return out, nil
+}
+
+// DecodeToken parses a canonical token encoding. It rejects truncated
+// buffers, oversized or padded (leading-zero) signatures, and trailing
+// garbage, so decode∘encode is the identity on valid tokens and encode∘
+// decode is the identity on valid byte strings.
+func DecodeToken(data []byte) (Token, error) {
+	if len(data) < tokenHeaderSize {
+		return Token{}, fmt.Errorf("%w: %d bytes, need at least %d", ErrShortBuffer, len(data), tokenHeaderSize)
+	}
+	var tok Token
+	tok.Denom = Amount(binary.BigEndian.Uint64(data[0:8]))
+	copy(tok.Serial[:], data[8:40])
+	sigLen := int(binary.BigEndian.Uint16(data[40:42]))
+	if sigLen > MaxSigBytes {
+		return Token{}, fmt.Errorf("%w: %d bytes > max %d", ErrBadSigLength, sigLen, MaxSigBytes)
+	}
+	if len(data) < tokenHeaderSize+sigLen {
+		return Token{}, fmt.Errorf("%w: signature needs %d bytes, %d remain", ErrShortBuffer, sigLen, len(data)-tokenHeaderSize)
+	}
+	if len(data) > tokenHeaderSize+sigLen {
+		return Token{}, ErrTrailingData
+	}
+	sig := data[tokenHeaderSize:]
+	if len(sig) > 0 && sig[0] == 0 {
+		// big.Int.Bytes never emits leading zeros; padded encodings would
+		// give one signature many byte forms.
+		return Token{}, ErrNonCanonical
+	}
+	tok.Sig = new(big.Int).SetBytes(sig)
+	return tok, nil
+}
+
+// EncodeReceipt renders r in the fixed 56-byte wire format.
+func EncodeReceipt(r Receipt) []byte {
+	out := make([]byte, ReceiptWireSize)
+	binary.BigEndian.PutUint64(out[0:8], uint64(r.Conn))
+	binary.BigEndian.PutUint64(out[8:16], uint64(r.Hop))
+	binary.BigEndian.PutUint64(out[16:24], uint64(r.Forwarder))
+	copy(out[24:56], r.MAC[:])
+	return out
+}
+
+// DecodeReceipt parses a fixed-size receipt encoding, rejecting any other
+// length.
+func DecodeReceipt(data []byte) (Receipt, error) {
+	if len(data) < ReceiptWireSize {
+		return Receipt{}, fmt.Errorf("%w: %d bytes, need %d", ErrShortBuffer, len(data), ReceiptWireSize)
+	}
+	if len(data) > ReceiptWireSize {
+		return Receipt{}, ErrTrailingData
+	}
+	var r Receipt
+	r.Conn = int(int64(binary.BigEndian.Uint64(data[0:8])))
+	r.Hop = int(int64(binary.BigEndian.Uint64(data[8:16])))
+	r.Forwarder = AccountID(int64(binary.BigEndian.Uint64(data[16:24])))
+	copy(r.MAC[:], data[24:56])
+	return r, nil
+}

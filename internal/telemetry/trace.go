@@ -26,6 +26,11 @@ const (
 	KindDelivered      EventKind = "delivered"
 	KindFailed         EventKind = "failed"
 	KindSettled        EventKind = "settled"
+	// KindTimeout marks an attempt terminated by its deadline rather than a
+	// NACK; KindFault marks a fault-injection harness applying a scheduled
+	// fault (see internal/faultsim).
+	KindTimeout EventKind = "timeout"
+	KindFault   EventKind = "fault"
 )
 
 // Event is one structured trace record. Node is the acting peer (the

@@ -34,6 +34,7 @@ import (
 	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
 	"p2panon/internal/telemetry"
+	"p2panon/internal/vclock"
 )
 
 // Router is a peer's routing brain: given that the peer holds a payload
@@ -156,6 +157,7 @@ type Network struct {
 
 	latency time.Duration
 	retry   RetryPolicy
+	clock   vclock.Clock
 	metrics *Metrics
 	tracer  *telemetry.Tracer
 	wg      sync.WaitGroup
@@ -171,6 +173,7 @@ func NewNetwork(latency time.Duration) *Network {
 		markerSet: make(map[ChurnAware]struct{}),
 		latency:   latency,
 		retry:     DefaultRetryPolicy(),
+		clock:     vclock.Real(),
 		metrics:   newMetrics(telemetry.NewRegistry()),
 		quit:      make(chan struct{}),
 	}
@@ -200,6 +203,21 @@ func (n *Network) Tracer() *telemetry.Tracer { return n.tracer }
 // window reports from a clean slate (see MetricsSnapshot.Delta for the
 // subtraction-based alternative that keeps lifetime totals).
 func (n *Network) ResetMetrics() { n.metrics.Reset() }
+
+// SetClock replaces the runtime's clock — link latency, attempt deadlines
+// and retry backoff all read it. Pass a *vclock.Virtual (usually with
+// AutoAdvance running) to make timing-dependent tests deterministic and
+// wall-clock free. Call before traffic starts; not safe to race with
+// in-flight connections.
+func (n *Network) SetClock(c vclock.Clock) {
+	if c == nil {
+		c = vclock.Real()
+	}
+	n.clock = c
+}
+
+// Clock returns the clock the runtime schedules against.
+func (n *Network) Clock() vclock.Clock { return n.clock }
 
 // SetRetry replaces the retry policy. Not safe to call concurrently with
 // Connect.
@@ -319,7 +337,7 @@ func (n *Network) send(to overlay.NodeID, msg message) bool {
 	}
 	n.metrics.sent.Add(1)
 	if n.latency > 0 {
-		time.AfterFunc(n.latency, func() {
+		n.clock.AfterFunc(n.latency, func() {
 			if !n.deliver(p, msg) {
 				n.onAsyncDrop(to, msg)
 			}
@@ -624,7 +642,7 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 	if policy.MaxAttempts < 1 {
 		policy.MaxAttempts = 1
 	}
-	start := time.Now()
+	start := n.clock.Now()
 	if n.tracer != nil {
 		n.tracer.Record(telemetry.Event{
 			Kind: telemetry.KindLaunch, Batch: batch, Conn: conn,
@@ -640,7 +658,7 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 	reforms := 0
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
-		remaining := time.Until(deadline)
+		remaining := n.clock.Until(deadline)
 		if remaining <= 0 {
 			break
 		}
@@ -650,11 +668,11 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 				if pause > remaining {
 					pause = remaining
 				}
-				time.Sleep(pause)
+				n.clock.Sleep(pause)
 				if backoff *= 2; policy.MaxBackoff > 0 && backoff > policy.MaxBackoff {
 					backoff = policy.MaxBackoff
 				}
-				if remaining = time.Until(deadline); remaining <= 0 {
+				if remaining = n.clock.Until(deadline); remaining <= 0 {
 					break
 				}
 			}
@@ -688,13 +706,13 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			n.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, "initiator departed")
 			return connResult{}, reforms, fmt.Errorf("transport: initiator %d departed", initiator)
 		}
-		timer := time.NewTimer(window)
+		timer := n.clock.NewTimer(window)
 		select {
 		case res := <-done:
 			timer.Stop()
 			if res.err == nil {
 				n.metrics.connects.Add(1)
-				n.metrics.connectLatency.Observe(time.Since(start).Seconds())
+				n.metrics.connectLatency.Observe(n.clock.Since(start).Seconds())
 				n.metrics.pathLen.Observe(float64(len(res.path)))
 				n.traceTerminal(telemetry.KindDelivered, batch, conn, initiator, len(res.path),
 					fmt.Sprintf("path len %d after %d reformations", len(res.path), reforms))

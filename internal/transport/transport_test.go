@@ -12,6 +12,7 @@ import (
 	"p2panon/internal/overlay"
 	"p2panon/internal/quality"
 	"p2panon/internal/trace"
+	"p2panon/internal/vclock"
 )
 
 // buildTopo creates a dense random topology over n peers.
@@ -38,6 +39,22 @@ func uniformAvail(n int) map[overlay.NodeID]float64 {
 		m[overlay.NodeID(i)] = 1.0 / float64(n)
 	}
 	return m
+}
+
+// virtualize puts n on an auto-advancing virtual clock so retry backoff
+// and attempt deadlines consume zero wall time: whenever every goroutine
+// is blocked on the clock, it jumps straight to the next deadline. Timing
+// assertions then read virtual elapsed time and are exact, not flaky.
+func virtualize(t *testing.T, n *Network) *vclock.Virtual {
+	t.Helper()
+	vc := vclock.NewVirtual(time.Time{})
+	// 5ms of real-time quiescence before each virtual jump: generous
+	// against -race scheduler stalls, still thousands of times faster than
+	// sleeping through real backoff schedules.
+	stop := vc.AutoAdvance(5 * time.Millisecond)
+	t.Cleanup(stop)
+	n.SetClock(vc)
+	return vc
 }
 
 func startNetwork(t *testing.T, topo Topology, r Router) *Network {
@@ -214,13 +231,13 @@ func TestLatencyDelivery(t *testing.T) {
 	topo := Topology{0: {1}, 1: {}, 2: {}}
 	n := NewNetwork(100 * time.Microsecond)
 	defer n.Close()
+	vc := virtualize(t, n)
 	r := NewRandomRouter(topo, dist.NewSource(14))
 	for id := range topo {
 		if _, err := n.AddPeer(id, r); err != nil {
 			t.Fatal(err)
 		}
 	}
-	start := time.Now()
 	path, err := n.Connect(0, 2, 1, 1, 1, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -228,8 +245,14 @@ func TestLatencyDelivery(t *testing.T) {
 	if len(path) < 2 {
 		t.Fatalf("path %v", path)
 	}
-	if elapsed := time.Since(start); elapsed < 200*time.Microsecond {
-		t.Fatalf("latency not applied: %v", elapsed)
+	// Forward leg + confirm leg each cross at least one link, so at least
+	// two link latencies of virtual time must have passed — and because
+	// the clock only moves in link-latency hops here, the elapsed virtual
+	// time is an exact multiple of it.
+	if elapsed := vc.Elapsed(); elapsed < 200*time.Microsecond {
+		t.Fatalf("latency not applied: virtual elapsed %v", elapsed)
+	} else if elapsed%(100*time.Microsecond) != 0 {
+		t.Fatalf("virtual elapsed %v is not a whole number of link latencies", elapsed)
 	}
 }
 
@@ -273,6 +296,7 @@ func TestRemovePeerReformsAndSucceeds(t *testing.T) {
 	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
 	r := NewRandomRouter(topo, dist.NewSource(18))
 	n := startNetwork(t, topo, r)
+	vc := virtualize(t, n)
 	if _, err := n.Connect(0, 3, 1, 1, 10, time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -280,13 +304,13 @@ func TestRemovePeerReformsAndSucceeds(t *testing.T) {
 	if n.Peer(2) != nil {
 		t.Fatal("removed peer still listed")
 	}
-	start := time.Now()
+	start := vc.Now()
 	out, err := n.RunBatch(0, 3, 1, 1, 10, time.Second)
 	if err != nil {
 		t.Fatalf("connection did not reform around removed peer: %v", err)
 	}
-	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Fatalf("reformation blew the deadline: %v", elapsed)
+	if elapsed := vc.Since(start); elapsed > time.Second {
+		t.Fatalf("reformation blew the deadline: virtual elapsed %v", elapsed)
 	}
 	if out.Reformations < 1 {
 		t.Fatalf("reformations = %d, want >= 1", out.Reformations)
@@ -316,6 +340,7 @@ func TestNackFailsFastOnMidFlightResponderDeparture(t *testing.T) {
 	r := NewRandomRouter(topo, dist.NewSource(19))
 	n := NewNetwork(0)
 	t.Cleanup(n.Close)
+	vc := virtualize(t, n)
 	for id := range topo {
 		router := Router(r)
 		if id == 1 {
@@ -328,7 +353,7 @@ func TestNackFailsFastOnMidFlightResponderDeparture(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	start := time.Now()
+	start := vc.Now()
 	_, err := n.Connect(0, 3, 1, 1, 10, 10*time.Second)
 	if err == nil {
 		t.Fatal("connection to mid-flight-departed responder succeeded")
@@ -336,8 +361,11 @@ func TestNackFailsFastOnMidFlightResponderDeparture(t *testing.T) {
 	if !strings.Contains(err.Error(), "departed") {
 		t.Fatalf("unexpected error: %v", err)
 	}
-	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Fatalf("NACK-driven failure took %v, want well under the 10s timeout", elapsed)
+	// Every attempt fails on a synchronous NACK, so the only virtual time
+	// spent is retry backoff — far below the 10s timeout the old
+	// wall-clock version could sleep through.
+	if elapsed := vc.Since(start); elapsed > time.Second {
+		t.Fatalf("NACK-driven failure took %v of virtual time, want well under the 10s timeout", elapsed)
 	}
 	m := n.Metrics()
 	if m.Nacks == 0 || m.Failures == 0 {
@@ -346,6 +374,39 @@ func TestNackFailsFastOnMidFlightResponderDeparture(t *testing.T) {
 	// Other responders are unaffected.
 	if _, err := n.Connect(0, 2, 1, 2, 10, 5*time.Second); err != nil {
 		t.Fatalf("responder 2 is still alive: %v", err)
+	}
+}
+
+func TestBackoffScheduleOnVirtualClock(t *testing.T) {
+	// Every attempt fails on a synchronous NACK (the only interior relay is
+	// removed and the random router keeps picking it until MarkDead teaches
+	// it otherwise — here we pin the router so it never learns), so the only
+	// virtual time Connect consumes is its backoff schedule. With base
+	// 100ms doubling to a 300ms cap over 4 attempts, that schedule is
+	// exactly 100+200+300 = 600ms — an equality no wall-clock test could
+	// assert without flaking.
+	n := NewNetwork(0)
+	t.Cleanup(n.Close)
+	vc := virtualize(t, n)
+	n.SetRetry(RetryPolicy{MaxAttempts: 4, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 300 * time.Millisecond})
+	pinned := RouterFunc(func(self, pred, initiator, responder overlay.NodeID, batch, conn, remaining int) (overlay.NodeID, bool) {
+		return 1, false // always route via the corpse
+	})
+	for _, id := range []overlay.NodeID{0, 2, 3} {
+		if _, err := n.AddPeer(id, pinned); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := n.Connect(0, 3, 1, 1, 10, time.Minute)
+	if err == nil {
+		t.Fatal("connection through a permanently dead relay succeeded")
+	}
+	if got := vc.Elapsed(); got != 600*time.Millisecond {
+		t.Fatalf("virtual backoff schedule consumed %v, want exactly 600ms", got)
+	}
+	m := n.Metrics()
+	if m.Reformations != 3 || m.Nacks != 4 {
+		t.Fatalf("reformations %d nacks %d, want 3 and 4", m.Reformations, m.Nacks)
 	}
 }
 
@@ -404,6 +465,7 @@ func TestContractRejectionNacksInitiator(t *testing.T) {
 	topo := Topology{0: {1}, 1: {2}, 2: {3}, 3: {}}
 	r := NewRandomRouter(topo, dist.NewSource(26))
 	n := startNetwork(t, topo, r)
+	vc := virtualize(t, n)
 	bk, err := onion.NewBatchKey(nil)
 	if err != nil {
 		t.Fatal(err)
@@ -414,7 +476,7 @@ func TestContractRejectionNacksInitiator(t *testing.T) {
 	}
 	bad := *contract
 	bad.Pf = 9999 // breaks the signature
-	start := time.Now()
+	start := vc.Now()
 	_, reforms, err := n.connect(0, 3, 5, 1, 10, 5*time.Second, &bad)
 	if err == nil {
 		t.Fatal("unverifiable contract completed a connection")
@@ -425,8 +487,10 @@ func TestContractRejectionNacksInitiator(t *testing.T) {
 	if reforms != 0 {
 		t.Fatalf("fatal NACK still reformed %d times", reforms)
 	}
-	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Fatalf("NACK did not fail fast: %v", elapsed)
+	// A fatal NACK skips every retry, so no backoff is ever slept: the
+	// virtual clock must not have moved at all.
+	if elapsed := vc.Since(start); elapsed != 0 {
+		t.Fatalf("fatal NACK consumed %v of virtual time, want 0", elapsed)
 	}
 	m := n.Metrics()
 	if m.ContractRejects == 0 || m.Nacks == 0 {

@@ -1,0 +1,296 @@
+// Package vclock abstracts the wall clock behind a Clock interface so the
+// same timing-dependent code — retry backoff, attempt deadlines, link
+// latency — can run against the real clock in production and against a
+// deterministic virtual clock in tests and the fault-injection harness.
+//
+// The Virtual clock keeps a heap of waiters (sleeps, timers, delayed
+// funcs) and only moves when told to: either explicitly via Advance, or
+// through AutoAdvance, which watches for quiescence — no clock activity
+// for a grace period of real time — and then fires the earliest pending
+// waiter. Auto-advance is what lets a concurrent runtime like the live
+// transport run its full backoff/timeout schedule in microseconds of real
+// time: whenever every goroutine is blocked on the clock, the clock jumps
+// straight to the next deadline instead of letting the test sleep through
+// it (the root cause of the wall-clock flakiness this package replaces).
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the timing surface the transport runtime consumes. Real()
+// returns the system-clock implementation; NewVirtual a controllable one.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Until returns t.Sub(Now()).
+	Until(t time.Time) time.Duration
+	// Sleep blocks the calling goroutine for d (no-op when d <= 0).
+	Sleep(d time.Duration)
+	// NewTimer returns a timer that sends on its channel C once the clock
+	// reaches now+d.
+	NewTimer(d time.Duration) *Timer
+	// AfterFunc runs fn in its own goroutine once the clock reaches
+	// now+d.
+	AfterFunc(d time.Duration, fn func()) *Timer
+}
+
+// Timer is the clock-agnostic analogue of time.Timer.
+type Timer struct {
+	// C delivers the firing time for timers made with NewTimer; it is nil
+	// for AfterFunc timers.
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// realClock implements Clock on the system clock.
+type realClock struct{}
+
+// Real returns the system-clock implementation.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                  { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (realClock) Until(t time.Time) time.Duration { return time.Until(t) }
+func (realClock) Sleep(d time.Duration)           { time.Sleep(d) }
+
+func (realClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+func (realClock) AfterFunc(d time.Duration, fn func()) *Timer {
+	t := time.AfterFunc(d, fn)
+	return &Timer{stop: t.Stop}
+}
+
+// waiter is one pending sleep/timer/func on a virtual clock.
+type waiter struct {
+	at        time.Time
+	seq       uint64
+	cancelled bool
+	fire      func(now time.Time)
+}
+
+// waiterHeap orders waiters by deadline, FIFO on ties (like sim.Engine).
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)   { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}
+
+// Virtual is a deterministic manual/auto-advancing clock.
+type Virtual struct {
+	mu    sync.Mutex
+	start time.Time
+	now   time.Time
+	heap  waiterHeap
+	seq   uint64
+	// activity counts every registration, cancellation and advance;
+	// AutoAdvance uses it to detect quiescence.
+	activity uint64
+}
+
+// Epoch is the default virtual start time: the Unix epoch, so virtual
+// timestamps are recognisable in traces.
+var Epoch = time.Unix(0, 0).UTC()
+
+// NewVirtual returns a virtual clock starting at start (Epoch if zero).
+func NewVirtual(start time.Time) *Virtual {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &Virtual{start: start, now: start}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Until returns the virtual time remaining until t.
+func (v *Virtual) Until(t time.Time) time.Duration { return t.Sub(v.Now()) }
+
+// Elapsed returns the virtual time elapsed since the clock's start.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now.Sub(v.start)
+}
+
+// Pending returns the number of live (uncancelled) waiters.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, w := range v.heap {
+		if !w.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// add registers a waiter d from now and returns it. A non-positive d
+// fires immediately (matching time.NewTimer semantics), still off the
+// registering goroutine's critical path.
+func (v *Virtual) add(d time.Duration, fire func(now time.Time)) *waiter {
+	v.mu.Lock()
+	v.seq++
+	v.activity++
+	w := &waiter{at: v.now.Add(d), seq: v.seq, fire: fire}
+	if d <= 0 {
+		now := v.now
+		v.mu.Unlock()
+		fire(now)
+		return w
+	}
+	heap.Push(&v.heap, w)
+	v.mu.Unlock()
+	return w
+}
+
+// cancel marks w cancelled, reporting whether it had not yet fired.
+func (v *Virtual) cancel(w *waiter) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.activity++
+	if w.cancelled {
+		return false
+	}
+	w.cancelled = true
+	return true
+}
+
+// Sleep blocks until the virtual clock reaches now+d.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	v.add(d, func(time.Time) { close(ch) })
+	<-ch
+}
+
+// NewTimer returns a timer firing at virtual now+d.
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	ch := make(chan time.Time, 1)
+	w := v.add(d, func(now time.Time) {
+		select {
+		case ch <- now:
+		default:
+		}
+	})
+	return &Timer{C: ch, stop: func() bool { return v.cancel(w) }}
+}
+
+// AfterFunc runs fn in its own goroutine at virtual now+d.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) *Timer {
+	w := v.add(d, func(time.Time) { go fn() })
+	return &Timer{stop: func() bool { return v.cancel(w) }}
+}
+
+// fireNextLocked pops and fires the earliest live waiter (if any),
+// advancing the clock to its deadline. Caller holds v.mu; the waiter's
+// fire runs with the lock held (all fire funcs are non-blocking:
+// channel close, buffered send, or go statement).
+func (v *Virtual) fireNextLocked() bool {
+	for len(v.heap) > 0 {
+		w := heap.Pop(&v.heap).(*waiter)
+		if w.cancelled {
+			continue
+		}
+		w.cancelled = true
+		v.now = w.at
+		v.activity++
+		w.fire(v.now)
+		return true
+	}
+	return false
+}
+
+// Advance moves the clock forward by d, firing every waiter whose
+// deadline falls inside the window, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	target := v.now.Add(d)
+	v.activity++
+	for len(v.heap) > 0 {
+		// Skip cancelled heads so the deadline peek is live.
+		if v.heap[0].cancelled {
+			heap.Pop(&v.heap)
+			continue
+		}
+		if v.heap[0].at.After(target) {
+			break
+		}
+		v.fireNextLocked()
+	}
+	if v.now.Before(target) {
+		v.now = target
+	}
+}
+
+// AutoAdvance starts a watchdog that fires the earliest pending waiter
+// whenever the clock has been quiescent — no registrations, cancellations
+// or advances — for one grace period of real time. It returns a stop
+// function (idempotent). With every goroutine blocked on the clock,
+// activity stalls and the watchdog steps virtual time to the next
+// deadline; while goroutines are actively using the clock, it stays out
+// of the way. grace trades determinism margin against real-time speed;
+// 1–2ms is plenty for in-process message passing.
+func (v *Virtual) AutoAdvance(grace time.Duration) (stop func()) {
+	if grace <= 0 {
+		grace = time.Millisecond
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(grace)
+		defer tick.Stop()
+		var last uint64
+		seen := false
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			v.mu.Lock()
+			act := v.activity
+			if seen && act == last && len(v.heap) > 0 {
+				v.fireNextLocked()
+				act = v.activity
+			}
+			last, seen = act, true
+			v.mu.Unlock()
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
