@@ -6,7 +6,7 @@
 //
 //	anonsim [-n 40] [-d 5] [-f 0.1] [-strategy utility-I] [-tau 2]
 //	        [-pairs 100] [-tx 2000] [-maxconn 20] [-churn] [-seed 1] [-v]
-//	        [-live] [-live-removals 2]
+//	        [-live] [-live-removals 2] [-net inproc|tcp]
 //	        [-metrics-addr :9090] [-trace-out trace.jsonl] [-metrics-every 5s]
 //	        [-faults plan.json | -faults gen:<seed>]
 //
@@ -22,6 +22,13 @@
 // while the busiest forwarders are removed mid-run, and the resulting
 // reformation counts and transport metrics are printed next to the
 // simulator's new-edge rate (Prop. 1's two measurements side by side).
+//
+// With -net tcp the live replay runs over internal/netwire instead of the
+// in-process runtime: every node listens on an ephemeral 127.0.0.1 port and
+// every hop crosses a real TCP connection under the framed wire protocol of
+// DESIGN.md §3e. -net tcp implies -live, and with -metrics-addr the
+// netwire_* socket instruments (dials, frames, bytes, queue depth, deadline
+// hits) appear on the same telemetry endpoint.
 //
 // The telemetry flags expose the run's unified instrument registry:
 // -metrics-addr serves Prometheus text on /metrics (plus /metrics.json,
@@ -43,9 +50,11 @@ import (
 
 	"p2panon/internal/core"
 	"p2panon/internal/experiment"
+	"p2panon/internal/netwire"
 	"p2panon/internal/report"
 	"p2panon/internal/stats"
 	"p2panon/internal/telemetry"
+	"p2panon/internal/transport"
 )
 
 func main() {
@@ -64,6 +73,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-batch details")
 	live := flag.Bool("live", false, "also replay the workload on the live transport under churn")
 	liveRemovals := flag.Int("live-removals", 2, "busiest forwarders removed mid-run in the live replay")
+	netBackend := flag.String("net", "inproc", "live-replay forwarding backend: inproc | tcp (real 127.0.0.1 sockets via internal/netwire; implies -live)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address (Prometheus /metrics, JSON /metrics.json, /trace, pprof); :0 picks a free port")
 	traceOut := flag.String("trace-out", "", "write connection lifecycle events as JSONL to this file at exit")
 	traceCap := flag.Int("trace-cap", 65536, "event-ring capacity for lifecycle tracing")
@@ -73,6 +83,15 @@ func main() {
 
 	if *faults != "" {
 		os.Exit(runFaults(*faults, *traceOut))
+	}
+
+	switch *netBackend {
+	case "inproc":
+	case "tcp":
+		*live = true // the TCP backend only exists in the live replay
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -net backend %q (want inproc or tcp)\n", *netBackend)
+		os.Exit(2)
 	}
 
 	// The unified registry/tracer back every instrumented layer of the
@@ -181,7 +200,7 @@ func main() {
 	}
 
 	if *live {
-		runLive(strategy, *n, *d, *pairs, *tx, *maxconn, *liveRemovals, *seed,
+		runLive(strategy, *netBackend, *n, *d, *pairs, *tx, *maxconn, *liveRemovals, *seed,
 			stats.Mean(res.NewEdgeRates), reg, tracer)
 	}
 
@@ -229,8 +248,9 @@ func scrapeSummary(addr string) {
 
 // runLive replays the workload shape on the concurrent transport with
 // mid-run removals and prints the live reformation counters alongside the
-// simulator's new-edge rate.
-func runLive(strategy core.Strategy, n, d, pairs, tx, maxconn, removals int, seed uint64,
+// simulator's new-edge rate. With backend "tcp" the replay runs over a
+// netwire loopback cluster — real sockets, the same Conductor surface.
+func runLive(strategy core.Strategy, backend string, n, d, pairs, tx, maxconn, removals int, seed uint64,
 	simNewEdge float64, reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	if strategy == core.FixedPath {
 		fmt.Println("\nlive replay: fixed-path has no live router; use random/utility-I/utility-II")
@@ -244,12 +264,17 @@ func runLive(strategy core.Strategy, n, d, pairs, tx, maxconn, removals int, see
 	ls.Seed = seed
 	ls.Telemetry = reg
 	ls.Tracer = tracer
+	if backend == "tcp" {
+		ls.NewConductor = func(latency time.Duration) transport.Conductor {
+			return netwire.NewCluster(netwire.Config{Latency: latency})
+		}
+	}
 	out, err := experiment.RunLive(ls)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "anonsim: live replay: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nlive replay (%s, %d mid-run removals %v):\n", strategy, len(out.Removed), out.Removed)
+	fmt.Printf("\nlive replay (%s over %s, %d mid-run removals %v):\n", strategy, backend, len(out.Removed), out.Removed)
 	fmt.Printf("  connections completed:  %d (failed: %d)\n", out.Completed, out.Failed)
 	fmt.Printf("  path reformations:      %d (rate %.4f vs sim E[X] %.4f)\n",
 		out.Reformations, out.ReformationRate, simNewEdge)

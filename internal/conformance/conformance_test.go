@@ -1,0 +1,38 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"p2panon/internal/netwire"
+	"p2panon/internal/transport"
+)
+
+// Backends returns the two production backends: the in-process
+// goroutine-per-peer runtime and the TCP loopback cluster.
+func Backends() []Backend {
+	return []Backend{
+		{
+			Name: "inproc",
+			New: func(t testing.TB, latency time.Duration) transport.Conductor {
+				n := transport.NewNetwork(latency)
+				t.Cleanup(n.Close)
+				return n
+			},
+		},
+		{
+			Name: "tcp",
+			New: func(t testing.TB, latency time.Duration) transport.Conductor {
+				c := netwire.NewCluster(netwire.Config{Latency: latency})
+				t.Cleanup(c.Close)
+				return c
+			},
+		},
+	}
+}
+
+// TestBackendConformance runs the shared behavioral table against both
+// backends and asserts the deterministic transcripts are byte-identical.
+func TestBackendConformance(t *testing.T) {
+	Run(t, Backends())
+}

@@ -46,6 +46,12 @@ type LiveSetup struct {
 	// delivered/failed) into its ring.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// NewConductor, when non-nil, builds the forwarding backend the
+	// replay runs over — e.g. a netwire TCP loopback cluster — with the
+	// requested per-link latency. Nil uses the in-process
+	// transport.Network. Either backend passes the same conformance
+	// suite, so the study's measurements are comparable across wires.
+	NewConductor func(latency time.Duration) transport.Conductor
 }
 
 // DefaultLive returns a compact live-churn study: 30 peers, 8 pairs of up
@@ -129,13 +135,18 @@ func RunLive(s LiveSetup) (*LiveOutcome, error) {
 		return nil, fmt.Errorf("experiment: strategy %v has no live router", s.Strategy)
 	}
 
-	live := transport.NewNetwork(s.Latency)
+	var live transport.Conductor
+	if s.NewConductor != nil {
+		live = s.NewConductor(s.Latency)
+	} else {
+		live = transport.NewNetwork(s.Latency)
+	}
 	defer live.Close()
 	if s.Telemetry != nil || s.Tracer != nil {
 		live.Instrument(s.Telemetry, s.Tracer)
 	}
 	for id := range topo {
-		if _, err := live.AddPeer(id, router); err != nil {
+		if err := live.Join(id, router); err != nil {
 			return nil, err
 		}
 	}

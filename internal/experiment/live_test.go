@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"testing"
+	"time"
 
 	"p2panon/internal/core"
+	"p2panon/internal/netwire"
+	"p2panon/internal/transport"
 )
 
 func TestRunLiveUnderChurn(t *testing.T) {
@@ -98,5 +101,37 @@ func TestCompareLiveReformation(t *testing.T) {
 	// not by one seed here.
 	if cmp.SimRandomNewEdge <= 0 || cmp.SimUtilityNewEdge <= 0 {
 		t.Fatalf("sim new-edge rates %g / %g", cmp.SimRandomNewEdge, cmp.SimUtilityNewEdge)
+	}
+}
+
+// TestRunLiveOverTCP replays the live churn study over the netwire TCP
+// loopback backend via the NewConductor hook: the same workload, routers
+// and mid-run removals, but every hop crossing a real socket. The study
+// must complete connections and account them in the (netwire-backed)
+// metrics snapshot exactly like the in-process run.
+func TestRunLiveOverTCP(t *testing.T) {
+	s := DefaultLive()
+	s.N, s.Degree = 16, 5
+	s.Pairs, s.Transmissions, s.MaxConnections = 4, 16, 4
+	s.Removals = 1
+	s.Seed = 3
+	s.NewConductor = func(latency time.Duration) transport.Conductor {
+		return netwire.NewCluster(netwire.Config{Latency: latency})
+	}
+	out, err := RunLive(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed == 0 {
+		t.Fatal("no connection completed over TCP")
+	}
+	if len(out.Removed) != s.Removals {
+		t.Fatalf("removed %d peers, want %d", len(out.Removed), s.Removals)
+	}
+	if out.Metrics.Connects != int64(out.Completed) {
+		t.Fatalf("netwire metrics connects %d != completed %d", out.Metrics.Connects, out.Completed)
+	}
+	if out.Metrics.Failures != int64(out.Failed) {
+		t.Fatalf("netwire metrics failures %d != failed %d", out.Metrics.Failures, out.Failed)
 	}
 }

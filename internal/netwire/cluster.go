@@ -1,0 +1,652 @@
+package netwire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2panon/internal/core"
+	"p2panon/internal/onion"
+	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
+	"p2panon/internal/trace"
+	"p2panon/internal/transport"
+	"p2panon/internal/vclock"
+)
+
+// Config parameterises the socket layer. The zero value of any field is
+// replaced with its default; the protocol schedule (attempt windows,
+// retry backoff) is configured separately via SetRetry/SetClock, exactly
+// like the in-process backend.
+type Config struct {
+	// Latency is an artificial per-send delay on the cluster clock,
+	// mirroring transport.NewNetwork's link latency model (0 = none).
+	Latency time.Duration
+	// DialTimeout/HandshakeTimeout bound connection establishment;
+	// WriteTimeout bounds one frame write; IdleTimeout closes inbound
+	// connections with no traffic; EnqueueTimeout is how long a sender
+	// blocks on a full outbound queue before the frame is refused.
+	DialTimeout, HandshakeTimeout, WriteTimeout, IdleTimeout, EnqueueTimeout time.Duration
+	// QueueCap is the per-peer outbound queue bound.
+	QueueCap int
+}
+
+// DefaultConfig returns the loopback-tuned defaults.
+func DefaultConfig() Config {
+	return Config{
+		DialTimeout:      2 * time.Second,
+		HandshakeTimeout: 2 * time.Second,
+		WriteTimeout:     5 * time.Second,
+		IdleTimeout:      60 * time.Second,
+		EnqueueTimeout:   2 * time.Second,
+		QueueCap:         128,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = d.HandshakeTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = d.IdleTimeout
+	}
+	if c.EnqueueTimeout <= 0 {
+		c.EnqueueTimeout = d.EnqueueTimeout
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = d.QueueCap
+	}
+}
+
+// wireResult is the terminal event of one connection attempt.
+type wireResult struct {
+	path    []overlay.NodeID
+	records []onion.PathRecord
+	err     error
+	fatal   bool
+}
+
+// Cluster is the loopback harness and runtime: N nodes on ephemeral
+// 127.0.0.1 ports, a shared address directory, and the connection driver
+// with bounded-retry path reformation. It implements transport.Conductor,
+// so every driver that runs over the in-process backend runs over TCP
+// unchanged.
+type Cluster struct {
+	cfg     Config
+	latency time.Duration
+
+	mu        sync.RWMutex
+	nodes     map[overlay.NodeID]*Node
+	addrs     map[overlay.NodeID]string
+	markers   []transport.ChurnAware
+	markerSet map[transport.ChurnAware]struct{}
+
+	retry   transport.RetryPolicy
+	clock   vclock.Clock
+	metrics *metrics
+	tracer  *telemetry.Tracer
+
+	pendMu  sync.Mutex
+	pending map[int]chan wireResult
+
+	probeMu sync.Mutex
+	probes  map[uint64]chan struct{}
+
+	nonce   atomic.Uint64
+	attempt atomic.Int64
+
+	wg       sync.WaitGroup
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	logMu sync.Mutex
+	logw  io.Writer
+	logC  io.Closer
+}
+
+// NewCluster creates an empty cluster with the default retry policy and
+// the real clock. When NETWIRE_LOG_DIR is set, a per-cluster debug log of
+// dials, kills and frame errors is written there (the artifact CI uploads
+// when a netwire job fails).
+func NewCluster(cfg Config) *Cluster {
+	cfg.fillDefaults()
+	c := &Cluster{
+		cfg:       cfg,
+		latency:   cfg.Latency,
+		nodes:     make(map[overlay.NodeID]*Node),
+		addrs:     make(map[overlay.NodeID]string),
+		markerSet: make(map[transport.ChurnAware]struct{}),
+		retry:     transport.DefaultRetryPolicy(),
+		clock:     vclock.Real(),
+		metrics:   newMetrics(telemetry.NewRegistry()),
+		pending:   make(map[int]chan wireResult),
+		probes:    make(map[uint64]chan struct{}),
+		quit:      make(chan struct{}),
+	}
+	if dir := os.Getenv("NETWIRE_LOG_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			name := filepath.Join(dir, fmt.Sprintf("netwire-%d-%d.log", os.Getpid(), time.Now().UnixNano()))
+			if f, err := os.Create(name); err == nil {
+				c.logw, c.logC = f, f
+			}
+		}
+	}
+	return c
+}
+
+// logf writes one debug-log line when logging is enabled.
+func (c *Cluster) logf(format string, args ...any) {
+	if c.logw == nil {
+		return
+	}
+	c.logMu.Lock()
+	fmt.Fprintf(c.logw, time.Now().Format("15:04:05.000000")+" "+format+"\n", args...)
+	c.logMu.Unlock()
+}
+
+// Instrument rebinds the cluster's metrics into reg and attaches tr as
+// the lifecycle tracer (either may be nil). Call before traffic starts.
+func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg != nil {
+		c.metrics = newMetrics(reg)
+	}
+	c.tracer = tr
+}
+
+// Telemetry returns the registry backing the cluster's metrics.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.metrics.reg }
+
+// Metrics returns the transport-compatible counter snapshot.
+func (c *Cluster) Metrics() transport.MetricsSnapshot { return c.metrics.snapshot() }
+
+// ResetMetrics zeroes the cluster's instruments.
+func (c *Cluster) ResetMetrics() { c.metrics.reset() }
+
+// SetRetry replaces the reformation policy. Not safe to race Connect.
+func (c *Cluster) SetRetry(p transport.RetryPolicy) {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	c.retry = p
+}
+
+// SetClock replaces the protocol clock (attempt windows, backoff,
+// artificial latency). Socket-level guards (dial/write/idle deadlines)
+// stay on the real clock — the kernel does not speak virtual time. Call
+// before traffic starts.
+func (c *Cluster) SetClock(clk vclock.Clock) {
+	if clk == nil {
+		clk = vclock.Real()
+	}
+	c.clock = clk
+}
+
+// Clock returns the protocol clock.
+func (c *Cluster) Clock() vclock.Clock { return c.clock }
+
+// Join spins up a node: a listener on an ephemeral 127.0.0.1 port, the
+// accept loop, and a directory entry its peers dial. ChurnAware routers
+// are registered for liveness marks, like the in-process backend.
+func (c *Cluster) Join(id overlay.NodeID, r transport.Router) error {
+	if r == nil {
+		return errors.New("netwire: nil router")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("netwire: listen: %w", err)
+	}
+	nd := &Node{
+		id:       id,
+		c:        c,
+		router:   r,
+		ln:       ln,
+		links:    make(map[overlay.NodeID]*link),
+		inbound:  make(map[net.Conn]struct{}),
+		forwards: make(map[int]int),
+		credited: make(map[int]float64),
+		killed:   make(chan struct{}),
+	}
+	c.mu.Lock()
+	if _, dup := c.nodes[id]; dup {
+		c.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("netwire: duplicate node %d", id)
+	}
+	c.nodes[id] = nd
+	c.addrs[id] = ln.Addr().String()
+	ca, aware := r.(transport.ChurnAware)
+	if aware {
+		if _, seen := c.markerSet[ca]; !seen {
+			c.markerSet[ca] = struct{}{}
+			c.markers = append(c.markers, ca)
+		}
+	}
+	c.mu.Unlock()
+	if aware {
+		ca.MarkLive(id)
+	}
+	c.logf("node %d: listening on %s", id, ln.Addr())
+	c.wg.Add(1)
+	go nd.acceptLoop()
+	return nil
+}
+
+// Node returns the live node with the given ID, or nil.
+func (c *Cluster) Node(id overlay.NodeID) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
+
+// NodeIDs returns the IDs of all live nodes.
+func (c *Cluster) NodeIDs() []overlay.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]overlay.NodeID, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// addrOf resolves a peer's dial address. The directory keeps entries for
+// departed nodes — dialing a corpse fails with a refused connection,
+// which is exactly the live failure-detection signal.
+func (c *Cluster) addrOf(id overlay.NodeID) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.addrs[id]
+	return a, ok
+}
+
+// RemovePeer models an abrupt departure: the node's listener and every
+// connection close immediately; peers discover the corpse by failed
+// delivery and NACK/reform, just like the in-process backend. The
+// directory entry survives so dials fail instead of being skipped.
+func (c *Cluster) RemovePeer(id overlay.NodeID) {
+	c.mu.Lock()
+	nd, ok := c.nodes[id]
+	if ok {
+		delete(c.nodes, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.logf("node %d: killed", id)
+	nd.kill()
+}
+
+// Close kills every node and waits for all cluster goroutines to drain.
+func (c *Cluster) Close() {
+	c.quitOnce.Do(func() { close(c.quit) })
+	c.mu.Lock()
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, nd := range c.nodes {
+		nodes = append(nodes, nd)
+	}
+	c.nodes = make(map[overlay.NodeID]*Node)
+	c.mu.Unlock()
+	for _, nd := range nodes {
+		nd.kill()
+	}
+	c.wg.Wait()
+	if c.logC != nil {
+		c.logC.Close()
+		c.logC, c.logw = nil, nil
+	}
+}
+
+func (c *Cluster) isClosed() bool {
+	select {
+	case <-c.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// markDead tells every ChurnAware router that id was found dead.
+func (c *Cluster) markDead(id overlay.NodeID) {
+	c.mu.RLock()
+	ms := append([]transport.ChurnAware(nil), c.markers...)
+	c.mu.RUnlock()
+	for _, m := range ms {
+		m.MarkDead(id)
+	}
+}
+
+// resolve delivers an attempt's terminal result, if anyone still waits.
+func (c *Cluster) resolve(attempt int, res wireResult) {
+	c.pendMu.Lock()
+	ch, ok := c.pending[attempt]
+	if ok {
+		delete(c.pending, attempt)
+	}
+	c.pendMu.Unlock()
+	if ok {
+		ch <- res // buffered; exactly one resolver after the delete wins
+	}
+}
+
+// traceTerminal records a connection's terminal lifecycle event.
+func (c *Cluster) traceTerminal(kind telemetry.EventKind, batch, conn int, initiator overlay.NodeID, hop int, detail string) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Record(telemetry.Event{
+		Kind: kind, Batch: batch, Conn: conn, Node: int(initiator), Hop: hop, Detail: detail,
+	})
+}
+
+// connect runs one connection with bounded retry — the same schedule as
+// transport.Network.connect: per-attempt window = timeout/MaxAttempts,
+// exponential backoff between attempts, fatal NACKs end immediately.
+func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration, contract *onion.SignedContract) (wireResult, int, error) {
+	if c.Node(initiator) == nil {
+		return wireResult{}, 0, fmt.Errorf("netwire: unknown initiator %d", initiator)
+	}
+	if c.Node(responder) == nil {
+		return wireResult{}, 0, fmt.Errorf("netwire: unknown responder %d", responder)
+	}
+	if initiator == responder {
+		return wireResult{}, 0, errors.New("netwire: initiator == responder")
+	}
+	policy := c.retry
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	start := c.clock.Now()
+	if c.tracer != nil {
+		c.tracer.Record(telemetry.Event{
+			Kind: telemetry.KindLaunch, Batch: batch, Conn: conn,
+			Node: int(initiator), Detail: fmt.Sprintf("responder %d budget %d", responder, budget),
+		})
+	}
+	deadline := start.Add(timeout)
+	per := timeout / time.Duration(policy.MaxAttempts)
+	if per <= 0 {
+		per = timeout
+	}
+	backoff := policy.BaseBackoff
+	reforms := 0
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		remaining := c.clock.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		if attempt > 1 {
+			if backoff > 0 {
+				pause := backoff
+				if pause > remaining {
+					pause = remaining
+				}
+				c.clock.Sleep(pause)
+				if backoff *= 2; policy.MaxBackoff > 0 && backoff > policy.MaxBackoff {
+					backoff = policy.MaxBackoff
+				}
+				if remaining = c.clock.Until(deadline); remaining <= 0 {
+					break
+				}
+			}
+			reforms++
+			c.metrics.reformations.Inc()
+			if c.tracer != nil {
+				c.tracer.Record(telemetry.Event{
+					Kind: telemetry.KindReformation, Batch: batch, Conn: conn,
+					Node: int(initiator), Detail: fmt.Sprintf("attempt %d", attempt),
+				})
+			}
+		}
+		window := per
+		if window > remaining {
+			window = remaining
+		}
+		aid := int(c.attempt.Add(1))
+		ch := make(chan wireResult, 1)
+		c.pendMu.Lock()
+		c.pending[aid] = ch
+		c.pendMu.Unlock()
+		nd := c.Node(initiator)
+		if nd == nil {
+			c.deregister(aid)
+			c.metrics.failures.Inc()
+			c.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, "initiator departed")
+			return wireResult{}, reforms, fmt.Errorf("netwire: initiator %d departed", initiator)
+		}
+		abs := c.clock.Now().Add(window)
+		f := &Frame{
+			Kind:      KindForward,
+			Batch:     batch,
+			Conn:      conn,
+			Attempt:   aid,
+			From:      overlay.None,
+			Initiator: initiator,
+			Responder: responder,
+			Remaining: budget,
+			Contract:  contract,
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			nd.handleFrame(f, abs)
+		}()
+		timer := c.clock.NewTimer(window)
+		select {
+		case res := <-ch:
+			timer.Stop()
+			if res.err == nil {
+				c.metrics.connects.Inc()
+				c.metrics.connectLatency.Observe(c.clock.Since(start).Seconds())
+				c.metrics.pathLen.Observe(float64(len(res.path)))
+				c.traceTerminal(telemetry.KindDelivered, batch, conn, initiator, len(res.path),
+					fmt.Sprintf("path len %d after %d reformations", len(res.path), reforms))
+				return res, reforms, nil
+			}
+			lastErr = res.err
+			if res.fatal {
+				c.metrics.failures.Inc()
+				c.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, res.err.Error())
+				return wireResult{}, reforms, res.err
+			}
+		case <-timer.C:
+			c.deregister(aid)
+			c.metrics.timeouts.Inc()
+			lastErr = fmt.Errorf("netwire: attempt %d of connection %d/%d timed out after %v", attempt, batch, conn, window)
+		}
+	}
+	c.metrics.failures.Inc()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("netwire: connection %d/%d timed out after %v", batch, conn, timeout)
+	}
+	c.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, lastErr.Error())
+	return wireResult{}, reforms, fmt.Errorf("netwire: connection %d/%d failed after %d reformations: %w", batch, conn, reforms, lastErr)
+}
+
+// deregister abandons a pending attempt.
+func (c *Cluster) deregister(attempt int) {
+	c.pendMu.Lock()
+	delete(c.pending, attempt)
+	c.pendMu.Unlock()
+}
+
+// Connect runs one connection over TCP and returns the realised path.
+func (c *Cluster) Connect(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration) ([]overlay.NodeID, error) {
+	res, _, err := c.connect(initiator, responder, batch, conn, budget, timeout, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.path, nil
+}
+
+// ConnectDetail runs one connection and additionally reports the number
+// of path reformations performed.
+func (c *Cluster) ConnectDetail(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration) ([]overlay.NodeID, int, error) {
+	res, reforms, err := c.connect(initiator, responder, batch, conn, budget, timeout, nil)
+	if err != nil {
+		return nil, reforms, err
+	}
+	return res.path, reforms, nil
+}
+
+// RunBatch executes k connections sequentially and aggregates the
+// outcome, exactly like the in-process backend.
+func (c *Cluster) RunBatch(initiator, responder overlay.NodeID, batch, k, budget int, timeout time.Duration) (*transport.BatchOutcome, error) {
+	out := transport.NewBatchOutcome()
+	for conn := 1; conn <= k; conn++ {
+		res, reforms, err := c.connect(initiator, responder, batch, conn, budget, timeout, nil)
+		out.Reformations += reforms
+		if err != nil {
+			return out, err
+		}
+		out.Record(res.path, initiator)
+	}
+	return out, nil
+}
+
+// RunSecureBatch runs k connections under a signed contract — forwarders
+// verify it before working and seal per-hop records that travel back in
+// the CONFIRM frames — then validates every realised path with the batch
+// key, mirroring transport.Network.RunSecureBatch over the wire.
+func (c *Cluster) RunSecureBatch(initiator, responder overlay.NodeID, contract *onion.SignedContract, bk *onion.BatchKey, k, budget int, timeout time.Duration) (*transport.BatchOutcome, error) {
+	if bk == nil {
+		return nil, errors.New("netwire: nil batch key")
+	}
+	if contract == nil {
+		return nil, errors.New("netwire: nil contract")
+	}
+	if !contract.Verify() {
+		return nil, errors.New("netwire: contract signature invalid")
+	}
+	out := transport.NewBatchOutcome()
+	for conn := 1; conn <= k; conn++ {
+		res, reforms, err := c.connect(initiator, responder, int(contract.BatchID), conn, budget, timeout, contract)
+		out.Reformations += reforms
+		if err != nil {
+			return out, err
+		}
+		validated, err := bk.RecreatePath(contract, uint64(conn), initiator, responder, res.records)
+		if err != nil {
+			return out, fmt.Errorf("netwire: connection %d failed validation: %w", conn, err)
+		}
+		if len(validated) != len(res.path) {
+			return out, fmt.Errorf("netwire: connection %d: validated path length %d != observed %d",
+				conn, len(validated), len(res.path))
+		}
+		out.Record(validated, initiator)
+	}
+	return out, nil
+}
+
+// RunTrace replays a trace workload over the cluster: pairs interleaved
+// round-robin, failures counted and skipped — identical semantics to
+// transport.Network.RunTrace.
+func (c *Cluster) RunTrace(pairs []trace.Pair, opt transport.TraceOptions) *transport.TraceResult {
+	res := &transport.TraceResult{Outcomes: make([]*transport.BatchOutcome, len(pairs))}
+	for i := range res.Outcomes {
+		res.Outcomes[i] = transport.NewBatchOutcome()
+	}
+	for k, conn := range trace.Interleave(pairs) {
+		if opt.Before != nil {
+			opt.Before(k, res)
+		}
+		p := &pairs[conn.Pair]
+		out := res.Outcomes[conn.Pair]
+		cr, reforms, err := c.connect(p.Initiator, p.Responder, p.Index+1, conn.Conn, opt.Budget, opt.Timeout, nil)
+		res.Reformations += reforms
+		out.Reformations += reforms
+		if err != nil {
+			res.Failed++
+			continue
+		}
+		res.Completed++
+		out.Record(cr.path, p.Initiator)
+	}
+	return res
+}
+
+// SettleBatch distributes a completed batch's split payment over the
+// wire: every member of the forwarder set receives a Settle frame with
+// its m·P_f + P_r/‖π‖ share, which the receiving node credits. Returns
+// how many settle frames were accepted for delivery.
+func (c *Cluster) SettleBatch(initiator overlay.NodeID, batch int, out *transport.BatchOutcome, contract core.Contract) (int, error) {
+	nd := c.Node(initiator)
+	if nd == nil {
+		return 0, fmt.Errorf("netwire: unknown initiator %d", initiator)
+	}
+	sent := 0
+	for id := range out.Set {
+		f := &Frame{
+			Kind:     KindSettle,
+			Batch:    batch,
+			Node:     id,
+			SetSize:  out.SetSize(),
+			Forwards: out.Forwards[id],
+			Payoff:   out.Payoff(id, contract),
+		}
+		if nd.sendMsg(id, f, time.Time{}) {
+			sent++
+		}
+	}
+	return sent, nil
+}
+
+// Probe sends a liveness probe from one node to another and reports
+// whether the ProbeAck came back within the timeout — the wire-level
+// availability check (the sim's probe.Set models the same signal).
+func (c *Cluster) Probe(from, to overlay.NodeID, timeout time.Duration) bool {
+	nd := c.Node(from)
+	if nd == nil {
+		return false
+	}
+	nonce := c.nonce.Add(1)
+	ch := make(chan struct{}, 1)
+	c.probeMu.Lock()
+	c.probes[nonce] = ch
+	c.probeMu.Unlock()
+	defer func() {
+		c.probeMu.Lock()
+		delete(c.probes, nonce)
+		c.probeMu.Unlock()
+	}()
+	if !nd.sendMsg(to, &Frame{Kind: KindProbe, Node: from, Nonce: nonce}, time.Time{}) {
+		return false
+	}
+	timer := c.clock.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// resolveProbe completes a pending probe.
+func (c *Cluster) resolveProbe(nonce uint64) {
+	c.probeMu.Lock()
+	ch, ok := c.probes[nonce]
+	c.probeMu.Unlock()
+	if ok {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+var _ transport.Conductor = (*Cluster)(nil)

@@ -1,0 +1,483 @@
+// Package netwire is the socket-backed sibling of package transport: the
+// same forwarding protocol — FORWARD out, CONFIRM/NACK back along the
+// reverse path, bounded-retry path reformation — but carried over real TCP
+// connections with a length-prefixed, versioned frame codec instead of
+// in-process channels. A netwire.Cluster implements transport.Conductor,
+// so the experiment drivers, churn hooks and the backend-conformance suite
+// run unchanged over either backend.
+//
+// The wire protocol (DESIGN.md §3e):
+//
+//	frame   := length(4, big-endian) body
+//	body    := version(1) kind(1) payload
+//
+// where length counts the body bytes and is capped at MaxFrameSize. Every
+// payload layout is canonical: a valid byte string decodes to exactly one
+// frame and re-encodes to the same bytes, so frames can be compared and
+// deduplicated by encoding (the same property the payment wire codecs
+// guarantee, enforced here by FuzzFrameWire).
+package netwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"p2panon/internal/onion"
+	"p2panon/internal/overlay"
+
+	"crypto/ecdh"
+)
+
+// Version is the wire-protocol version this codec speaks. A frame with
+// any other version is rejected at decode — the dialer learns about the
+// mismatch from the handshake failing.
+const Version = 1
+
+// MaxFrameSize bounds a frame body (version + kind + payload). It keeps a
+// hostile length prefix from asking the reader for gigabytes.
+const MaxFrameSize = 1 << 20
+
+// frameHeaderSize is the length prefix in bytes.
+const frameHeaderSize = 4
+
+// Field caps inside a message payload. Paths and records are bounded by
+// the hop budget in practice; the caps only guard the decoder.
+const (
+	maxPathLen    = 4096
+	maxReasonLen  = 4096
+	maxRecords    = 4096
+	maxRecordLen  = 4096
+	maxKeyLen     = 128
+	maxSigLen     = 256
+	flagFatal     = 1 << 0
+	flagContract  = 1 << 1
+	flagKnownMask = flagFatal | flagContract
+)
+
+// Kind discriminates frame payloads.
+type Kind uint8
+
+// Frame kinds. Hello/HelloAck are the per-connection handshake; Forward,
+// Confirm and Nack mirror transport's message kinds; Probe/ProbeAck are
+// the liveness ping the connection manager uses; Settle carries a batch's
+// split payment (m·P_f + P_r/‖π‖) to a forwarder after settlement.
+const (
+	KindHello Kind = iota + 1
+	KindHelloAck
+	KindForward
+	KindConfirm
+	KindNack
+	KindProbe
+	KindProbeAck
+	KindSettle
+	kindEnd
+)
+
+// String names the kind for metrics labels and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindHelloAck:
+		return "hello_ack"
+	case KindForward:
+		return "forward"
+	case KindConfirm:
+		return "confirm"
+	case KindNack:
+		return "nack"
+	case KindProbe:
+		return "probe"
+	case KindProbeAck:
+		return "probe_ack"
+	case KindSettle:
+		return "settle"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Codec errors.
+var (
+	ErrShortFrame   = errors.New("netwire: frame buffer too short")
+	ErrBadVersion   = errors.New("netwire: unsupported frame version")
+	ErrBadKind      = errors.New("netwire: unknown frame kind")
+	ErrOversized    = errors.New("netwire: frame exceeds size cap")
+	ErrTrailingData = errors.New("netwire: trailing bytes after frame payload")
+	ErrBadFlags     = errors.New("netwire: unknown flag bits set")
+	ErrFieldTooLong = errors.New("netwire: field exceeds its cap")
+	ErrBadKey       = errors.New("netwire: malformed contract key")
+)
+
+// Frame is the decoded form of one wire frame. Which fields are
+// meaningful depends on Kind; Encode only serialises the fields its kind
+// defines, so unused fields never reach the wire.
+type Frame struct {
+	Kind Kind
+
+	// Hello/HelloAck: the speaker's node ID and a handshake nonce.
+	// Probe/ProbeAck reuse Nonce as the echo token.
+	Node  overlay.NodeID
+	Nonce uint64
+
+	// Forward/Confirm/Nack: the protocol message, mirroring
+	// transport.message field for field. Attempt distinguishes
+	// reformation attempts of one connection so a stale confirm cannot
+	// resolve a relaunched attempt. DeadlineMicros is the attempt budget
+	// remaining at send time in microseconds (0 = none).
+	Batch, Conn, Attempt       int
+	From, Initiator, Responder overlay.NodeID
+	Remaining, Hop             int
+	Path                       []overlay.NodeID
+	Reason                     string
+	Fatal                      bool
+	DeadlineMicros             int64
+	Contract                   *onion.SignedContract
+	Records                    []onion.PathRecord
+
+	// Settle: the initiator's split-payment notice for one batch.
+	SetSize, Forwards int
+	Payoff            float64
+}
+
+func appendU16(dst []byte, v int) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// Encode renders the frame in canonical wire form, length prefix
+// included.
+func (f *Frame) Encode() ([]byte, error) {
+	body, err := f.encodeBody()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxFrameSize {
+		return nil, fmt.Errorf("%w: body %d bytes > %d", ErrOversized, len(body), MaxFrameSize)
+	}
+	out := make([]byte, frameHeaderSize, frameHeaderSize+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	return append(out, body...), nil
+}
+
+func (f *Frame) encodeBody() ([]byte, error) {
+	out := []byte{Version, byte(f.Kind)}
+	switch f.Kind {
+	case KindHello, KindHelloAck:
+		out = appendI64(out, int64(f.Node))
+		out = appendU64(out, f.Nonce)
+	case KindForward, KindConfirm, KindNack:
+		return f.encodeMessage(out)
+	case KindProbe, KindProbeAck:
+		out = appendU64(out, f.Nonce)
+	case KindSettle:
+		out = appendI64(out, int64(f.Batch))
+		out = appendI64(out, int64(f.Node))
+		out = appendI64(out, int64(f.SetSize))
+		out = appendI64(out, int64(f.Forwards))
+		out = appendU64(out, math.Float64bits(f.Payoff))
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Kind)
+	}
+	return out, nil
+}
+
+func (f *Frame) encodeMessage(out []byte) ([]byte, error) {
+	for _, v := range []int64{
+		int64(f.Batch), int64(f.Conn), int64(f.Attempt),
+		int64(f.From), int64(f.Initiator), int64(f.Responder),
+		int64(f.Remaining), int64(f.Hop), f.DeadlineMicros,
+	} {
+		out = appendI64(out, v)
+	}
+	var flags byte
+	if f.Fatal {
+		flags |= flagFatal
+	}
+	if f.Contract != nil {
+		flags |= flagContract
+	}
+	out = append(out, flags)
+	if len(f.Path) > maxPathLen {
+		return nil, fmt.Errorf("%w: path %d nodes", ErrFieldTooLong, len(f.Path))
+	}
+	out = appendU16(out, len(f.Path))
+	for _, id := range f.Path {
+		out = appendI64(out, int64(id))
+	}
+	if len(f.Reason) > maxReasonLen {
+		return nil, fmt.Errorf("%w: reason %d bytes", ErrFieldTooLong, len(f.Reason))
+	}
+	out = appendU16(out, len(f.Reason))
+	out = append(out, f.Reason...)
+	if c := f.Contract; c != nil {
+		if c.BatchPub == nil {
+			return nil, ErrBadKey
+		}
+		pub := c.BatchPub.Bytes()
+		if len(pub) > maxKeyLen || len(c.SigPub) > maxKeyLen || len(c.Sig) > maxSigLen {
+			return nil, fmt.Errorf("%w: contract keys", ErrFieldTooLong)
+		}
+		out = appendU64(out, c.BatchID)
+		out = appendU64(out, math.Float64bits(c.Pf))
+		out = appendU64(out, math.Float64bits(c.Pr))
+		out = appendU16(out, len(pub))
+		out = append(out, pub...)
+		out = appendU16(out, len(c.SigPub))
+		out = append(out, c.SigPub...)
+		out = appendU16(out, len(c.Sig))
+		out = append(out, c.Sig...)
+	}
+	if len(f.Records) > maxRecords {
+		return nil, fmt.Errorf("%w: %d records", ErrFieldTooLong, len(f.Records))
+	}
+	out = appendU16(out, len(f.Records))
+	for _, r := range f.Records {
+		if len(r.Sealed) > maxRecordLen {
+			return nil, fmt.Errorf("%w: record %d bytes", ErrFieldTooLong, len(r.Sealed))
+		}
+		out = appendU16(out, len(r.Sealed))
+		out = append(out, r.Sealed...)
+	}
+	return out, nil
+}
+
+// frameReader is a cursor over one frame body with error-free sequential
+// reads; the first failure latches.
+type frameReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *frameReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortFrame, n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *frameReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *frameReader) u16() int {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint16(b))
+}
+
+func (r *frameReader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func (r *frameReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// DecodeFrame parses one complete frame (length prefix included) from
+// data, rejecting truncation, bad version, unknown kinds and trailing
+// garbage. Accepted input is canonical: re-encoding the result reproduces
+// data byte for byte.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < frameHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes, need %d for the length prefix", ErrShortFrame, len(data), frameHeaderSize)
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: declared body %d bytes > %d", ErrOversized, n, MaxFrameSize)
+	}
+	if len(data) < frameHeaderSize+int(n) {
+		return nil, fmt.Errorf("%w: declared body %d bytes, %d present", ErrShortFrame, n, len(data)-frameHeaderSize)
+	}
+	if len(data) > frameHeaderSize+int(n) {
+		return nil, ErrTrailingData
+	}
+	return decodeBody(data[frameHeaderSize:])
+}
+
+func decodeBody(body []byte) (*Frame, error) {
+	r := &frameReader{buf: body}
+	ver := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, ver, Version)
+	}
+	f := &Frame{Kind: Kind(r.u8())}
+	switch f.Kind {
+	case KindHello, KindHelloAck:
+		f.Node = overlay.NodeID(r.i64())
+		f.Nonce = r.u64()
+	case KindForward, KindConfirm, KindNack:
+		if err := f.decodeMessage(r); err != nil {
+			return nil, err
+		}
+	case KindProbe, KindProbeAck:
+		f.Nonce = r.u64()
+	case KindSettle:
+		f.Batch = int(r.i64())
+		f.Node = overlay.NodeID(r.i64())
+		f.SetSize = int(r.i64())
+		f.Forwards = int(r.i64())
+		f.Payoff = math.Float64frombits(r.u64())
+	default:
+		if r.err == nil {
+			return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Kind)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, ErrTrailingData
+	}
+	return f, nil
+}
+
+func (f *Frame) decodeMessage(r *frameReader) error {
+	f.Batch = int(r.i64())
+	f.Conn = int(r.i64())
+	f.Attempt = int(r.i64())
+	f.From = overlay.NodeID(r.i64())
+	f.Initiator = overlay.NodeID(r.i64())
+	f.Responder = overlay.NodeID(r.i64())
+	f.Remaining = int(r.i64())
+	f.Hop = int(r.i64())
+	f.DeadlineMicros = r.i64()
+	flags := r.u8()
+	if r.err != nil {
+		return r.err
+	}
+	if flags&^byte(flagKnownMask) != 0 {
+		return fmt.Errorf("%w: %#x", ErrBadFlags, flags)
+	}
+	f.Fatal = flags&flagFatal != 0
+	pathLen := r.u16()
+	if r.err == nil && pathLen > maxPathLen {
+		return fmt.Errorf("%w: path %d nodes", ErrFieldTooLong, pathLen)
+	}
+	for i := 0; i < pathLen && r.err == nil; i++ {
+		f.Path = append(f.Path, overlay.NodeID(r.i64()))
+	}
+	reasonLen := r.u16()
+	if r.err == nil && reasonLen > maxReasonLen {
+		return fmt.Errorf("%w: reason %d bytes", ErrFieldTooLong, reasonLen)
+	}
+	if b := r.take(reasonLen); b != nil {
+		f.Reason = string(b)
+	}
+	if flags&flagContract != 0 {
+		c := &onion.SignedContract{}
+		c.BatchID = r.u64()
+		c.Pf = math.Float64frombits(r.u64())
+		c.Pr = math.Float64frombits(r.u64())
+		pubLen := r.u16()
+		if r.err == nil && pubLen > maxKeyLen {
+			return fmt.Errorf("%w: contract key %d bytes", ErrFieldTooLong, pubLen)
+		}
+		pubBytes := r.take(pubLen)
+		if r.err == nil {
+			pub, err := ecdh.X25519().NewPublicKey(pubBytes)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadKey, err)
+			}
+			c.BatchPub = pub
+		}
+		sigPubLen := r.u16()
+		if r.err == nil && sigPubLen > maxKeyLen {
+			return fmt.Errorf("%w: contract signing key %d bytes", ErrFieldTooLong, sigPubLen)
+		}
+		if b := r.take(sigPubLen); b != nil {
+			c.SigPub = append([]byte(nil), b...)
+		}
+		sigLen := r.u16()
+		if r.err == nil && sigLen > maxSigLen {
+			return fmt.Errorf("%w: contract signature %d bytes", ErrFieldTooLong, sigLen)
+		}
+		if b := r.take(sigLen); b != nil {
+			c.Sig = append([]byte(nil), b...)
+		}
+		if r.err == nil {
+			f.Contract = c
+		}
+	}
+	recCount := r.u16()
+	if r.err == nil && recCount > maxRecords {
+		return fmt.Errorf("%w: %d records", ErrFieldTooLong, recCount)
+	}
+	for i := 0; i < recCount && r.err == nil; i++ {
+		recLen := r.u16()
+		if r.err == nil && recLen > maxRecordLen {
+			return fmt.Errorf("%w: record %d bytes", ErrFieldTooLong, recLen)
+		}
+		if b := r.take(recLen); b != nil {
+			f.Records = append(f.Records, onion.PathRecord{Sealed: append([]byte(nil), b...)})
+		}
+	}
+	return r.err
+}
+
+// WriteFrame encodes f and writes it to w, returning the bytes written.
+func WriteFrame(w io.Writer, f *Frame) (int, error) {
+	buf, err := f.Encode()
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(buf)
+}
+
+// ReadFrame reads exactly one frame from r, returning it with the total
+// bytes consumed. It enforces the version and the size cap before
+// allocating the body.
+func ReadFrame(r io.Reader) (*Frame, int, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, frameHeaderSize, fmt.Errorf("%w: declared body %d bytes > %d", ErrOversized, n, MaxFrameSize)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, frameHeaderSize, fmt.Errorf("netwire: frame body: %w", err)
+	}
+	f, err := decodeBody(body)
+	return f, frameHeaderSize + int(n), err
+}

@@ -1,0 +1,235 @@
+package netwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"p2panon/internal/onion"
+	"p2panon/internal/overlay"
+)
+
+// testContract builds a valid signed contract for codec tests.
+func testContract(t testing.TB, batch uint64) *onion.SignedContract {
+	t.Helper()
+	bk, err := onion.NewBatchKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := onion.NewSignedContract(batch, 1.5, 20, bk.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// randomFrame draws one frame of the given kind with randomized fields.
+func randomFrame(t testing.TB, rng *rand.Rand, kind Kind) *Frame {
+	t.Helper()
+	f := &Frame{Kind: kind}
+	switch kind {
+	case KindHello, KindHelloAck:
+		f.Node = overlay.NodeID(rng.Int63n(1 << 40))
+		f.Nonce = rng.Uint64()
+	case KindProbe, KindProbeAck:
+		f.Nonce = rng.Uint64()
+	case KindSettle:
+		f.Batch = rng.Intn(1 << 20)
+		f.Node = overlay.NodeID(rng.Int63n(1 << 40))
+		f.SetSize = rng.Intn(100)
+		f.Forwards = rng.Intn(100)
+		f.Payoff = rng.NormFloat64() * 10
+	case KindForward, KindConfirm, KindNack:
+		f.Batch = rng.Intn(1 << 20)
+		f.Conn = rng.Intn(1 << 20)
+		f.Attempt = rng.Intn(1 << 30)
+		f.From = overlay.NodeID(rng.Int63n(1<<40) - 1)
+		f.Initiator = overlay.NodeID(rng.Int63n(1 << 40))
+		f.Responder = overlay.NodeID(rng.Int63n(1 << 40))
+		f.Remaining = rng.Intn(64)
+		f.Hop = rng.Intn(64)
+		f.DeadlineMicros = rng.Int63n(1 << 40)
+		for i := rng.Intn(8); i > 0; i-- {
+			f.Path = append(f.Path, overlay.NodeID(rng.Int63n(1<<40)))
+		}
+		if kind == KindNack {
+			reasons := []string{"", "next hop 7 unreachable", "contract failed verification"}
+			f.Reason = reasons[rng.Intn(len(reasons))]
+			f.Fatal = rng.Intn(2) == 1
+		}
+		if rng.Intn(2) == 1 {
+			f.Contract = testContract(t, uint64(f.Batch))
+		}
+		for i := rng.Intn(4); i > 0; i-- {
+			sealed := make([]byte, 16+rng.Intn(64))
+			rng.Read(sealed)
+			f.Records = append(f.Records, onion.PathRecord{Sealed: sealed})
+		}
+	}
+	return f
+}
+
+// TestFrameRoundTrip is the canonical-encoding property over randomized
+// frames: encode∘decode is the identity on bytes, and the decoded frame
+// carries the same fields.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	kinds := []Kind{KindHello, KindHelloAck, KindForward, KindConfirm, KindNack, KindProbe, KindProbeAck, KindSettle}
+	for trial := 0; trial < 200; trial++ {
+		f := randomFrame(t, rng, kinds[trial%len(kinds)])
+		buf, err := f.Encode()
+		if err != nil {
+			t.Fatalf("trial %d (%s): encode: %v", trial, f.Kind, err)
+		}
+		g, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("trial %d (%s): decode: %v", trial, f.Kind, err)
+		}
+		buf2, err := g.Encode()
+		if err != nil {
+			t.Fatalf("trial %d (%s): re-encode: %v", trial, f.Kind, err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("trial %d (%s): re-encode differs from original encoding", trial, f.Kind)
+		}
+		if g.Kind != f.Kind || g.Node != f.Node || g.Nonce != f.Nonce ||
+			g.Batch != f.Batch || g.Conn != f.Conn || g.Attempt != f.Attempt ||
+			g.From != f.From || g.Initiator != f.Initiator || g.Responder != f.Responder ||
+			g.Remaining != f.Remaining || g.Hop != f.Hop || g.Reason != f.Reason ||
+			g.Fatal != f.Fatal || g.DeadlineMicros != f.DeadlineMicros ||
+			g.SetSize != f.SetSize || g.Forwards != f.Forwards ||
+			math.Float64bits(g.Payoff) != math.Float64bits(f.Payoff) ||
+			len(g.Path) != len(f.Path) || len(g.Records) != len(f.Records) {
+			t.Fatalf("trial %d (%s): decoded frame differs:\n got %+v\nwant %+v", trial, f.Kind, g, f)
+		}
+		for i := range f.Path {
+			if g.Path[i] != f.Path[i] {
+				t.Fatalf("trial %d: path[%d] = %d, want %d", trial, i, g.Path[i], f.Path[i])
+			}
+		}
+		for i := range f.Records {
+			if !bytes.Equal(g.Records[i].Sealed, f.Records[i].Sealed) {
+				t.Fatalf("trial %d: record %d differs", trial, i)
+			}
+		}
+		if (g.Contract == nil) != (f.Contract == nil) {
+			t.Fatalf("trial %d: contract presence differs", trial)
+		}
+		if f.Contract != nil {
+			if !g.Contract.Verify() {
+				t.Fatalf("trial %d: contract signature did not survive the wire", trial)
+			}
+			if g.Contract.BatchID != f.Contract.BatchID ||
+				math.Float64bits(g.Contract.Pf) != math.Float64bits(f.Contract.Pf) ||
+				math.Float64bits(g.Contract.Pr) != math.Float64bits(f.Contract.Pr) {
+				t.Fatalf("trial %d: contract terms differ", trial)
+			}
+		}
+	}
+}
+
+// TestFrameRoundTripViaReader checks the stream reader agrees with the
+// buffer decoder, including the byte count.
+func TestFrameRoundTripViaReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var stream bytes.Buffer
+	var frames []*Frame
+	for i := 0; i < 20; i++ {
+		f := randomFrame(t, rng, Kind(1+rng.Intn(int(kindEnd-1))))
+		frames = append(frames, f)
+		if _, err := WriteFrame(&stream, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := stream.Len()
+	read := 0
+	for i, want := range frames {
+		g, n, err := ReadFrame(&stream)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		read += n
+		if g.Kind != want.Kind || g.Nonce != want.Nonce || g.Batch != want.Batch {
+			t.Fatalf("frame %d: mismatch after stream round trip", i)
+		}
+	}
+	if read != total {
+		t.Fatalf("ReadFrame consumed %d bytes of %d written", read, total)
+	}
+}
+
+// encodeRaw builds a frame buffer from a raw body, bypassing Encode's
+// validation, for decoder error cases.
+func encodeRaw(body []byte) []byte {
+	out := make([]byte, 4, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	return append(out, body...)
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	valid, err := (&Frame{Kind: KindProbe, Nonce: 99}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := (&Frame{Kind: KindForward, Batch: 1, Conn: 1, Attempt: 1, Initiator: 0, Responder: 9, Remaining: 3}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the flags byte (offset 4 header + 2 ver/kind + 9*8 fields) to an
+	// unknown bit.
+	badFlags := append([]byte(nil), msg...)
+	badFlags[4+2+72] = 0x80
+	// Declare a path longer than the cap.
+	longPath := append([]byte(nil), msg...)
+	binary.BigEndian.PutUint16(longPath[4+2+72+1:], maxPathLen+1)
+
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, MaxFrameSize+1)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrShortFrame},
+		{"short header", []byte{0, 0, 1}, ErrShortFrame},
+		{"truncated body", valid[:len(valid)-3], ErrShortFrame},
+		{"declared longer than present", encodeRaw(make([]byte, 10))[:9], ErrShortFrame},
+		{"oversized declared length", oversize, ErrOversized},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xde, 0xad), ErrTrailingData},
+		{"bad version", encodeRaw([]byte{Version + 1, byte(KindProbe), 0, 0, 0, 0, 0, 0, 0, 0}), ErrBadVersion},
+		{"unknown kind", encodeRaw([]byte{Version, 0xee, 0, 0, 0, 0, 0, 0, 0, 0}), ErrBadKind},
+		{"zero kind", encodeRaw([]byte{Version, 0}), ErrBadKind},
+		{"unknown flag bits", badFlags, ErrBadFlags},
+		{"path over cap", longPath, ErrFieldTooLong},
+		{"body-internal truncation", encodeRaw([]byte{Version, byte(KindHello), 1, 2}), ErrShortFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := DecodeFrame(tc.data)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got frame=%v err=%v, want %v", f, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEncodeRejectsOversizedFields checks Encode refuses fields past their
+// caps instead of emitting an undecodable frame.
+func TestEncodeRejectsOversizedFields(t *testing.T) {
+	f := &Frame{Kind: KindForward, Path: make([]overlay.NodeID, maxPathLen+1)}
+	if _, err := f.Encode(); !errors.Is(err, ErrFieldTooLong) {
+		t.Fatalf("oversized path: got %v, want ErrFieldTooLong", err)
+	}
+	g := &Frame{Kind: KindNack, Reason: string(make([]byte, maxReasonLen+1))}
+	if _, err := g.Encode(); !errors.Is(err, ErrFieldTooLong) {
+		t.Fatalf("oversized reason: got %v, want ErrFieldTooLong", err)
+	}
+	h := &Frame{Kind: Kind(200)}
+	if _, err := h.Encode(); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("bad kind: got %v, want ErrBadKind", err)
+	}
+}

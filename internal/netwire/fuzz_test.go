@@ -1,0 +1,77 @@
+package netwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzFrameWire throws arbitrary byte strings at the frame decoder: it
+// must never panic, and any frame it accepts must re-encode to exactly
+// the input (canonical form). The seed corpus covers one valid frame of
+// every kind plus the interesting boundaries — empty input, truncated
+// header and body, a bad version byte, an oversized declared length,
+// unknown flag bits and trailing garbage.
+func FuzzFrameWire(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for k := KindHello; k < kindEnd; k++ {
+		frame := randomFrame(f, rng, k)
+		buf, err := frame.Encode()
+		if err != nil {
+			f.Fatalf("%s seed: %v", k, err)
+		}
+		f.Add(buf)
+	}
+	valid, err := (&Frame{Kind: KindProbe, Nonce: 7}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})                                    // empty
+	f.Add([]byte{0, 0})                                // truncated length prefix
+	f.Add(valid[:len(valid)-1])                        // truncated body
+	f.Add(append(valid[:4:4], Version+1))              // bad version, truncated
+	f.Add(append(append([]byte(nil), valid...), 0xff)) // trailing garbage
+
+	badVersion := append([]byte(nil), valid...)
+	badVersion[4] = Version + 9
+	f.Add(badVersion)
+
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, MaxFrameSize+1)
+	f.Add(oversize)
+
+	msg, err := (&Frame{Kind: KindForward, Batch: 3, Attempt: 8, Responder: 5, Remaining: 4}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	badFlags := append([]byte(nil), msg...)
+	badFlags[4+2+72] = 0xff // flags byte: unknown bits
+	f.Add(badFlags)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeFrame(data)
+		if err != nil {
+			if frame != nil {
+				t.Fatal("decoder returned both a frame and an error")
+			}
+			return
+		}
+		out, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical accept:\n in  %x\n out %x", data, out)
+		}
+		// The stream reader must agree with the buffer decoder.
+		g, n, err := ReadFrame(bytes.NewReader(data))
+		if err != nil || n != len(data) {
+			t.Fatalf("ReadFrame disagreed with DecodeFrame: n=%d err=%v", n, err)
+		}
+		out2, err := g.Encode()
+		if err != nil || !bytes.Equal(out2, data) {
+			t.Fatalf("ReadFrame result not canonical: %v", err)
+		}
+	})
+}

@@ -1,0 +1,385 @@
+package netwire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"p2panon/internal/onion"
+	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
+	"p2panon/internal/transport"
+)
+
+var (
+	errUnknownPeer  = errors.New("netwire: peer has no known address")
+	errBadHandshake = errors.New("netwire: handshake rejected")
+)
+
+// Node is one cluster member: a TCP listener on 127.0.0.1, a router, the
+// per-peer outbound links, and the forwarding state machine — the
+// socket-backed analogue of transport.Peer.
+type Node struct {
+	id     overlay.NodeID
+	c      *Cluster
+	router transport.Router
+	ln     net.Listener
+
+	mu       sync.Mutex
+	links    map[overlay.NodeID]*link
+	inbound  map[net.Conn]struct{}
+	forwards map[int]int     // batch -> forwarding instances
+	credited map[int]float64 // batch -> settled payoff received
+
+	killed   chan struct{}
+	killOnce sync.Once
+}
+
+// Addr returns the node's listen address.
+func (nd *Node) Addr() string { return nd.ln.Addr().String() }
+
+// Forwards returns this node's forwarding-instance count for a batch.
+func (nd *Node) Forwards(batch int) int {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.forwards[batch]
+}
+
+// Credited returns the split payment this node has received for a batch
+// via Settle frames.
+func (nd *Node) Credited(batch int) float64 {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.credited[batch]
+}
+
+// kill shuts the node down abruptly: listener closed, every connection
+// torn, links failing their queues — exactly what a crashed process looks
+// like to its peers.
+func (nd *Node) kill() {
+	nd.killOnce.Do(func() {
+		close(nd.killed)
+		nd.ln.Close()
+		nd.mu.Lock()
+		conns := make([]net.Conn, 0, len(nd.inbound))
+		for c := range nd.inbound {
+			conns = append(conns, c)
+		}
+		links := make([]*link, 0, len(nd.links))
+		for _, l := range nd.links {
+			links = append(links, l)
+		}
+		nd.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, l := range links {
+			l.close()
+		}
+	})
+}
+
+// acceptLoop takes inbound connections until the listener closes.
+func (nd *Node) acceptLoop() {
+	defer nd.c.wg.Done()
+	for {
+		conn, err := nd.ln.Accept()
+		if err != nil {
+			return
+		}
+		nd.mu.Lock()
+		select {
+		case <-nd.killed:
+			nd.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		nd.inbound[conn] = struct{}{}
+		nd.mu.Unlock()
+		nd.c.metrics.connsOpen.Add(1)
+		nd.c.wg.Add(1)
+		go nd.readLoop(conn)
+	}
+}
+
+// readLoop handshakes one inbound connection and then dispatches its
+// frames until error or shutdown.
+func (nd *Node) readLoop(conn net.Conn) {
+	defer nd.c.wg.Done()
+	defer func() {
+		conn.Close()
+		nd.mu.Lock()
+		delete(nd.inbound, conn)
+		nd.mu.Unlock()
+		nd.c.metrics.connsOpen.Add(-1)
+	}()
+	conn.SetDeadline(time.Now().Add(nd.c.cfg.HandshakeTimeout))
+	hello, n, err := ReadFrame(conn)
+	if err != nil || hello.Kind != KindHello {
+		nd.c.logf("node %d: inbound handshake: %v", nd.id, err)
+		return
+	}
+	nd.c.metrics.noteRecv(KindHello, n)
+	ack := &Frame{Kind: KindHelloAck, Node: nd.id, Nonce: hello.Nonce}
+	if n, err := WriteFrame(conn, ack); err != nil {
+		return
+	} else {
+		nd.c.metrics.noteSent(KindHelloAck, n)
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(nd.c.cfg.IdleTimeout))
+		f, n, err := ReadFrame(conn)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				nd.c.metrics.deadlineRead.Inc()
+			}
+			return
+		}
+		nd.c.metrics.noteRecv(f.Kind, n)
+		select {
+		case <-nd.killed:
+			return
+		default:
+		}
+		var abs time.Time
+		if f.DeadlineMicros > 0 {
+			abs = nd.c.clock.Now().Add(time.Duration(f.DeadlineMicros) * time.Microsecond)
+		}
+		nd.handleFrame(f, abs)
+	}
+}
+
+// handleFrame dispatches one protocol frame.
+func (nd *Node) handleFrame(f *Frame, abs time.Time) {
+	switch f.Kind {
+	case KindForward:
+		nd.handleForward(f, abs)
+	case KindConfirm:
+		nd.relayBack(f, abs, wireResult{path: f.Path, records: f.Records})
+	case KindNack:
+		nd.relayBack(f, abs, wireResult{err: fmt.Errorf("netwire: %s", f.Reason), fatal: f.Fatal})
+	case KindProbe:
+		nd.sendMsg(f.Node, &Frame{Kind: KindProbeAck, Node: nd.id, Nonce: f.Nonce}, time.Time{})
+	case KindProbeAck:
+		nd.c.resolveProbe(f.Nonce)
+	case KindSettle:
+		nd.mu.Lock()
+		nd.credited[f.Batch] += f.Payoff
+		nd.mu.Unlock()
+		nd.c.metrics.settles.Inc()
+	}
+}
+
+// handleForward is one stage of path formation — field for field the
+// logic of transport.Peer.handleForward, over frames.
+func (nd *Node) handleForward(f *Frame, abs time.Time) {
+	f.Path = append(f.Path, nd.id)
+	if nd.id == f.Responder {
+		confirm := *f
+		confirm.Kind = KindConfirm
+		confirm.Hop = len(f.Path) - 2 // index of our predecessor
+		nd.reverseRoute(&confirm, abs)
+		return
+	}
+	if f.Contract != nil && !f.Contract.Verify() {
+		nd.c.metrics.contractRejects.Inc()
+		if tr := nd.c.tracer; tr != nil {
+			tr.Record(telemetry.Event{
+				Kind: telemetry.KindContractReject, Batch: f.Batch, Conn: f.Conn,
+				Node: int(nd.id), Hop: len(f.Path) - 1,
+			})
+		}
+		nd.nackBack(f, len(f.Path)-2, "contract failed verification", true, abs)
+		return
+	}
+	if nd.id != f.Initiator {
+		nd.mu.Lock()
+		nd.forwards[f.Batch]++
+		nd.mu.Unlock()
+	}
+	if tr := nd.c.tracer; tr != nil {
+		tr.Record(telemetry.Event{
+			Kind: telemetry.KindHopForward, Batch: f.Batch, Conn: f.Conn,
+			Node: int(nd.id), Hop: len(f.Path) - 1,
+		})
+	}
+	var next overlay.NodeID
+	if f.Remaining <= 0 {
+		next = f.Responder
+	} else {
+		n, deliver := nd.router.NextHop(nd.id, f.From, f.Initiator, f.Responder, f.Batch, f.Conn, f.Remaining)
+		if deliver {
+			next = f.Responder
+		} else {
+			next = n
+		}
+	}
+	if f.Contract != nil && nd.id != f.Initiator {
+		rec, err := onion.NewPathRecord(f.Contract, uint64(f.Conn), len(f.Path)-1, nd.id, f.From, next)
+		if err == nil {
+			f.Records = append(f.Records, rec)
+		}
+	}
+	out := *f
+	out.From = nd.id
+	out.Remaining = f.Remaining - 1
+	if !nd.sendMsg(next, &out, abs) {
+		nd.c.markDead(next)
+		nd.nackBack(&out, len(out.Path)-2, fmt.Sprintf("next hop %d unreachable", next), false, abs)
+	}
+}
+
+// relayBack moves a CONFIRM/NACK one reverse-path member closer to the
+// initiator, collapsing consecutive entries of this node itself; at index
+// 0 the attempt resolves with the terminal result.
+func (nd *Node) relayBack(f *Frame, abs time.Time, terminal wireResult) {
+	for {
+		if f.Hop <= 0 {
+			nd.c.resolve(f.Attempt, terminal)
+			return
+		}
+		f.Hop--
+		if f.Path[f.Hop] == nd.id {
+			continue
+		}
+		nd.reverseRoute(f, abs)
+		return
+	}
+}
+
+// reverseRoute sends a CONFIRM/NACK to Path[Hop], skipping members that
+// refuse the frame synchronously. Asynchronous delivery failures continue
+// the walk via onDeliveryFail.
+func (nd *Node) reverseRoute(f *Frame, abs time.Time) {
+	for {
+		if nd.sendMsg(f.Path[f.Hop], f, abs) {
+			return
+		}
+		nd.c.markDead(f.Path[f.Hop])
+		if f.Hop == 0 {
+			return
+		}
+		f.Hop--
+	}
+}
+
+// nackBack generates a NACK for msg back along its reverse path starting
+// at Path[fromIdx]; fromIdx below zero resolves the attempt directly.
+func (nd *Node) nackBack(f *Frame, fromIdx int, reason string, fatal bool, abs time.Time) {
+	c := nd.c
+	c.metrics.nacks.Inc()
+	c.metrics.nackHops.Observe(float64(len(f.Path)))
+	if tr := c.tracer; tr != nil {
+		tr.Record(telemetry.Event{
+			Kind: telemetry.KindNack, Batch: f.Batch, Conn: f.Conn,
+			Node: int(f.Initiator), Hop: len(f.Path), Detail: reason,
+		})
+	}
+	if fromIdx < 0 || len(f.Path) == 0 {
+		c.resolve(f.Attempt, wireResult{err: fmt.Errorf("netwire: %s", reason), fatal: fatal})
+		return
+	}
+	nack := *f
+	nack.Kind = KindNack
+	nack.Hop = fromIdx
+	nack.Reason = reason
+	nack.Fatal = fatal
+	nack.Records = nil
+	if f.Path[fromIdx] == nd.id {
+		// The NACK starts at this node itself (e.g. a delivery failure we
+		// detected): relay it locally instead of a TCP round trip to self.
+		nd.relayBack(&nack, abs, wireResult{err: fmt.Errorf("netwire: %s", reason), fatal: fatal})
+		return
+	}
+	nd.reverseRoute(&nack, abs)
+}
+
+// onDeliveryFail is the link writer's failure callback: the frame could
+// not be delivered to `to`. Mirrors transport's async-drop handling — a
+// lost FORWARD becomes a NACK toward the initiator, a lost CONFIRM/NACK
+// is rerouted one reverse-path member further down, anything else just
+// dies.
+func (nd *Node) onDeliveryFail(to overlay.NodeID, of outFrame) {
+	c := nd.c
+	if c.isClosed() {
+		return
+	}
+	c.metrics.dropped.Inc()
+	c.markDead(to)
+	f := of.f
+	switch f.Kind {
+	case KindForward:
+		nd.nackBack(f, len(f.Path)-1, fmt.Sprintf("next hop %d unreachable", to), false, of.abs)
+	case KindConfirm, KindNack:
+		if f.Hop > 0 {
+			f.Hop--
+			nd.reverseRoute(f, of.abs)
+		}
+	}
+}
+
+// sendMsg hands a frame to the link for `to`, creating the link on first
+// use. Frames to this node itself are delivered locally (a real wire
+// would not carry them anyway). With a configured artificial latency the
+// handoff is delayed on the cluster clock, mirroring transport's link
+// latency model. Returns false when the frame was refused synchronously
+// (node killed, queue full past backpressure).
+func (nd *Node) sendMsg(to overlay.NodeID, f *Frame, abs time.Time) bool {
+	select {
+	case <-nd.killed:
+		return false
+	default:
+	}
+	if to == nd.id {
+		nd.noteSentMsg(f.Kind)
+		nd.c.wg.Add(1)
+		go func() {
+			defer nd.c.wg.Done()
+			nd.handleFrame(f, abs)
+		}()
+		return true
+	}
+	l := nd.linkTo(to)
+	if nd.c.latency > 0 {
+		nd.noteSentMsg(f.Kind)
+		nd.c.clock.AfterFunc(nd.c.latency, func() {
+			if !l.enqueue(outFrame{f: f, abs: abs}) {
+				nd.onDeliveryFail(to, outFrame{f: f, abs: abs})
+			}
+		})
+		return true
+	}
+	if l.enqueue(outFrame{f: f, abs: abs}) {
+		nd.noteSentMsg(f.Kind)
+		return true
+	}
+	return false
+}
+
+// noteSentMsg counts a protocol message handed to a link.
+func (nd *Node) noteSentMsg(k Kind) {
+	if isProtocol(k) {
+		nd.c.metrics.sent.Inc()
+	}
+}
+
+// isProtocol reports whether a kind is a forwarding-protocol message (the
+// ones transport counts as sent/dropped) rather than a link-layer frame.
+func isProtocol(k Kind) bool {
+	return k == KindForward || k == KindConfirm || k == KindNack
+}
+
+// linkTo returns (creating if needed) the outbound link to a peer.
+func (nd *Node) linkTo(to overlay.NodeID) *link {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if l, ok := nd.links[to]; ok {
+		return l
+	}
+	l := nd.newLink(to, func() (string, bool) { return nd.c.addrOf(to) })
+	nd.links[to] = l
+	return l
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"time"
+
+	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
+	"p2panon/internal/trace"
+	"p2panon/internal/vclock"
+)
+
+// Conductor is the backend-independent surface of a live forwarding
+// runtime: everything experiment.RunLive, the churn hooks and the
+// conformance suite need to drive traffic, without caring whether the
+// links are in-process channels (*Network) or real TCP sockets
+// (netwire.Cluster). Both backends implement exactly this surface, and
+// the shared conformance suite (internal/conformance) executes the same
+// behavioral table against each so the two can never drift.
+type Conductor interface {
+	// Join adds a peer with the given router; RemovePeer models an
+	// abrupt departure (a crash as the failure detector sees it).
+	Join(id overlay.NodeID, r Router) error
+	RemovePeer(id overlay.NodeID)
+
+	// Connect runs one connection; ConnectDetail additionally reports
+	// how many path reformations the attempt needed. RunBatch and
+	// RunTrace are the batched/interleaved drivers built on it.
+	Connect(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration) ([]overlay.NodeID, error)
+	ConnectDetail(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration) ([]overlay.NodeID, int, error)
+	RunBatch(initiator, responder overlay.NodeID, batch, k, budget int, timeout time.Duration) (*BatchOutcome, error)
+	RunTrace(pairs []trace.Pair, opt TraceOptions) *TraceResult
+
+	// Instrument rebinds metrics into a shared registry and attaches a
+	// lifecycle tracer; Metrics returns the common counter snapshot.
+	Instrument(reg *telemetry.Registry, tr *telemetry.Tracer)
+	Metrics() MetricsSnapshot
+	ResetMetrics()
+
+	// SetRetry and SetClock configure reformation behaviour and the
+	// timing source (virtual in deterministic tests).
+	SetRetry(RetryPolicy)
+	SetClock(c vclock.Clock)
+
+	// Close shuts the runtime down and waits for its goroutines.
+	Close()
+}
+
+// Join adds a peer, discarding the *Peer handle — the Conductor-shaped
+// entry point shared with socket backends (which have no *Peer to return).
+func (n *Network) Join(id overlay.NodeID, r Router) error {
+	_, err := n.AddPeer(id, r)
+	return err
+}
+
+// ConnectDetail runs one connection like Connect and additionally returns
+// the number of path reformations performed — the Conductor-shaped view
+// the conformance suite asserts on.
+func (n *Network) ConnectDetail(initiator, responder overlay.NodeID, batch, conn, budget int, timeout time.Duration) ([]overlay.NodeID, int, error) {
+	res, reforms, err := n.connect(initiator, responder, batch, conn, budget, timeout, nil)
+	if err != nil {
+		return nil, reforms, err
+	}
+	return res.path, reforms, nil
+}
+
+var _ Conductor = (*Network)(nil)

@@ -9,7 +9,7 @@ import (
 // Transport metric names as exposed on the Prometheus endpoint. The
 // connect outcome counters share one family, split by a result label.
 const (
-	metricMessagesTotal     = "transport_messages_total" // label kind: sent|dropped
+	metricMessagesTotal     = "transport_messages_total" // label kind: sent|dropped|expired
 	metricNacksTotal        = "transport_nacks_total"    //
 	metricContractRejects   = "transport_contract_rejects_total"
 	metricTimeoutsTotal     = "transport_timeouts_total"
@@ -35,6 +35,7 @@ type Metrics struct {
 
 	sent            *telemetry.Counter
 	dropped         *telemetry.Counter
+	expired         *telemetry.Counter
 	nacks           *telemetry.Counter
 	contractRejects *telemetry.Counter
 	timeouts        *telemetry.Counter
@@ -50,7 +51,7 @@ type Metrics struct {
 // newMetrics binds the transport instrument set into reg. Two networks
 // instrumented into the same registry share series (their counts sum).
 func newMetrics(reg *telemetry.Registry) *Metrics {
-	reg.Help(metricMessagesTotal, "messages handed to links (kind=sent) and lost to departed peers (kind=dropped)")
+	reg.Help(metricMessagesTotal, "messages handed to links (kind=sent), lost to departed peers (kind=dropped) or dead past their attempt deadline (kind=expired)")
 	reg.Help(metricConnectionsTotal, "connections terminally completed (result=ok) or abandoned (result=fail)")
 	reg.Help(metricConnectLatency, "end-to-end connect latency including reformations")
 	reg.Help(metricPathLength, "realised path length in nodes (I..R inclusive)")
@@ -59,6 +60,7 @@ func newMetrics(reg *telemetry.Registry) *Metrics {
 		reg:             reg,
 		sent:            reg.Counter(metricMessagesTotal, telemetry.Labels{"kind": "sent"}),
 		dropped:         reg.Counter(metricMessagesTotal, telemetry.Labels{"kind": "dropped"}),
+		expired:         reg.Counter(metricMessagesTotal, telemetry.Labels{"kind": "expired"}),
 		nacks:           reg.Counter(metricNacksTotal, nil),
 		contractRejects: reg.Counter(metricContractRejects, nil),
 		timeouts:        reg.Counter(metricTimeoutsTotal, nil),
@@ -81,6 +83,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
 		Sent:            m.sent.Value(),
 		Dropped:         m.dropped.Value(),
+		Expired:         m.expired.Value(),
 		Nacks:           m.nacks.Value(),
 		ContractRejects: m.contractRejects.Value(),
 		Timeouts:        m.timeouts.Value(),
@@ -101,6 +104,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 func (m *Metrics) Reset() {
 	m.sent.Reset()
 	m.dropped.Reset()
+	m.expired.Reset()
 	m.nacks.Reset()
 	m.contractRejects.Reset()
 	m.timeouts.Reset()
@@ -120,8 +124,9 @@ type MetricsSnapshot struct {
 	// Sent counts messages handed to links whose target was alive at
 	// send time; Dropped counts deliveries that failed because the
 	// target was unknown or departed (including a departing peer's
-	// drained inbox).
-	Sent, Dropped int64
+	// drained inbox); Expired counts messages that died in the network
+	// because their attempt deadline had already passed.
+	Sent, Dropped, Expired int64
 	// Nacks counts NACK events generated (mid-path departures and
 	// contract rejections); ContractRejects counts the subset caused by
 	// a forwarder refusing an unverifiable SignedContract.
@@ -148,6 +153,7 @@ func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
 		Sent:            s.Sent - prev.Sent,
 		Dropped:         s.Dropped - prev.Dropped,
+		Expired:         s.Expired - prev.Expired,
 		Nacks:           s.Nacks - prev.Nacks,
 		ContractRejects: s.ContractRejects - prev.ContractRejects,
 		Timeouts:        s.Timeouts - prev.Timeouts,
@@ -164,6 +170,6 @@ func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
 // String renders the snapshot as a one-line summary.
 func (s MetricsSnapshot) String() string {
 	return fmt.Sprintf(
-		"sent=%d dropped=%d nacks=%d contract-rejects=%d timeouts=%d reformations=%d connects=%d failures=%d inbox-hwm=%d",
-		s.Sent, s.Dropped, s.Nacks, s.ContractRejects, s.Timeouts, s.Reformations, s.Connects, s.Failures, s.InboxHighWater)
+		"sent=%d dropped=%d expired=%d nacks=%d contract-rejects=%d timeouts=%d reformations=%d connects=%d failures=%d inbox-hwm=%d",
+		s.Sent, s.Dropped, s.Expired, s.Nacks, s.ContractRejects, s.Timeouts, s.Reformations, s.Connects, s.Failures, s.InboxHighWater)
 }

@@ -99,6 +99,14 @@ type message struct {
 	hop  int
 	done chan<- connResult // completion signal, owned by the initiator's attempt
 
+	// deadline is the attempt's absolute expiry, stamped by connect and
+	// carried by every message of the attempt (forward, confirm and NACK
+	// legs alike). A message that is still in flight past its deadline is
+	// dropped silently — the initiator's attempt timer is already due, so
+	// nobody is waiting for it — exactly how a socket transport's
+	// read/write deadlines kill late traffic. Zero means no deadline.
+	deadline time.Time
+
 	// reason/fatal describe a NACK.
 	reason string
 	fatal  bool
@@ -335,9 +343,20 @@ func (n *Network) send(to overlay.NodeID, msg message) bool {
 		n.metrics.dropped.Add(1)
 		return false
 	}
+	if n.expired(msg) {
+		// The attempt's deadline passed while this message was being
+		// relayed: it dies in the network (counted, no NACK — the
+		// initiator's own attempt timer is already due). Reporting true
+		// matches a real wire, where a late packet is accepted by the
+		// link and lost downstream.
+		return true
+	}
 	n.metrics.sent.Add(1)
 	if n.latency > 0 {
 		n.clock.AfterFunc(n.latency, func() {
+			if n.expired(msg) {
+				return
+			}
 			if !n.deliver(p, msg) {
 				n.onAsyncDrop(to, msg)
 			}
@@ -348,6 +367,18 @@ func (n *Network) send(to overlay.NodeID, msg message) bool {
 		n.metrics.dropped.Add(1)
 		return false
 	}
+	return true
+}
+
+// expired reports (and counts) a message whose per-attempt deadline has
+// passed. The deadline travels with the message — set once by connect —
+// so every relay point applies the same timeout the initiator does,
+// mirroring the read/write deadlines of the socket backend.
+func (n *Network) expired(msg message) bool {
+	if msg.deadline.IsZero() || !n.clock.Now().After(msg.deadline) {
+		return false
+	}
+	n.metrics.expired.Add(1)
 	return true
 }
 
@@ -421,6 +452,7 @@ func (n *Network) nackBack(msg message, fromIdx int, reason string, fatal bool) 
 		done:      msg.done,
 		reason:    reason,
 		fatal:     fatal,
+		deadline:  msg.deadline,
 	}
 	n.reverseRoute(nack)
 }
@@ -520,6 +552,7 @@ func (p *Peer) handleForward(msg message) {
 			done:      msg.done,
 			contract:  msg.contract,
 			records:   msg.records,
+			deadline:  msg.deadline,
 		}
 		p.net.reverseRoute(confirm)
 		return
@@ -699,6 +732,7 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			responder: responder,
 			remaining: budget,
 			contract:  contract,
+			deadline:  n.clock.Now().Add(window),
 			done:      done,
 		})
 		if !sent {
