@@ -14,6 +14,16 @@
 // plus the goos/goarch/pkg/cpu context headers, and records each metric
 // under its unit. Unknown units are kept verbatim in the metrics map, so
 // custom b.ReportMetric values survive the round trip.
+//
+// With -gate BASELINE.json it additionally compares the parsed run
+// against a committed baseline and exits non-zero on regression:
+//
+//	go test -bench=. -benchmem ./... | benchjson -gate BENCH_PR6.json -out /dev/null
+//
+// The gate checks bytes_per_op and allocs_per_op (deterministic under a
+// fixed workload) for every benchmark present in both documents; ns/op is
+// deliberately ungated — wall time on shared CI runners is too noisy to
+// fail a build over. -gate-ratio sets the allowed growth factor.
 package main
 
 import (
@@ -56,6 +66,8 @@ type Document struct {
 func main() {
 	in := flag.String("in", "", "input file (default stdin)")
 	out := flag.String("out", "", "output file (default stdout)")
+	gate := flag.String("gate", "", "baseline JSON to gate B/op and allocs/op against")
+	gateRatio := flag.Float64("gate-ratio", 1.15, "allowed growth factor over the baseline")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -92,6 +104,74 @@ func main() {
 	if err := enc.Encode(doc); err != nil {
 		fatal(err)
 	}
+	if *gate != "" {
+		base, err := loadDocument(*gate)
+		if err != nil {
+			fatal(err)
+		}
+		violations, err := gateAgainst(doc, base, *gateRatio)
+		if err != nil {
+			fatal(err)
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "benchjson: regression: %s\n", v)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// loadDocument reads a previously emitted benchjson artifact.
+func loadDocument(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// gateAgainst compares the run's memory metrics to the baseline's for
+// every benchmark name both documents carry, returning one message per
+// violated bound. At least one name must match — a gate that silently
+// compares nothing would pass forever after a benchmark rename. The
+// +0.5 slack on allocs/op absorbs go test's rounding of tiny counts.
+func gateAgainst(run, base *Document, ratio float64) ([]string, error) {
+	if ratio < 1 {
+		return nil, fmt.Errorf("gate-ratio %g < 1 would reject identical runs", ratio)
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var violations []string
+	matched := 0
+	for _, b := range run.Benchmarks {
+		ref, ok := baseline[b.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if limit := ref.BytesPerOp*ratio + 0.5; b.BytesPerOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %g B/op > %g (baseline %g × %g)",
+				b.Name, b.BytesPerOp, limit, ref.BytesPerOp, ratio))
+		}
+		if limit := ref.AllocsOp*ratio + 0.5; b.AllocsOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %g allocs/op > %g (baseline %g × %g)",
+				b.Name, b.AllocsOp, limit, ref.AllocsOp, ratio))
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("gate matched no benchmarks against the baseline (run has %d, baseline has %d)",
+			len(run.Benchmarks), len(base.Benchmarks))
+	}
+	return violations, nil
 }
 
 func fatal(err error) {

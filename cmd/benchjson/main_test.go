@@ -69,3 +69,58 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		}
 	}
 }
+
+func gateDoc(benchmarks ...Benchmark) *Document {
+	return &Document{Benchmarks: benchmarks}
+}
+
+func TestGateAgainst(t *testing.T) {
+	base := gateDoc(
+		Benchmark{Name: "BenchmarkScaleFrontier/N=1000", BytesPerOp: 1000, AllocsOp: 100},
+		Benchmark{Name: "BenchmarkScaleFrontier/N=10000", BytesPerOp: 10000, AllocsOp: 1000},
+		Benchmark{Name: "BenchmarkOnlyInBaseline", BytesPerOp: 5, AllocsOp: 5},
+	)
+
+	// Identical run passes; a run-only benchmark is ignored; ns/op is not
+	// consulted at all.
+	run := gateDoc(
+		Benchmark{Name: "BenchmarkScaleFrontier/N=1000", NsPerOp: 1e12, BytesPerOp: 1000, AllocsOp: 100},
+		Benchmark{Name: "BenchmarkOnlyInRun", BytesPerOp: 1e9, AllocsOp: 1e9},
+	)
+	if v, err := gateAgainst(run, base, 1.15); err != nil || len(v) != 0 {
+		t.Fatalf("clean run: violations=%v err=%v", v, err)
+	}
+
+	// Within-ratio growth passes, beyond-ratio growth fails on both axes.
+	grown := gateDoc(Benchmark{Name: "BenchmarkScaleFrontier/N=1000", BytesPerOp: 1100, AllocsOp: 110})
+	if v, err := gateAgainst(grown, base, 1.15); err != nil || len(v) != 0 {
+		t.Fatalf("10%% growth under 15%% ratio: violations=%v err=%v", v, err)
+	}
+	blown := gateDoc(Benchmark{Name: "BenchmarkScaleFrontier/N=1000", BytesPerOp: 1200, AllocsOp: 120})
+	v, err := gateAgainst(blown, base, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 {
+		t.Fatalf("20%% growth under 15%% ratio: violations=%v, want B/op and allocs/op", v)
+	}
+
+	// Tiny baselines get the rounding slack: 0 → 0.4 must not trip.
+	tinyBase := gateDoc(Benchmark{Name: "BenchmarkZero", BytesPerOp: 0, AllocsOp: 0})
+	tinyRun := gateDoc(Benchmark{Name: "BenchmarkZero", BytesPerOp: 0.4, AllocsOp: 0.4})
+	if v, err := gateAgainst(tinyRun, tinyBase, 1.15); err != nil || len(v) != 0 {
+		t.Fatalf("rounding slack: violations=%v err=%v", v, err)
+	}
+
+	// Zero overlap is an error, not a pass — a rename must not disarm the
+	// gate silently.
+	renamed := gateDoc(Benchmark{Name: "BenchmarkRenamed", BytesPerOp: 1, AllocsOp: 1})
+	if _, err := gateAgainst(renamed, base, 1.15); err == nil {
+		t.Fatal("gate with no matching benchmarks did not error")
+	}
+
+	// A ratio below 1 is a configuration bug.
+	if _, err := gateAgainst(run, base, 0.5); err == nil {
+		t.Fatal("gate-ratio < 1 accepted")
+	}
+}

@@ -49,6 +49,10 @@ func main() {
 		base = experiment.Quick()
 	}
 	base.Seed = *seed
+	// Share the section pool with the intra-run sharded phases (UM-II
+	// sparse solves, probe tick rounds). Output stays byte-identical for
+	// any -jobs value — the golden test compares -jobs 8 against -jobs 1.
+	base.Core.SolveWorkers = *jobs
 
 	selected := map[string]bool{}
 	if *only != "" {

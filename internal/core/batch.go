@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"p2panon/internal/game"
 	"p2panon/internal/history"
@@ -455,40 +456,158 @@ func (b *Batch) spneTable() [][]game.Decision {
 // neighbors with q from i's own scorer, and every online node has the
 // delivery edge (i, R) with quality 1.
 //
-// Edge qualities are materialised into a dense reusable matrix by walking
-// each node's neighbor list — O(N·d) scorer calls — instead of memoising
-// an O(N²) closure behind a map, which profiling showed dominated
-// Utility-II runs. The game is solved to the full configured MaxHops so
-// the table serves any drawn per-connection budget (rows for h ≤ budget
-// are identical either way — backward induction fills bottom-up).
+// The game is neighbor-local — a node only ever scores its candidate set
+// D(s) of size ≤ d — so the edge qualities are materialised as sparse
+// per-node candidate rows (O(N·d) memory and scorer calls) rather than
+// the dense n×n matrix earlier revisions used, which walled the engine
+// off around N ≈ 10⁴. Candidate rows are sorted ascending, so the sparse
+// induction visits successors in exactly the order the dense scan did and
+// every epsilon tie-break lands identically. The game is solved to the
+// full configured MaxHops so the table serves any drawn per-connection
+// budget (rows for h ≤ budget are identical either way — backward
+// induction fills bottom-up).
 func (b *Batch) solveStageGame(scratch [][]game.Decision) [][]game.Decision {
 	n := b.sys.Net.Len()
-	qm := b.sys.qualMatrix(n)
-	for i := 0; i < n; i++ {
-		id := overlay.NodeID(i)
-		if id == b.Responder || !b.sys.Net.Online(id) {
-			continue
-		}
-		row := qm[i*n : (i+1)*n]
-		row[b.Responder] = 1 // delivery edge, last-edge rule
-		sc := b.sys.scorer(id, b.ID)
-		for _, v := range b.sys.Net.Node(id).Neighbors {
-			if v == id || v == b.Responder || v == b.Initiator || !b.sys.Net.Online(v) {
-				continue
-			}
-			row[v] = sc.Edge(v, b.Responder, b.k)
-		}
-	}
 	g := &game.PathGame{
-		Nodes:       n,
-		Responder:   int(b.Responder),
-		EdgeQuality: func(i, j int) float64 { return qm[i*n+j] },
-		Pf:          b.Contract.Pf,
-		Pr:          b.Contract.Pr,
-		Cost:        b.sys.cfg.Cost,
-		MaxHops:     b.sys.cfg.MaxHops,
+		Nodes:     n,
+		Responder: int(b.Responder),
+		Pf:        b.Contract.Pf,
+		Pr:        b.Contract.Pr,
+		Cost:      b.sys.cfg.Cost,
+		MaxHops:   b.sys.cfg.MaxHops,
+		Workers:   b.sys.cfg.SolveWorkers,
+	}
+	if b.sys.forceDense {
+		// Retained dense oracle (equivalence tests): O(n²) scan via the
+		// map-free closure, same scorer-creation order as the sparse
+		// prefetch (ascending i), so RNG streams stay aligned.
+		g.EdgeQuality = func(i, j int) float64 {
+			return b.stageEdgeQuality(overlay.NodeID(i), overlay.NodeID(j))
+		}
+		g.Workers = 0
+		return g.SolveInto(scratch)
+	}
+	row, rowLen, succ, qual := b.buildSparseRows(n)
+	g.Adjacency = func(i int) ([]int32, []float64) {
+		lo, m := row[i], rowLen[i]
+		return succ[lo : lo+m], qual[lo : lo+m]
 	}
 	return g.SolveInto(scratch)
+}
+
+// buildSparseRows materialises the stage game's sparse adjacency into the
+// system's reusable CSR-with-slack scratch and returns its views. Two
+// passes:
+//
+//  1. A sequential prefetch over ascending node IDs computes each node's
+//     slot offset and creates every lazily-built input — scorers, and
+//     through them probe estimators, whose construction consumes RNG
+//     stream splits. Creation order is exactly the order the dense build
+//     used, so transcripts stay byte-identical.
+//  2. A row fill — shardable over contiguous node regions when
+//     Config.SolveWorkers > 1, since it consumes no randomness, reads
+//     only overlay/probe/history state and writes disjoint slot ranges —
+//     gathers each node's eligible successors, sorts them ascending,
+//     deduplicates and scores them with the node's own scorer.
+func (b *Batch) buildSparseRows(n int) (row, rowLen []int32, succ []int32, qual []float64) {
+	s := b.sys
+	if cap(s.solveRow) < n+1 {
+		s.solveRow = make([]int32, n+1)
+	}
+	row = s.solveRow[:n+1]
+	slots := 0
+	for i := 0; i < n; i++ {
+		row[i] = int32(slots)
+		id := overlay.NodeID(i)
+		if id == b.Responder || !s.Net.Online(id) {
+			continue
+		}
+		// Upper bound: every neighbor plus the delivery edge to R.
+		slots += len(s.Net.Node(id).Neighbors) + 1
+	}
+	row[n] = int32(slots)
+	s.solveScratch(n, slots)
+	rowLen = s.solveLen[:n]
+	succ = s.solveSucc[:slots]
+	qual = s.solveQual[:slots]
+	scorers := s.solveScorers[:n]
+	for i := 0; i < n; i++ {
+		id := overlay.NodeID(i)
+		if id == b.Responder || !s.Net.Online(id) {
+			scorers[i] = nil
+			continue
+		}
+		scorers[i] = s.scorer(id, b.ID)
+	}
+
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sc := scorers[i]
+			if sc == nil {
+				rowLen[i] = 0
+				continue
+			}
+			id := overlay.NodeID(i)
+			cands := succ[row[i]:row[i+1]]
+			m := 0
+			for _, v := range s.Net.Node(id).Neighbors {
+				if v == id || v == b.Responder || v == b.Initiator || !s.Net.Online(v) {
+					continue
+				}
+				cands[m] = int32(v)
+				m++
+			}
+			cands[m] = int32(b.Responder) // delivery edge, last-edge rule
+			m++
+			// Insertion sort ascending (m ≤ d+1): the induction must visit
+			// candidates in the dense scan's order for tie-break identity.
+			for a := 1; a < m; a++ {
+				for j := a; j > 0 && cands[j] < cands[j-1]; j-- {
+					cands[j], cands[j-1] = cands[j-1], cands[j]
+				}
+			}
+			// Deduplicate (defensive: neighbor lists should be duplicate
+			// free, but a repeated candidate must not be visited twice).
+			w := 1
+			for a := 1; a < m; a++ {
+				if cands[a] != cands[a-1] {
+					cands[w] = cands[a]
+					w++
+				}
+			}
+			m = w
+			qrow := qual[row[i]:row[i+1]]
+			for a := 0; a < m; a++ {
+				// Edge returns the literal 1 for v == R, matching the
+				// dense build's explicit delivery entry.
+				qrow[a] = sc.Edge(overlay.NodeID(cands[a]), b.Responder, b.k)
+			}
+			rowLen[i] = int32(m)
+		}
+	}
+	workers := s.cfg.SolveWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fill(0, n)
+		return row, rowLen, succ, qual
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return row, rowLen, succ, qual
 }
 
 // stageEdgeQuality returns q(i, j) for the stage game, or -1 when the edge

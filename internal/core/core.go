@@ -150,6 +150,14 @@ type Config struct {
 	// the paper's pure argmax; K > 1 trades a slightly larger forwarder
 	// set for unpredictability an always-online adversary cannot park on.
 	TopKJitter int
+	// SolveWorkers shards the Utility Model II solve — the sparse
+	// quality-row build and each backward-induction stage — over
+	// contiguous node regions, and is mirrored into probe ticking by the
+	// experiment harness. The sharded phases consume no randomness and
+	// write disjoint rows (all lazy RNG-consuming state is prefetched
+	// sequentially in ascending node order first), so transcripts are
+	// byte-identical whatever the value. 0 or 1 runs serially.
+	SolveWorkers int
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -181,6 +189,9 @@ func (c Config) validate() error {
 	if c.TopKJitter < 0 {
 		return fmt.Errorf("core: top-K jitter %d", c.TopKJitter)
 	}
+	if c.SolveWorkers < 0 {
+		return fmt.Errorf("core: solve workers %d", c.SolveWorkers)
+	}
 	return nil
 }
 
@@ -208,10 +219,30 @@ type System struct {
 	minCt        map[overlay.NodeID]float64
 	minCtVersion uint64
 
-	// qualScratch is the dense edge-quality matrix reused by Utility
-	// Model II stage-game solves (row-major n×n, -1 = no edge). The
-	// simulator is single-threaded per System, so one scratch suffices.
-	qualScratch []float64
+	// Sparse solve scratch for Utility Model II stage games, reused
+	// across solves (the simulator is single-threaded per System; solve
+	// workers only ever read it or write disjoint row ranges). The layout
+	// is CSR with slack: node i's candidate slots are
+	// solveSucc[solveRow[i]:solveRow[i+1]] — sized from its neighbor-list
+	// upper bound so offsets are computable before filtering — of which
+	// the first solveLen[i] are live (sorted ascending, deduplicated),
+	// with parallel qualities in solveQual. Working memory is O(n·d); the
+	// dense n×n float slab this replaces was the memory wall that capped
+	// the engine near N ≈ 10⁴.
+	solveRow  []int32
+	solveLen  []int32
+	solveSucc []int32
+	solveQual []float64
+	// solveScorers holds the per-solve prefetched scorers (nil for
+	// offline nodes and the responder) so the row fill is free of map
+	// access and safe to shard.
+	solveScorers []*quality.Scorer
+
+	// forceDense routes solveStageGame through the retained dense
+	// EdgeQuality oracle instead of the sparse adjacency path. Test-only:
+	// the sparse-vs-dense equivalence suite uses it to prove the two
+	// formulations produce bit-identical tables and payoffs.
+	forceDense bool
 }
 
 type scorerKey struct {
@@ -246,9 +277,14 @@ func (s *System) Config() Config { return s.cfg }
 // scorer returns node's edge-quality scorer for the given batch, cached
 // per (node, batch). The cached entry is revalidated against the current
 // profile and estimator pointers — both are stable for a live batch, and
-// a mismatch (e.g. after Batch.Close dropped the profiles) rebuilds.
+// a mismatch (e.g. after Batch.Close dropped the profiles, or the node's
+// first recorded row materialising its profile) rebuilds. The profile is
+// Peeked, not created: a node that never forwarded scores with a nil
+// profile (selectivity 0, exactly what an empty profile yields), so a
+// scale-frontier solve does not allocate index maps for every node it
+// merely scores.
 func (s *System) scorer(node overlay.NodeID, batch int) *quality.Scorer {
-	h := s.Hist.For(node, batch)
+	h := s.Hist.Peek(node, batch)
 	p := s.Probes.For(node)
 	key := scorerKey{node, batch}
 	if sc, ok := s.scorers[key]; ok && sc.History == h && sc.Probe == p {
@@ -305,15 +341,38 @@ func (s *System) minTransmission(node overlay.NodeID) float64 {
 	return min
 }
 
-// qualMatrix returns the reusable n×n edge-quality scratch, reset to the
-// no-edge sentinel.
-func (s *System) qualMatrix(n int) []float64 {
-	if cap(s.qualScratch) < n*n {
-		s.qualScratch = make([]float64, n*n)
+// Solve-scratch shrink policy: when the slot demand of a solve falls
+// below cap/solveShrinkDenom of a non-trivial retained buffer (mass
+// departures, or interleaved batches over overlays of very different
+// size), the scratch is reallocated at the exact demand instead of
+// pinning the high-water mark for the process lifetime.
+const (
+	solveShrinkDenom = 4
+	solveShrinkMin   = 4096
+)
+
+// solveScratch sizes the reusable sparse-solve buffers for a solve over n
+// nodes needing `slots` candidate slots, applying the shrink policy
+// above. solveRow is NOT touched — callers fill it while computing slots.
+func (s *System) solveScratch(n, slots int) {
+	if c := cap(s.solveSucc); c > solveShrinkMin && slots < c/solveShrinkDenom {
+		s.solveSucc, s.solveQual = nil, nil
 	}
-	s.qualScratch = s.qualScratch[:n*n]
-	for i := range s.qualScratch {
-		s.qualScratch[i] = -1
+	if cap(s.solveSucc) < slots {
+		s.solveSucc = make([]int32, slots)
+		s.solveQual = make([]float64, slots)
 	}
-	return s.qualScratch
+	if cap(s.solveLen) < n {
+		s.solveLen = make([]int32, n)
+	}
+	if cap(s.solveScorers) < n {
+		s.solveScorers = make([]*quality.Scorer, n)
+	}
+}
+
+// releaseSolveScratch drops the sparse-solve buffers entirely. Called on
+// Batch.Close so a settled large run does not pin its scratch; the next
+// solve rebuilds at the size it actually needs.
+func (s *System) releaseSolveScratch() {
+	s.solveRow, s.solveLen, s.solveSucc, s.solveQual, s.solveScorers = nil, nil, nil, nil, nil
 }

@@ -49,9 +49,11 @@ func (b *Batch) Settle() []NodePayoff {
 }
 
 // transmissionCost sums C^t over the successors id actually forwarded to,
-// reconstructed from its history profile for this batch.
+// reconstructed from its history profile for this batch. Peek suffices: a
+// forwarder by definition recorded rows, and a node with no profile has
+// no transmissions (nil-safe Profile queries return empty).
 func (b *Batch) transmissionCost(id overlay.NodeID) float64 {
-	prof := b.sys.Hist.For(id, b.ID)
+	prof := b.sys.Hist.Peek(id, b.ID)
 	total := 0.0
 	for _, succ := range prof.Successors() {
 		uses := prof.EdgeUses(succ)
@@ -115,4 +117,7 @@ func (b *Batch) Close() {
 	// The dropped profiles back any cached SPNE solve; a (hypothetical)
 	// later connection must not resurrect it.
 	b.spneStamp.valid = false
+	// Drop the system's solve scratch too: a settled large run must not
+	// pin its high-water working set; the next solve resizes exactly.
+	b.sys.releaseSolveScratch()
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+	"p2panon/internal/probe"
+)
+
+// scaleSystem builds a static overlay of n nodes (bulk-joined, degree 5)
+// with warmed probes and one UM-II batch, the configuration the N-sweep
+// benchmarks and the working-memory tests share.
+func scaleSystem(tb testing.TB, n, workers int, seed uint64) (*System, *Batch) {
+	tb.Helper()
+	rng := dist.NewSource(seed)
+	net := overlay.NewNetwork(5, rng.Split())
+	net.GrowUniform(0, n)
+	probes := probe.NewSet(net, rng.Split(), 60)
+	probes.Workers = workers
+	for i := 0; i < 2; i++ {
+		probes.TickAll()
+	}
+	cfg := DefaultConfig()
+	cfg.SolveWorkers = workers
+	sys, err := NewSystem(cfg, net, probes, rng.Split())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := sys.NewBatch(0, overlay.NodeID(n-1), Contract{Pf: 75, Pr: 150}, UtilityII)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys, b
+}
+
+// TestScaleFrontierWorkingMemory is the acceptance alloc test for the
+// sparse solve: a single UM-II batch at N = 10⁵ must complete with
+// O(n·d) working memory. It pins two things: (a) the retained solve
+// scratch is linear in n·d — a dense n×n float slab at this size would be
+// 80 GB and fail the cap bound by four orders of magnitude; (b) a warm
+// re-solve after a topology invalidation allocates a small constant
+// amount, i.e. nothing on the solve path materialises an n×n structure.
+func TestScaleFrontierWorkingMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=1e5 build in -short mode")
+	}
+	const n = 100_000
+	sys, b := scaleSystem(t, n, 0, 11)
+	b.RunConnection() // warm: builds scratch, table, scorers, estimators
+
+	// (a) retained scratch is O(n·d): every node has ≤ degree+1 slots.
+	maxSlots := n * (sys.Net.Degree() + 1)
+	if c := cap(sys.solveSucc); c > maxSlots {
+		t.Fatalf("solve scratch holds %d candidate slots, O(n·d) bound is %d", c, maxSlots)
+	}
+
+	// (b) warm re-solves stay allocation-light. TotalAlloc is monotonic
+	// and unaffected by GC, so the delta is exactly what the re-solve +
+	// connection allocated.
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 3; i++ {
+		sys.Net.Touch() // force a full re-solve of the stage game
+		b.RunConnection()
+	}
+	runtime.ReadMemStats(&after)
+	delta := after.TotalAlloc - before.TotalAlloc
+	// Three full re-solves at n=1e5. The O(n·d) budget (scratch reuse,
+	// history rows, path bookkeeping) is well under 8 MB; one n×n float64
+	// slab alone would be 80 GB.
+	if limit := uint64(32 << 20); delta > limit {
+		t.Fatalf("3 warm re-solves allocated %d bytes (> %d): solve path is not O(n·d)", delta, limit)
+	}
+}
+
+// TestSolveScratchShrinks is the qualScratch-regression test: the solve
+// scratch must stop pinning its high-water capacity once demand drops.
+// Before the sparse rewrite the dense matrix grew to cap n² and was never
+// released; now a mass departure (demand < cap/4) reallocates exactly.
+func TestSolveScratchShrinks(t *testing.T) {
+	sys, b := scaleSystem(t, 3000, 0, 5)
+	b.RunConnection()
+	grown := cap(sys.solveSucc)
+	if grown == 0 {
+		t.Fatal("solve scratch empty after a UM-II connection")
+	}
+
+	// Take ~97% of the population offline: slot demand collapses.
+	for _, id := range sys.Net.OnlineIDs() {
+		if id != b.Initiator && id != b.Responder && int(id) >= 100 {
+			sys.Net.Leave(1, id, false)
+		}
+	}
+	b.RunConnection()
+	if c := cap(sys.solveSucc); c >= grown {
+		t.Fatalf("solve scratch still holds %d slots after shrink-worthy demand drop (was %d)", c, grown)
+	}
+}
+
+// TestSolveScratchReleasedOnClose pins that settling and closing a batch
+// drops the solve scratch entirely — a finished large run must not pin
+// its working set for the process lifetime.
+func TestSolveScratchReleasedOnClose(t *testing.T) {
+	sys, b := scaleSystem(t, 500, 0, 6)
+	b.RunConnection()
+	if cap(sys.solveSucc) == 0 {
+		t.Fatal("solve scratch empty after a UM-II connection")
+	}
+	b.Settle()
+	b.Close()
+	if sys.solveSucc != nil || sys.solveQual != nil || sys.solveRow != nil ||
+		sys.solveLen != nil || sys.solveScorers != nil {
+		t.Fatal("Batch.Close left solve scratch pinned")
+	}
+}
+
+// BenchmarkScaleFrontier is the N-sweep scale frontier (BENCH_PR6.json):
+// one op = one topology invalidation plus one UM-II connection, i.e. a
+// full cold sparse stage-game solve at population N on a static overlay.
+// The 10²–10⁴ points run in CI against the committed baseline; 10⁵ is the
+// acceptance point for the O(n·d) memory model.
+func BenchmarkScaleFrontier(b *testing.B) {
+	for _, n := range []int{100, 1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			sys, batch := scaleSystem(b, n, 0, 11)
+			batch.RunConnection() // warm caches outside the timed region
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Net.Touch()
+				batch.RunConnection()
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/game"
+	"p2panon/internal/overlay"
+	"p2panon/internal/probe"
+	"p2panon/internal/sim"
+)
+
+// equivSystem builds one system for the sparse-vs-dense equivalence runs.
+// Everything that consumes randomness is derived from seed alone, so two
+// calls with the same seed build byte-identical worlds regardless of the
+// workers/dense knobs (which must not influence transcripts).
+func equivSystem(t *testing.T, n int, seed uint64, workers int, dense bool) *System {
+	t.Helper()
+	rng := dist.NewSource(seed)
+	net := overlay.NewNetwork(5, rng.Split())
+	for i := 0; i < n; i++ {
+		net.Join(0, i%7 == 3)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	probes := probe.NewSet(net, rng.Split(), 60)
+	probes.Workers = workers
+	for i := 0; i < 3; i++ {
+		probes.TickAll()
+	}
+	cfg := DefaultConfig()
+	cfg.SolveWorkers = workers
+	sys, err := NewSystem(cfg, net, probes, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.forceDense = dense
+	return sys
+}
+
+// equivRun is everything one scripted UM-II run produces: per-connection
+// paths with their edge qualities, per-round solved decision tables, and
+// the settled payoffs.
+type equivRun struct {
+	tables  [][][]game.Decision
+	paths   []*PathResult
+	payoffs []NodePayoff
+}
+
+// copyTable deep-copies a decision table (spneTable returns the cached
+// backing storage, which later rounds overwrite).
+func copyTable(tbl [][]game.Decision) [][]game.Decision {
+	out := make([][]game.Decision, len(tbl))
+	for h := range tbl {
+		out[h] = append([]game.Decision(nil), tbl[h]...)
+	}
+	return out
+}
+
+// runEquivScript drives one system through a deterministic churn /
+// probe-tick / connection script and records its observable outputs.
+func runEquivScript(t *testing.T, n int, seed uint64, workers int, dense bool) *equivRun {
+	t.Helper()
+	sys := equivSystem(t, n, seed, workers, dense)
+	b, err := sys.NewBatch(0, overlay.NodeID(n-1), Contract{Pf: 75, Pr: 150}, UtilityII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := dist.NewSource(seed ^ 0x2545f4914f6cdd1d)
+	out := &equivRun{}
+	now := sim.Time(0)
+	for round := 0; round < 12; round++ {
+		now += 60
+		switch script.Intn(4) {
+		case 0: // take a random non-endpoint node offline
+			ids := sys.Net.OnlineIDs()
+			id := ids[script.Intn(len(ids))]
+			if id != b.Initiator && id != b.Responder {
+				sys.Net.Leave(now, id, false)
+			}
+		case 1: // bring the first offline node back
+			for _, id := range sys.Net.AllIDs() {
+				if sys.Net.Node(id).State == overlay.Offline {
+					sys.Net.Rejoin(now, id)
+					break
+				}
+			}
+		case 2: // neighbor repair + probe round
+			for _, id := range sys.Net.OnlineIDs() {
+				sys.Net.RefreshNeighbors(id)
+			}
+			sys.Probes.TickAll()
+		case 3: // quiet round
+		}
+		out.paths = append(out.paths, b.RunConnection())
+		out.tables = append(out.tables, copyTable(b.spneTable()))
+	}
+	out.payoffs = b.Settle()
+	return out
+}
+
+// sameBits reports Float64bits identity — the satellite's equivalence bar
+// (plain == would also accept +0 vs −0 and reject equal NaNs).
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func requireSameRun(t *testing.T, label string, got, want *equivRun) {
+	t.Helper()
+	if len(got.tables) != len(want.tables) {
+		t.Fatalf("%s: %d rounds vs %d", label, len(got.tables), len(want.tables))
+	}
+	for r := range got.tables {
+		g, w := got.tables[r], want.tables[r]
+		if len(g) != len(w) {
+			t.Fatalf("%s round %d: table rows %d != %d", label, r, len(g), len(w))
+		}
+		for h := range g {
+			if len(g[h]) != len(w[h]) {
+				t.Fatalf("%s round %d: row %d len %d != %d", label, r, h, len(g[h]), len(w[h]))
+			}
+			for i := range g[h] {
+				gd, wd := g[h][i], w[h][i]
+				if gd.Node != wd.Node || gd.Next != wd.Next ||
+					!sameBits(gd.Utility, wd.Utility) || !sameBits(gd.Quality, wd.Quality) {
+					t.Fatalf("%s round %d: table[%d][%d] = %+v, want %+v", label, r, h, i, gd, wd)
+				}
+			}
+		}
+		gp, wp := got.paths[r], want.paths[r]
+		if len(gp.Nodes) != len(wp.Nodes) {
+			t.Fatalf("%s round %d: path %v vs %v", label, r, gp.Nodes, wp.Nodes)
+		}
+		for i := range gp.Nodes {
+			if gp.Nodes[i] != wp.Nodes[i] {
+				t.Fatalf("%s round %d hop %d: node %d vs %d", label, r, i, gp.Nodes[i], wp.Nodes[i])
+			}
+		}
+		if len(gp.EdgeQualities) != len(wp.EdgeQualities) {
+			t.Fatalf("%s round %d: %d edges vs %d", label, r, len(gp.EdgeQualities), len(wp.EdgeQualities))
+		}
+		for i := range gp.EdgeQualities {
+			if !sameBits(gp.EdgeQualities[i], wp.EdgeQualities[i]) {
+				t.Fatalf("%s round %d edge %d: %x vs %x", label, r, i,
+					math.Float64bits(gp.EdgeQualities[i]), math.Float64bits(wp.EdgeQualities[i]))
+			}
+		}
+	}
+	if len(got.payoffs) != len(want.payoffs) {
+		t.Fatalf("%s: %d payoffs vs %d", label, len(got.payoffs), len(want.payoffs))
+	}
+	for i := range got.payoffs {
+		g, w := got.payoffs[i], want.payoffs[i]
+		if g.Node != w.Node || g.Forwards != w.Forwards ||
+			!sameBits(g.Income, w.Income) || !sameBits(g.Cost, w.Cost) || !sameBits(g.Net, w.Net) {
+			t.Fatalf("%s: payoff[%d] = %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// TestSparseDenseEquivalence is the randomized sparse-vs-dense equivalence
+// property: for populations up to N = 200, the sparse neighbor-local
+// solver — serial and sharded — must reproduce the retained dense
+// SolveInto oracle bit for bit: identical Decision tables (Float64bits on
+// utilities and qualities), identical chosen paths with identical edge
+// qualities, and identical UM-II settled payoffs, across churn, probe
+// ticks and history accumulation.
+func TestSparseDenseEquivalence(t *testing.T) {
+	cases := []struct {
+		n    int
+		seed uint64
+	}{
+		{12, 1},
+		{37, 7},
+		{80, 42},
+		{200, 1234},
+	}
+	for _, tc := range cases {
+		dense := runEquivScript(t, tc.n, tc.seed, 1, true)
+		for _, workers := range []int{1, 3} {
+			sparse := runEquivScript(t, tc.n, tc.seed, workers, false)
+			label := fmt.Sprintf("N=%d/seed=%d/workers=%d", tc.n, tc.seed, workers)
+			requireSameRun(t, label, sparse, dense)
+		}
+	}
+}

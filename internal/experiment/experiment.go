@@ -206,6 +206,11 @@ func newHarness(s Setup) (*harness, error) {
 	}
 
 	probes := probe.NewSet(net, rng.Split(), s.ProbePeriod)
+	// The solve worker pool doubles as the probe tick pool: both sharded
+	// phases are RNG-free past their sequential prefetches, so transcripts
+	// are byte-identical whatever the worker count (the -jobs golden test
+	// pins this).
+	probes.Workers = s.Core.SolveWorkers
 	probes.Instrument(s.Telemetry)
 	for i := 0; i < s.WarmupProbes; i++ {
 		probes.TickAll()

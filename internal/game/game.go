@@ -9,6 +9,7 @@ package game
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ---------------------------------------------------------------------------
@@ -294,14 +295,30 @@ type PathGame struct {
 	// Responder is the terminal vertex R.
 	Responder int
 	// EdgeQuality returns q(i, j), or a negative value if the edge (i, j)
-	// does not exist.
+	// does not exist. Exactly one of EdgeQuality and Adjacency must be set.
 	EdgeQuality func(i, j int) float64
+	// Adjacency, when non-nil, supplies the sparse neighbor-local view of
+	// the game: i's candidate successors with their edge qualities, in
+	// ASCENDING vertex order. The induction then visits only the ≤ d
+	// candidates each node actually has instead of scanning all n vertices,
+	// and — because the dense loop also scans j ascending — reproduces the
+	// dense solver's epsilon tie-breaks bit for bit. Entries with a
+	// negative quality are skipped like missing dense edges; a vertex with
+	// no outgoing edges returns empty slices. The slices are only read
+	// during SolveInto and never retained.
+	Adjacency func(i int) (succ []int32, qual []float64)
 	// Pf, Pr are the contract's forwarding and routing benefits.
 	Pf, Pr float64
 	// Cost is the cost model used for C^p and C^t.
 	Cost CostModel
 	// MaxHops caps the number of stages L.
 	MaxHops int
+	// Workers, when > 1, shards each induction stage h over contiguous
+	// vertex ranges. Stage h reads only stage h−1 and every cell write is
+	// disjoint, so the sharded sweep is deterministic and byte-identical to
+	// the serial one; 0 or 1 solves serially. Adjacency and EdgeQuality
+	// must then be safe for concurrent calls (pure reads are).
+	Workers int
 }
 
 // Decision is the SPNE prescription at one information set: the successor
@@ -342,8 +359,8 @@ func (g *PathGame) SolveInto(table [][]Decision) [][]Decision {
 	if g.MaxHops < 1 {
 		panic(fmt.Sprintf("game: PathGame with MaxHops=%d", g.MaxHops))
 	}
-	if g.EdgeQuality == nil {
-		panic("game: PathGame with nil EdgeQuality")
+	if (g.EdgeQuality == nil) == (g.Adjacency == nil) {
+		panic("game: PathGame needs exactly one of EdgeQuality and Adjacency")
 	}
 	if len(table) != g.MaxHops+1 || len(table) == 0 || len(table[0]) != g.Nodes {
 		table = make([][]Decision, g.MaxHops+1)
@@ -360,39 +377,102 @@ func (g *PathGame) SolveInto(table [][]Decision) [][]Decision {
 		table[0][i] = Decision{Node: i, Next: -1, Utility: negInf, Quality: q}
 	}
 	for h := 1; h <= g.MaxHops; h++ {
-		for i := 0; i < g.Nodes; i++ {
-			if i == g.Responder {
-				// R holds the payload: the path is complete.
-				table[h][i] = Decision{Node: i, Next: -1, Utility: negInf, Quality: 0}
-				continue
-			}
-			best := Decision{Node: i, Next: -1, Utility: negInf, Quality: negInf}
-			for j := 0; j < g.Nodes; j++ {
-				if j == i {
-					continue
-				}
-				q := g.EdgeQuality(i, j)
-				if q < 0 {
-					continue // no edge
-				}
-				cont := table[h-1][j].Quality
-				if math.IsInf(cont, -1) {
-					continue // j cannot reach R in h-1 hops
-				}
-				pathQ := q + cont
-				u := g.Pf + pathQ*g.Pr - (g.Cost.Participation + g.Cost.Transmission(i, j))
-				// Maximise utility; break ties toward higher quality as
-				// §2.2 prescribes, then toward the lower index for
-				// determinism.
-				if u > best.Utility+1e-12 ||
-					(math.Abs(u-best.Utility) <= 1e-12 && pathQ > best.Quality+1e-12) {
-					best = Decision{Node: i, Next: j, Utility: u, Quality: pathQ}
-				}
-			}
-			table[h][i] = best
-		}
+		g.sweepStage(table[h-1], table[h])
 	}
 	return table
+}
+
+// sweepStage fills one induction stage: cur[i] from the already-solved
+// prev row, optionally sharded over contiguous vertex ranges (each shard
+// writes a disjoint slice of cur and only reads prev, so the result is
+// independent of scheduling).
+func (g *PathGame) sweepStage(prev, cur []Decision) {
+	w := g.Workers
+	if w > g.Nodes {
+		w = g.Nodes
+	}
+	if w <= 1 {
+		for i := 0; i < g.Nodes; i++ {
+			cur[i] = g.solveCell(prev, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (g.Nodes + w - 1) / w
+	for lo := 0; lo < g.Nodes; lo += chunk {
+		hi := lo + chunk
+		if hi > g.Nodes {
+			hi = g.Nodes
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				cur[i] = g.solveCell(prev, i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// solveCell computes the stage decision for vertex i given the previous
+// stage's quality-to-go row. The sparse branch visits i's candidate list
+// in ascending vertex order — the same order the dense scan uses — so the
+// epsilon tie-breaks, and therefore the chosen successors, are identical
+// between the two formulations.
+func (g *PathGame) solveCell(prev []Decision, i int) Decision {
+	if i == g.Responder {
+		// R holds the payload: the path is complete.
+		return Decision{Node: i, Next: -1, Utility: negInf, Quality: 0}
+	}
+	best := Decision{Node: i, Next: -1, Utility: negInf, Quality: negInf}
+	consider := func(j int, q float64) {
+		if j == i || q < 0 {
+			return // self loop / no edge
+		}
+		cont := prev[j].Quality
+		if math.IsInf(cont, -1) {
+			return // j cannot reach R in h-1 hops
+		}
+		pathQ := q + cont
+		u := g.Pf + pathQ*g.Pr - (g.Cost.Participation + g.Cost.Transmission(i, j))
+		// Maximise utility; break ties toward higher quality as §2.2
+		// prescribes, then toward the lower index for determinism.
+		if u > best.Utility+1e-12 ||
+			(math.Abs(u-best.Utility) <= 1e-12 && pathQ > best.Quality+1e-12) {
+			best = Decision{Node: i, Next: j, Utility: u, Quality: pathQ}
+		}
+	}
+	if g.Adjacency != nil {
+		succ, qual := g.Adjacency(i)
+		for idx, j := range succ {
+			consider(int(j), qual[idx])
+		}
+	} else {
+		for j := 0; j < g.Nodes; j++ {
+			if j == i {
+				continue
+			}
+			consider(j, g.EdgeQuality(i, j))
+		}
+	}
+	return best
+}
+
+// edgeQ returns q(i, j) under either formulation (−1 when absent); the
+// sparse lookup scans i's candidate list. Used by the off-hot-path
+// helpers (verification, brute force) so they accept both views.
+func (g *PathGame) edgeQ(i, j int) float64 {
+	if g.Adjacency == nil {
+		return g.EdgeQuality(i, j)
+	}
+	succ, qual := g.Adjacency(i)
+	for idx, s := range succ {
+		if int(s) == j {
+			return qual[idx]
+		}
+	}
+	return -1
 }
 
 // BestPath extracts the SPNE path from start to the responder using at
@@ -442,7 +522,7 @@ func (g *PathGame) BruteForceBestQuality(start, maxHops int) float64 {
 			if j == i || visited[j] {
 				continue
 			}
-			q := g.EdgeQuality(i, j)
+			q := g.edgeQ(i, j)
 			if q < 0 {
 				continue
 			}

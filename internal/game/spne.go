@@ -42,7 +42,7 @@ func (g *PathGame) VerifySubgamePerfect(table [][]Decision) []DeviationReport {
 				if j == i {
 					continue
 				}
-				q := g.EdgeQuality(i, j)
+				q := g.edgeQ(i, j)
 				if q < 0 {
 					continue
 				}

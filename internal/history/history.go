@@ -98,15 +98,36 @@ func NewProfile(owner overlay.NodeID, capacity int) *Profile {
 // Owner returns the node whose history this is.
 func (p *Profile) Owner() overlay.NodeID { return p.owner }
 
+// Query methods are nil-receiver safe: a nil *Profile behaves as an empty
+// one. Store.Peek hands routing-side readers nil for nodes that never
+// recorded anything, so scale-frontier solves do not materialise the six
+// index maps per node just to read zero selectivities. Only Record (a
+// write) requires a real profile.
+
 // Len returns the number of stored entries.
-func (p *Profile) Len() int { return len(p.entries) }
+func (p *Profile) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.entries)
+}
 
 // Connections returns the number of distinct connections recorded.
-func (p *Profile) Connections() int { return p.conns }
+func (p *Profile) Connections() int {
+	if p == nil {
+		return 0
+	}
+	return p.conns
+}
 
 // Version returns a counter incremented on every mutation (Record or
 // eviction); callers cache derived values against it.
-func (p *Profile) Version() uint64 { return p.version }
+func (p *Profile) Version() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.version
+}
 
 // Record stores one forwarding instance: the owner forwarded connection
 // cid, received from pred (overlay.None if the owner was the first hop),
@@ -167,14 +188,22 @@ func (p *Profile) evictOldest() {
 // EdgeUses returns the number of distinct recorded connections that used
 // the edge owner→succ. O(1), allocation-free.
 func (p *Profile) EdgeUses(succ overlay.NodeID) int {
+	if p == nil {
+		return 0
+	}
 	return p.succDistinct[succ]
 }
 
 // Selectivity returns σ(owner, succ) for the k-th connection of the batch:
-// the ratio of entries for the edge to the maximum possible (k−1). For the
-// first connection (k == 1) there is no history and selectivity is 0.
+// the ratio of entries for the edge to the maximum possible (k−1). The
+// k ≤ 1 guard is load-bearing, not cosmetic: σ feeds edge quality and
+// through it the SPNE payoffs, so a raw division by k−1 would leak ±Inf
+// (k = 1) or a negative σ (k ≤ 0) into every utility comparison of the
+// stage game. For the first connection there is no history and
+// selectivity is defined as 0; non-positive k (a caller bug) degrades to
+// the same harmless value.
 func (p *Profile) Selectivity(succ overlay.NodeID, k int) float64 {
-	if k <= 1 {
+	if p == nil || k <= 1 {
 		return 0
 	}
 	sigma := float64(p.EdgeUses(succ)) / float64(k-1)
@@ -189,6 +218,9 @@ func (p *Profile) Selectivity(succ overlay.NodeID, k int) float64 {
 // describes. The result is sized exactly from the predecessor index; nil
 // when no entry matches.
 func (p *Profile) EntriesFor(pred overlay.NodeID) []Entry {
+	if p == nil {
+		return nil
+	}
 	n := p.predMult[pred]
 	if n == 0 {
 		return nil
@@ -207,6 +239,9 @@ func (p *Profile) EntriesFor(pred overlay.NodeID) []Entry {
 // the position-differentiated count §2.3's predecessor trick enables.
 // O(1), allocation-free.
 func (p *Profile) EdgeUsesAt(pred, succ overlay.NodeID) int {
+	if p == nil {
+		return 0
+	}
 	return p.posDistinct[posKey{pred, succ}]
 }
 
@@ -214,9 +249,10 @@ func (p *Profile) EdgeUsesAt(pred, succ overlay.NodeID) int {
 // only over history rows whose predecessor matches pred, so a node that
 // occupies two positions on the same recurring path scores each position's
 // outgoing edge independently ("a node can differentiate between outgoing
-// edges for two different positions on the same path", §2.3).
+// edges for two different positions on the same path", §2.3). The k ≤ 1
+// guard mirrors Selectivity's: no ±Inf/NaN may reach utility math.
 func (p *Profile) SelectivityAt(pred, succ overlay.NodeID, k int) float64 {
-	if k <= 1 {
+	if p == nil || k <= 1 {
 		return 0
 	}
 	sigma := float64(p.EdgeUsesAt(pred, succ)) / float64(k-1)
@@ -250,6 +286,21 @@ func (p *Profile) scanEdgeUsesAt(pred, succ overlay.NodeID) int {
 	return len(conns)
 }
 
+// scanSelectivity is the scan-version oracle for Selectivity: the same
+// k ≤ 1 definition over the full-scan edge-use count. The regression
+// suite checks the indexed hot path against it, including the small-k
+// guard values.
+func (p *Profile) scanSelectivity(succ overlay.NodeID, k int) float64 {
+	if p == nil || k <= 1 {
+		return 0
+	}
+	sigma := float64(p.scanEdgeUses(succ)) / float64(k-1)
+	if sigma > 1 {
+		sigma = 1
+	}
+	return sigma
+}
+
 // scanConnections is the full-scan implementation of Connections (test
 // oracle).
 func (p *Profile) scanConnections() int {
@@ -262,6 +313,9 @@ func (p *Profile) scanConnections() int {
 
 // Successors returns the distinct successors recorded, ascending.
 func (p *Profile) Successors() []overlay.NodeID {
+	if p == nil {
+		return nil
+	}
 	out := make([]overlay.NodeID, 0, len(p.succDistinct))
 	for v := range p.succDistinct {
 		out = append(out, v)
@@ -298,6 +352,16 @@ func (s *Store) For(node overlay.NodeID, batch int) *Profile {
 		s.profiles[k] = p
 	}
 	return p
+}
+
+// Peek returns node's profile for the batch, or nil when nothing was ever
+// recorded for it. Profile query methods are nil-receiver safe, so
+// read-only consumers (edge scoring, settlement) can use Peek directly
+// instead of For — at scale-frontier populations, materialising a profile
+// (six index maps) for every node a solve merely *scores* would dominate
+// the working set.
+func (s *Store) Peek(node overlay.NodeID, batch int) *Profile {
+	return s.profiles[storeKey{node, batch}]
 }
 
 // DropBatch forgets every profile of the given batch (payments settled,

@@ -76,6 +76,28 @@ const (
 	kindEnd
 )
 
+// BodyCap returns the largest body (version byte, kind byte and payload)
+// a canonical frame of the given kind can occupy, or -1 for an unknown
+// kind. Fixed-layout kinds have exact sizes; the message kinds' field
+// caps sum past MaxFrameSize, so the global cap is their bound. Both
+// DecodeFrame and ReadFrame enforce it — ReadFrame before allocating the
+// body, so a corrupt or malicious peer cannot make a reader allocate
+// MaxFrameSize bytes for a frame kind whose payload is 8 bytes.
+func BodyCap(k Kind) int {
+	switch k {
+	case KindHello, KindHelloAck:
+		return 2 + 8 + 8 // node + nonce
+	case KindProbe, KindProbeAck:
+		return 2 + 8 // nonce
+	case KindSettle:
+		return 2 + 5*8 // batch, node, set size, forwards, payoff
+	case KindForward, KindConfirm, KindNack:
+		return MaxFrameSize
+	default:
+		return -1
+	}
+}
+
 // String names the kind for metrics labels and logs.
 func (k Kind) String() string {
 	switch k {
@@ -340,6 +362,9 @@ func decodeBody(body []byte) (*Frame, error) {
 		return nil, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, ver, Version)
 	}
 	f := &Frame{Kind: Kind(r.u8())}
+	if max := BodyCap(f.Kind); max >= 0 && len(body) > max {
+		return nil, fmt.Errorf("%w: %v body %d bytes > %d", ErrOversized, f.Kind, len(body), max)
+	}
 	switch f.Kind {
 	case KindHello, KindHelloAck:
 		f.Node = overlay.NodeID(r.i64())
@@ -463,8 +488,12 @@ func WriteFrame(w io.Writer, f *Frame) (int, error) {
 }
 
 // ReadFrame reads exactly one frame from r, returning it with the total
-// bytes consumed. It enforces the version and the size cap before
-// allocating the body.
+// bytes consumed. The length prefix is only ever trusted after
+// validation: the global MaxFrameSize bound is checked first, then the
+// two-byte version/kind prologue is read and the declared length checked
+// against the kind's BodyCap — all BEFORE the body is allocated, so a
+// hostile prefix cannot force a large allocation for a small-payload
+// kind, let alone a multi-gigabyte one.
 func ReadFrame(r io.Reader) (*Frame, int, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -474,9 +503,36 @@ func ReadFrame(r io.Reader) (*Frame, int, error) {
 	if n > MaxFrameSize {
 		return nil, frameHeaderSize, fmt.Errorf("%w: declared body %d bytes > %d", ErrOversized, n, MaxFrameSize)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if n < 2 {
+		// Too short for even the version/kind prologue; drain it and let
+		// decodeBody produce the canonical ErrShortFrame.
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, frameHeaderSize, fmt.Errorf("netwire: frame body: %w", err)
+		}
+		f, err := decodeBody(body)
+		return f, frameHeaderSize + int(n), err
+	}
+	var prologue [2]byte
+	if _, err := io.ReadFull(r, prologue[:]); err != nil {
 		return nil, frameHeaderSize, fmt.Errorf("netwire: frame body: %w", err)
+	}
+	consumed := frameHeaderSize + 2
+	if prologue[0] != Version {
+		return nil, consumed, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, prologue[0], Version)
+	}
+	kind := Kind(prologue[1])
+	max := BodyCap(kind)
+	if max < 0 {
+		return nil, consumed, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+	if int(n) > max {
+		return nil, consumed, fmt.Errorf("%w: %v body %d bytes > %d", ErrOversized, kind, n, max)
+	}
+	body := make([]byte, n)
+	body[0], body[1] = prologue[0], prologue[1]
+	if _, err := io.ReadFull(r, body[2:]); err != nil {
+		return nil, consumed, fmt.Errorf("netwire: frame body: %w", err)
 	}
 	f, err := decodeBody(body)
 	return f, frameHeaderSize + int(n), err

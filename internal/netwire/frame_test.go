@@ -217,6 +217,55 @@ func TestDecodeFrameErrors(t *testing.T) {
 	}
 }
 
+// TestBodyCapEnforcedPerKind checks the per-kind body bound: a frame
+// whose declared length is legal globally but absurd for its kind (a
+// probe carrying a kilobyte) is rejected by both decoders with
+// ErrOversized, and ReadFrame rejects it from the two-byte prologue alone
+// — before allocating the body — leaving the declared bytes unread.
+func TestBodyCapEnforcedPerKind(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		cap  int
+	}{
+		{KindProbe, 10},
+		{KindProbeAck, 10},
+		{KindHello, 18},
+		{KindHelloAck, 18},
+		{KindSettle, 42},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			if got := BodyCap(tc.kind); got != tc.cap {
+				t.Fatalf("BodyCap(%v) = %d, want %d", tc.kind, got, tc.cap)
+			}
+			body := make([]byte, tc.cap+1000)
+			body[0], body[1] = Version, byte(tc.kind)
+			buf := encodeRaw(body)
+
+			if f, err := DecodeFrame(buf); !errors.Is(err, ErrOversized) {
+				t.Fatalf("DecodeFrame: frame=%v err=%v, want ErrOversized", f, err)
+			}
+
+			r := bytes.NewReader(buf)
+			f, n, err := ReadFrame(r)
+			if !errors.Is(err, ErrOversized) {
+				t.Fatalf("ReadFrame: frame=%v err=%v, want ErrOversized", f, err)
+			}
+			// Only the length prefix and version/kind prologue may have been
+			// consumed: the cap check must run before the body allocation.
+			if n != 6 {
+				t.Fatalf("ReadFrame reported %d bytes consumed, want 6", n)
+			}
+			if left := r.Len(); left != len(buf)-6 {
+				t.Fatalf("ReadFrame drained %d bytes of the oversized body", len(buf)-6-left)
+			}
+		})
+	}
+	if got := BodyCap(Kind(0xee)); got != -1 {
+		t.Fatalf("BodyCap(unknown) = %d, want -1", got)
+	}
+}
+
 // TestEncodeRejectsOversizedFields checks Encode refuses fields past their
 // caps instead of emitting an undecodable frame.
 func TestEncodeRejectsOversizedFields(t *testing.T) {

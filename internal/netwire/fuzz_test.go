@@ -41,6 +41,12 @@ func FuzzFrameWire(f *testing.F) {
 	binary.BigEndian.PutUint32(oversize, MaxFrameSize+1)
 	f.Add(oversize)
 
+	// Legal global length, absurd for the kind: a probe frame declaring a
+	// 1 KiB body must trip the per-kind BodyCap in both decoders.
+	fatProbe := make([]byte, 1024)
+	fatProbe[0], fatProbe[1] = Version, byte(KindProbe)
+	f.Add(encodeRaw(fatProbe))
+
 	msg, err := (&Frame{Kind: KindForward, Batch: 3, Attempt: 8, Responder: 5, Remaining: 4}).Encode()
 	if err != nil {
 		f.Fatal(err)

@@ -239,6 +239,67 @@ func (n *Network) Join(now sim.Time, malicious bool) *Node {
 	return node
 }
 
+// GrowUniform bulk-joins count good nodes at time now: IDs are assigned
+// sequentially, every node comes up Online, and each samples its d
+// neighbors uniformly from the *final* population (excluding itself).
+// Join's incremental candidate-set sort costs O(n log n) per call —
+// O(n² log n) across a large build-out — which walls off scale-frontier
+// populations; GrowUniform is O(count·d) expected. Semantically it is the
+// steady-state topology Join + RefreshNeighbors converge to, built in one
+// shot; churn observers and the version counter advance once per node,
+// exactly as with individual joins. Intended for constructing large
+// static overlays (the N-sweep benchmarks); incremental arrival dynamics
+// still go through Join.
+func (n *Network) GrowUniform(now sim.Time, count int) {
+	if count <= 0 {
+		return
+	}
+	start := len(n.nodes)
+	total := start + count
+	for i := start; i < total; i++ {
+		id := NodeID(i)
+		n.nodes = append(n.nodes, &Node{
+			ID:             id,
+			State:          Online,
+			FirstJoin:      now,
+			FinalDeparture: now,
+			sessionStart:   now,
+		})
+		n.online[id] = struct{}{}
+	}
+	for i := start; i < total; i++ {
+		id := NodeID(i)
+		d := n.degree
+		if d > total-1 {
+			d = total - 1
+		}
+		neigh := make([]NodeID, 0, d)
+		for len(neigh) < d {
+			// Uniform over [0, total) \ {id}: draw from a range one short
+			// and shift past self; reject duplicates (d is small, so the
+			// linear scan beats a map).
+			v := NodeID(n.rng.Intn(total - 1))
+			if v >= id {
+				v++
+			}
+			dup := false
+			for _, u := range neigh {
+				if u == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				neigh = append(neigh, v)
+			}
+		}
+		n.nodes[i].Neighbors = neigh
+	}
+	for i := start; i < total; i++ {
+		n.notifyChurn(NodeID(i), Online)
+	}
+}
+
 // Rejoin brings an Offline node back online at time now, starting a new
 // session. It panics if the node is Online or Departed.
 func (n *Network) Rejoin(now sim.Time, id NodeID) {

@@ -19,6 +19,8 @@ package probe
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"p2panon/internal/dist"
 	"p2panon/internal/overlay"
@@ -59,8 +61,9 @@ type Estimator struct {
 	totalValid bool
 
 	// setVersion, when non-nil, is the owning Set's change counter; Tick
-	// bumps it so availability-keyed caches (e.g. solved SPNE tables) can
-	// invalidate.
+	// bumps it (atomically — region-sharded TickAll runs estimators
+	// concurrently) so availability-keyed caches (e.g. solved SPNE
+	// tables) can invalidate.
 	setVersion *uint64
 
 	// nil (no-op) until Instrument binds them.
@@ -119,7 +122,7 @@ func (est *Estimator) Tick() {
 	est.ticks.Inc()
 	est.totalValid = false
 	if est.setVersion != nil {
-		*est.setVersion++
+		atomic.AddUint64(est.setVersion, 1)
 	}
 	current := est.net.NeighborsOf(est.owner)
 	inSet := make(map[overlay.NodeID]struct{}, len(current))
@@ -217,14 +220,22 @@ type Set struct {
 	byNode map[overlay.NodeID]*Estimator
 	reg    *telemetry.Registry
 
+	// Workers, when > 1, shards TickAll over contiguous regions of the
+	// online-ID list. Estimator creation (which consumes RNG splits and
+	// grows byNode) is hoisted into a sequential ascending-ID prefetch
+	// first, and each estimator's Tick touches only its own state plus
+	// atomics, so the sharded rounds are byte-identical to serial ones
+	// whatever the value.
+	Workers int
+
 	// version counts estimate updates across the whole set: every Tick of
-	// a member estimator advances it. Equal versions guarantee unchanged
-	// availability scores.
+	// a member estimator advances it (atomically). Equal versions
+	// guarantee unchanged availability scores.
 	version uint64
 }
 
 // Version returns the set-wide estimate-change counter.
-func (s *Set) Version() uint64 { return s.version }
+func (s *Set) Version() uint64 { return atomic.LoadUint64(&s.version) }
 
 // Instrument binds every current and future estimator in the set into
 // reg (they share the probe_* series).
@@ -262,11 +273,43 @@ func (s *Set) For(id overlay.NodeID) *Estimator {
 // TickAll runs one probing period for every online node, creating
 // estimators lazily for nodes that appeared since the previous round.
 // This is the batch-mode equivalent of attaching every estimator to the
-// engine, and is what the discrete-event simulator uses.
+// engine, and is what the discrete-event simulator uses. When Workers
+// > 1 the ticks are sharded by node region: creation stays sequential in
+// ascending ID order (it splits the set RNG), the per-estimator ticks
+// draw only from their own streams, and the shared change counters are
+// atomic — so the transcript is identical to a serial round.
 func (s *Set) TickAll() {
-	for _, id := range s.net.OnlineIDs() {
-		s.For(id).Tick()
+	ids := s.net.OnlineIDs()
+	ests := make([]*Estimator, len(ids))
+	for i, id := range ids {
+		ests[i] = s.For(id)
 	}
+	workers := s.Workers
+	if workers > len(ests) {
+		workers = len(ests)
+	}
+	if workers <= 1 {
+		for _, est := range ests {
+			est.Tick()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ests) + workers - 1) / workers
+	for lo := 0; lo < len(ests); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ests) {
+			hi = len(ests)
+		}
+		wg.Add(1)
+		go func(part []*Estimator) {
+			defer wg.Done()
+			for _, est := range part {
+				est.Tick()
+			}
+		}(ests[lo:hi])
+	}
+	wg.Wait()
 }
 
 // Attach schedules TickAll every probing period. It returns a cancel

@@ -1,0 +1,93 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"p2panon/internal/dist"
+	"p2panon/internal/overlay"
+)
+
+// buildSet constructs an identically-seeded network + probe set pair for
+// the shard-equivalence runs. Workers must not influence any estimator
+// state, so everything random derives from seed alone.
+func buildSet(t *testing.T, n, workers int, seed uint64) (*overlay.Network, *Set) {
+	t.Helper()
+	rng := dist.NewSource(seed)
+	net := overlay.NewNetwork(5, rng.Split())
+	for i := 0; i < n; i++ {
+		net.Join(0, false)
+	}
+	for _, id := range net.AllIDs() {
+		net.RefreshNeighbors(id)
+	}
+	set := NewSet(net, rng.Split(), 60)
+	set.Workers = workers
+	return net, set
+}
+
+// TestTickAllShardedMatchesSerial pins that sharding TickAll over the
+// worker pool is invisible: estimator creation (which consumes RNG splits)
+// happens in a sequential ascending-ID prefetch, and the sharded tick
+// phase itself is RNG-free, so every availability estimate is bitwise
+// identical to the serial run — across churn that forces mid-run
+// estimator creation and fresh-neighbor random inits.
+func TestTickAllShardedMatchesSerial(t *testing.T) {
+	const n, seed = 60, 417
+	serialNet, serial := buildSet(t, n, 0, seed)
+	shardNet, shard := buildSet(t, n, 4, seed)
+
+	churn := func(net *overlay.Network, round int) {
+		switch round {
+		case 2:
+			net.Leave(100, 7, false)
+			net.Leave(100, 23, false)
+		case 4:
+			net.Rejoin(200, 7)
+			for _, id := range net.OnlineIDs() {
+				net.RefreshNeighbors(id)
+			}
+		}
+	}
+	for round := 0; round < 6; round++ {
+		churn(serialNet, round)
+		churn(shardNet, round)
+		serial.TickAll()
+		shard.TickAll()
+	}
+
+	if sv, wv := serial.Version(), shard.Version(); sv != wv {
+		t.Fatalf("set versions diverge: serial %d, sharded %d", sv, wv)
+	}
+	for _, id := range serialNet.AllIDs() {
+		a, b := serial.For(id), shard.For(id)
+		if a.Probes() != b.Probes() {
+			t.Fatalf("node %d: probes %d vs %d", id, a.Probes(), b.Probes())
+		}
+		for _, v := range serialNet.NeighborsOf(id) {
+			sa, sb := a.SessionTime(v), b.SessionTime(v)
+			if math.Float64bits(sa) != math.Float64bits(sb) {
+				t.Fatalf("node %d neighbor %d: session %x vs %x",
+					id, v, math.Float64bits(sa), math.Float64bits(sb))
+			}
+			aa, ab := a.Availability(v), b.Availability(v)
+			if math.Float64bits(aa) != math.Float64bits(ab) {
+				t.Fatalf("node %d neighbor %d: availability %x vs %x",
+					id, v, math.Float64bits(aa), math.Float64bits(ab))
+			}
+		}
+	}
+}
+
+// TestTickAllVersionCount pins the atomic version bump: one TickAll over m
+// online nodes advances the set version by exactly m, serial or sharded.
+func TestTickAllVersionCount(t *testing.T) {
+	for _, workers := range []int{0, 3} {
+		_, set := buildSet(t, 20, workers, 5)
+		before := set.Version()
+		set.TickAll()
+		if got, want := set.Version()-before, uint64(20); got != want {
+			t.Fatalf("workers=%d: version advanced %d, want %d", workers, got, want)
+		}
+	}
+}

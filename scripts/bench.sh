@@ -1,19 +1,22 @@
 #!/usr/bin/env sh
 # bench.sh — run the tracked benchmark set and archive it as JSON.
 #
-# Usage: scripts/bench.sh [output.json]    (default BENCH_PR3.json)
+# Usage: scripts/bench.sh [output.json]    (default BENCH_PR6.json)
 #
-# Two tiers:
+# Three tiers:
 #   - experiment benchmarks (repo root): whole figure pipelines, few
 #     iterations because each run is seconds of simulation;
 #   - micro-benchmarks (internal packages): the hot paths the performance
-#     work targets, timed properly.
+#     work targets, timed properly;
+#   - N-sweep scale frontier: one cold sparse stage-game solve per op at
+#     N = 10², 10³, 10⁴ and 10⁵ on a static overlay, single iteration —
+#     the curve CI's bench-delta gate reads B/op and allocs/op from.
 # The combined text output is converted by cmd/benchjson into one JSON
 # document with ns/op, B/op and allocs/op per benchmark.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -26,6 +29,11 @@ echo "== micro-benchmarks =="
 go test -run '^$' \
   -bench 'BenchmarkSelectivityAt|BenchmarkScorerReuse|BenchmarkSPNESimCache|BenchmarkSPNESolveCold' \
   -benchmem -benchtime 1s ./internal/... | tee -a "$tmp"
+
+echo "== N-sweep scale frontier =="
+go test -run '^$' \
+  -bench 'BenchmarkScaleFrontier' \
+  -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee -a "$tmp"
 
 go run ./cmd/benchjson -in "$tmp" -out "$out"
 echo "wrote $out"
