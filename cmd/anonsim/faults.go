@@ -14,7 +14,7 @@ import (
 // reproducer saved by a failing CI check) or "gen:<seed>" to synthesise a
 // noise plan from a seed. Returns the process exit code: 0 when every
 // invariant held, 1 on violations, 2 on an unusable spec.
-func runFaults(spec, traceOut string) int {
+func runFaults(spec, traceOut, spanOut string) int {
 	var plan faultsim.Plan
 	if rest, ok := strings.CutPrefix(spec, "gen:"); ok {
 		seed, err := strconv.ParseUint(rest, 10, 64)
@@ -52,6 +52,7 @@ func runFaults(spec, traceOut string) int {
 		res.Nacks, res.Timeouts, res.Reformations)
 	fmt.Printf("  faults injected:    %d\n", res.FaultsInjected)
 	fmt.Printf("  trace:              %d events (%d dropped)\n", len(res.Events), res.TraceDropped)
+	fmt.Printf("  spans:              %d (%d dropped)\n", len(res.Spans), res.SpanDropped)
 
 	if traceOut != "" {
 		if err := os.WriteFile(traceOut, res.TraceJSONL(), 0o644); err != nil {
@@ -59,6 +60,13 @@ func runFaults(spec, traceOut string) int {
 			return 2
 		}
 		fmt.Printf("  trace written to:   %s\n", traceOut)
+	}
+	if spanOut != "" {
+		if err := os.WriteFile(spanOut, res.SpanJSONL(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "anonsim: writing span log: %v\n", err)
+			return 2
+		}
+		fmt.Printf("  spans written to:   %s (tracetool %s renders the causal trees)\n", spanOut, spanOut)
 	}
 
 	if res.OK() {

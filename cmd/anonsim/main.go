@@ -8,6 +8,7 @@
 //	        [-pairs 100] [-tx 2000] [-maxconn 20] [-churn] [-seed 1] [-v]
 //	        [-live] [-live-removals 2] [-net inproc|tcp]
 //	        [-metrics-addr :9090] [-trace-out trace.jsonl] [-metrics-every 5s]
+//	        [-span-out spans.jsonl] [-phase-report phases.json]
 //	        [-faults plan.json | -faults gen:<seed>]
 //
 // With -faults, anonsim runs a deterministic fault-injection plan (see
@@ -16,6 +17,17 @@
 // checks every system invariant and exits non-zero on a violation. With
 // -trace-out the run's full event trace is written as JSONL — byte-identical
 // across runs of the same plan.
+//
+// -span-out captures the causal span log: in -faults mode the virtual-clock
+// span trees of the deterministic world (byte-identical across runs of the
+// same plan), in -live mode the spans the conductor's nodes mint from
+// carried trace context. Feed the file to cmd/tracetool to reconstruct each
+// batch's I → forwarders → R → settlement tree, its critical path and the
+// per-forwarder attribution. -phase-report profiles the simulator's stages
+// (solve.rows, solve.induction, probe.tick, overlay.candidates, route.walk,
+// escrow.settle) and writes the per-phase time/alloc breakdown JSON naming
+// the dominant phase; with -metrics-addr the same brackets also feed the
+// sim_phase_seconds histogram family.
 //
 // With -live, the simulator summary is followed by a live replay: the same
 // strategy routes real connections over the goroutine-per-peer transport
@@ -78,11 +90,13 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write connection lifecycle events as JSONL to this file at exit")
 	traceCap := flag.Int("trace-cap", 65536, "event-ring capacity for lifecycle tracing")
 	metricsEvery := flag.Duration("metrics-every", 0, "log a telemetry snapshot table to stderr at this interval (0 = off)")
+	spanOut := flag.String("span-out", "", "write the causal span log as JSONL to this file (faultsim world or -live replay; read it with tracetool)")
+	phaseReport := flag.String("phase-report", "", "profile the simulator's phases and write the per-phase breakdown JSON to this file")
 	faults := flag.String("faults", "", "run a deterministic fault-injection plan instead of the simulator: a plan JSON path, or gen:<seed>")
 	flag.Parse()
 
 	if *faults != "" {
-		os.Exit(runFaults(*faults, *traceOut))
+		os.Exit(runFaults(*faults, *traceOut, *spanOut))
 	}
 
 	switch *netBackend {
@@ -159,6 +173,22 @@ func main() {
 	s.Core.PositionAware = *posAware
 	s.Telemetry = reg
 
+	var prof *telemetry.PhaseProfiler
+	if *phaseReport != "" {
+		prof = telemetry.NewPhaseProfiler()
+		prof.Instrument(reg) // nil-safe: feeds sim_phase_seconds when serving
+		s.Profile = prof
+	}
+	var spanRec *telemetry.SpanRecorder
+	if *spanOut != "" {
+		if !*live {
+			fmt.Fprintln(os.Stderr, "anonsim: -span-out captures spans from the -live replay or a -faults run; enabling -live")
+			*live = true
+		}
+		spanRec = telemetry.NewSpanRecorder(*traceCap)
+		spanRec.SetSeed(int64(*seed))
+	}
+
 	res, err := experiment.Run(s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "anonsim: %v\n", err)
@@ -201,7 +231,7 @@ func main() {
 
 	if *live {
 		runLive(strategy, *netBackend, *n, *d, *pairs, *tx, *maxconn, *liveRemovals, *seed,
-			stats.Mean(res.NewEdgeRates), reg, tracer)
+			stats.Mean(res.NewEdgeRates), reg, tracer, spanRec)
 	}
 
 	if reg != nil {
@@ -218,6 +248,21 @@ func main() {
 		}
 		fmt.Printf("trace: wrote %d events to %s (%d dropped by the ring)\n",
 			len(tracer.Events()), *traceOut, tracer.Dropped())
+	}
+	if spanRec != nil {
+		if err := spanRec.DumpJSONL(*spanOut); err != nil {
+			fmt.Fprintf(os.Stderr, "anonsim: writing span log: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("spans: wrote %d spans to %s (%d dropped); tracetool %s renders the causal trees\n",
+			spanRec.Total(), *spanOut, spanRec.Dropped(), *spanOut)
+	}
+	if prof != nil {
+		if err := prof.DumpJSON(*phaseReport); err != nil {
+			fmt.Fprintf(os.Stderr, "anonsim: writing phase report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("phases: wrote breakdown to %s (dominant: %s)\n", *phaseReport, prof.Dominant())
 	}
 }
 
@@ -251,7 +296,7 @@ func scrapeSummary(addr string) {
 // simulator's new-edge rate. With backend "tcp" the replay runs over a
 // netwire loopback cluster — real sockets, the same Conductor surface.
 func runLive(strategy core.Strategy, backend string, n, d, pairs, tx, maxconn, removals int, seed uint64,
-	simNewEdge float64, reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	simNewEdge float64, reg *telemetry.Registry, tracer *telemetry.Tracer, spans *telemetry.SpanRecorder) {
 	if strategy == core.FixedPath {
 		fmt.Println("\nlive replay: fixed-path has no live router; use random/utility-I/utility-II")
 		return
@@ -264,6 +309,7 @@ func runLive(strategy core.Strategy, backend string, n, d, pairs, tx, maxconn, r
 	ls.Seed = seed
 	ls.Telemetry = reg
 	ls.Tracer = tracer
+	ls.Spans = spans
 	if backend == "tcp" {
 		ls.NewConductor = func(latency time.Duration) transport.Conductor {
 			return netwire.NewCluster(netwire.Config{Latency: latency})

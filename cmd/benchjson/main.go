@@ -18,7 +18,7 @@
 // With -gate BASELINE.json it additionally compares the parsed run
 // against a committed baseline and exits non-zero on regression:
 //
-//	go test -bench=. -benchmem ./... | benchjson -gate BENCH_PR6.json -out /dev/null
+//	go test -bench=. -benchmem ./... | benchjson -gate BENCH_PR7.json -out /dev/null
 //
 // The gate checks bytes_per_op and allocs_per_op (deterministic under a
 // fixed workload) for every benchmark present in both documents; ns/op is
@@ -165,6 +165,24 @@ func gateAgainst(run, base *Document, ratio float64) ([]string, error) {
 			violations = append(violations, fmt.Sprintf(
 				"%s: %g allocs/op > %g (baseline %g × %g)",
 				b.Name, b.AllocsOp, limit, ref.AllocsOp, ratio))
+		}
+		// Per-phase custom metrics: the phase profiler emits
+		// <phase>-allocs/op and <phase>-ns/op pairs. Allocation counts
+		// are workload-determined, so they gate like allocs/op; the
+		// per-phase wall times stay ungated like ns/op.
+		for unit, val := range b.Metrics {
+			if !strings.HasSuffix(unit, "-allocs/op") {
+				continue
+			}
+			refVal, ok := ref.Metrics[unit]
+			if !ok {
+				continue
+			}
+			if limit := refVal*ratio + 0.5; val > limit {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %g %s > %g (baseline %g × %g)",
+					b.Name, val, unit, limit, refVal, ratio))
+			}
 		}
 	}
 	if matched == 0 {

@@ -124,3 +124,50 @@ func TestGateAgainst(t *testing.T) {
 		t.Fatal("gate-ratio < 1 accepted")
 	}
 }
+
+// TestGatePhaseMetrics pins the per-phase custom-metric gate: the phase
+// profiler's <phase>-allocs/op entries gate like allocs/op while the
+// <phase>-ns/op entries stay ungated, and a phase absent from the
+// baseline is ignored rather than failed.
+func TestGatePhaseMetrics(t *testing.T) {
+	base := gateDoc(Benchmark{
+		Name: "BenchmarkPhaseBreakdown/N=1000", BytesPerOp: 1000, AllocsOp: 100,
+		Metrics: map[string]float64{
+			"solve.rows-allocs/op": 40,
+			"solve.rows-ns/op":     1e6,
+			"probe.tick-allocs/op": 800,
+		},
+	})
+
+	// Per-phase wall time may explode without tripping; allocs within
+	// ratio pass; a phase the baseline has never seen is ignored.
+	ok := gateDoc(Benchmark{
+		Name: "BenchmarkPhaseBreakdown/N=1000", BytesPerOp: 1000, AllocsOp: 100,
+		Metrics: map[string]float64{
+			"solve.rows-allocs/op":    44,
+			"solve.rows-ns/op":        1e12,
+			"probe.tick-allocs/op":    800,
+			"route.walk-allocs/op":    5000,
+			"escrow.settle-allocs/op": 1,
+		},
+	})
+	if v, err := gateAgainst(ok, base, 1.15); err != nil || len(v) != 0 {
+		t.Fatalf("clean phase run: violations=%v err=%v", v, err)
+	}
+
+	// An alloc regression in one phase fails with that phase named.
+	blown := gateDoc(Benchmark{
+		Name: "BenchmarkPhaseBreakdown/N=1000", BytesPerOp: 1000, AllocsOp: 100,
+		Metrics: map[string]float64{
+			"solve.rows-allocs/op": 80,
+			"probe.tick-allocs/op": 800,
+		},
+	})
+	v, err := gateAgainst(blown, base, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "solve.rows-allocs/op") {
+		t.Fatalf("phase regression: violations=%v, want one naming solve.rows-allocs/op", v)
+	}
+}

@@ -18,6 +18,7 @@ package conformance
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"p2panon/internal/core"
 	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
 	"p2panon/internal/trace"
 	"p2panon/internal/transport"
 )
@@ -43,6 +45,19 @@ type Backend struct {
 // path records, initiator-side validation with the batch key.
 type SecureBatcher interface {
 	RunSecureBatch(initiator, responder overlay.NodeID, contract *onion.SignedContract, bk *onion.BatchKey, k, budget int, timeout time.Duration) (*transport.BatchOutcome, error)
+}
+
+// SpanInstrumented is the causal-tracing surface both backends expose:
+// attach a span recorder and every connection emits a deterministic span
+// tree whose ids derive from causal coordinates, not arrival order.
+type SpanInstrumented interface {
+	SetSpans(r *telemetry.SpanRecorder)
+	Spans() *telemetry.SpanRecorder
+}
+
+// Settler is the split-payment distribution surface.
+type Settler interface {
+	SettleBatch(initiator overlay.NodeID, batch int, out *transport.BatchOutcome, contract core.Contract) (int, error)
 }
 
 // tcase is one row of the conformance table. run drives a fresh conductor
@@ -232,6 +247,7 @@ func cases() []tcase {
 		{name: "timeout-deadline", run: caseTimeoutDeadline},
 		{name: "settlement-totals", run: caseSettlementTotals},
 		{name: "secure-batch", run: caseSecureBatch},
+		{name: "span-transcript", run: caseSpanTranscript},
 	}
 }
 
@@ -447,6 +463,65 @@ func caseSettlementTotals(t *testing.T, b Backend) []string {
 		}
 	}
 	return settlementLines(out, contract)
+}
+
+// caseSpanTranscript is the causal-tracing acceptance bar: the same
+// seeded workload — a 2-connection batch over a forced line, settled
+// under the paper's split payment — must produce a byte-identical span
+// log on every backend. Span ids are chain hashes of causal coordinates
+// carried in the trace context, so the TCP backend's remote nodes mint
+// exactly the ids the in-process backend derives locally, no matter how
+// the sockets interleave.
+func caseSpanTranscript(t *testing.T, b Backend) []string {
+	cd := joinLine(t, b, 5, 0)
+	si, ok := cd.(SpanInstrumented)
+	if !ok {
+		t.Fatalf("backend %s does not implement SetSpans", b.Name)
+	}
+	st, ok := cd.(Settler)
+	if !ok {
+		t.Fatalf("backend %s does not implement SettleBatch", b.Name)
+	}
+	rec := telemetry.NewSpanRecorder(1 << 12)
+	rec.SetSeed(42)
+	si.SetSpans(rec)
+
+	const k = 2
+	out, err := cd.RunBatch(0, 4, 3, k, 8, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contract := core.Contract{Pf: 1.5, Pr: 20}
+	if _, err := st.SettleBatch(0, 3, out, contract); err != nil {
+		t.Fatal(err)
+	}
+	// Per connection: launch, one hop span per non-responder path member,
+	// respond, deliver; one deduplicated batch root; one settle span per
+	// forwarder. Settle frames land asynchronously on the TCP backend, so
+	// poll for the full count before dumping.
+	want := 1 + out.SetSize()
+	for _, p := range out.Paths {
+		want += 1 + (len(p) - 1) + 1 + 1
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rec.Total() < want && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := rec.Total(); got != want {
+		t.Fatalf("recorded %d spans, want %d", got, want)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("recorder dropped %d spans", rec.Dropped())
+	}
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != want {
+		t.Fatalf("span log has %d lines, want %d", len(lines), want)
+	}
+	return lines
 }
 
 // caseSecureBatch runs the §5 protocol over both backends: contract

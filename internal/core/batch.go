@@ -8,6 +8,7 @@ import (
 	"p2panon/internal/history"
 	"p2panon/internal/overlay"
 	"p2panon/internal/quality"
+	"p2panon/internal/telemetry"
 )
 
 // Batch is one (I, R) pair's set of recurring connections π = {π¹ … π^k}
@@ -202,6 +203,11 @@ func (b *Batch) RunConnection() *PathResult {
 	pred := overlay.None
 	res.Nodes = append(res.Nodes, cur)
 
+	// route.walk covers the hop loop only; the SPNE solve above reports
+	// under the solve.* phases (a cache hit costs nothing to attribute).
+	walk := b.sys.Prof.Start(telemetry.PhaseRouteWalk)
+	defer walk.End()
+
 	for hop := 0; ; hop++ {
 		remaining := budget - hop
 		deliver := remaining <= 0
@@ -383,6 +389,10 @@ func (b *Batch) chooseUtilityI(cur, pred overlay.NodeID, candidates []overlay.No
 // The returned slice is the batch's reusable scratch buffer: it is valid
 // only until the next candidates call.
 func (b *Batch) candidates(cur, pred overlay.NodeID) []overlay.NodeID {
+	// Time-only bracket: this runs once per hop and the body is O(d), so
+	// the full alloc-sampling bracket would dwarf what it measures.
+	ph := b.sys.Prof.StartTimer(telemetry.PhaseOverlayCandidates)
+	defer ph.End()
 	out := b.cands[:0]
 	for _, v := range b.sys.Net.Node(cur).Neighbors {
 		if v == pred || v == b.Responder || v == b.Initiator || v == cur {
@@ -485,14 +495,22 @@ func (b *Batch) solveStageGame(scratch [][]game.Decision) [][]game.Decision {
 			return b.stageEdgeQuality(overlay.NodeID(i), overlay.NodeID(j))
 		}
 		g.Workers = 0
-		return g.SolveInto(scratch)
+		ps := b.sys.Prof.Start(telemetry.PhaseSolveInduction)
+		table := g.SolveInto(scratch)
+		ps.End()
+		return table
 	}
+	pr := b.sys.Prof.Start(telemetry.PhaseSolveRows)
 	row, rowLen, succ, qual := b.buildSparseRows(n)
+	pr.End()
 	g.Adjacency = func(i int) ([]int32, []float64) {
 		lo, m := row[i], rowLen[i]
 		return succ[lo : lo+m], qual[lo : lo+m]
 	}
-	return g.SolveInto(scratch)
+	ps := b.sys.Prof.Start(telemetry.PhaseSolveInduction)
+	table := g.SolveInto(scratch)
+	ps.End()
+	return table
 }
 
 // buildSparseRows materialises the stage game's sparse adjacency into the

@@ -25,6 +25,7 @@ import (
 	"p2panon/internal/overlay"
 	"p2panon/internal/probe"
 	"p2panon/internal/quality"
+	"p2panon/internal/telemetry"
 )
 
 // Strategy selects how a (good) node routes. Malicious nodes always route
@@ -201,6 +202,13 @@ type System struct {
 	Net    *overlay.Network
 	Probes *probe.Set
 	Hist   *history.Store
+
+	// Prof, when non-nil, receives per-phase wall-time and allocation
+	// brackets from the routing loop (telemetry phase taxonomy: the
+	// solve.* pair, overlay.candidates and route.walk). Nil costs one
+	// branch per bracket site; it never affects routing decisions or
+	// randomness, so transcripts are identical with or without it.
+	Prof *telemetry.PhaseProfiler
 
 	cfg     Config
 	rng     *dist.Source

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
 )
 
 // NodePayoff is one forwarder's settled outcome for a batch: m forwarding
@@ -25,6 +26,8 @@ type NodePayoff struct {
 // normally settle once at the end of the batch. Results are sorted by
 // node ID.
 func (b *Batch) Settle() []NodePayoff {
+	ph := b.sys.Prof.Start(telemetry.PhaseEscrowSettle)
+	defer ph.End()
 	size := b.fset.Size()
 	if size == 0 {
 		return nil

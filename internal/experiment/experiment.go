@@ -65,6 +65,11 @@ type Setup struct {
 	// and batch-outcome series. Nil leaves the run uninstrumented (the
 	// per-event cost is a nil check).
 	Telemetry *telemetry.Registry
+	// Profile, when non-nil, receives the run's per-phase wall-time and
+	// allocation brackets (solve rows/induction, probe ticks, candidate
+	// gathering, route walk, settlement). Purely observational: it never
+	// draws randomness or alters routing, so transcripts are unchanged.
+	Profile *telemetry.PhaseProfiler
 }
 
 // Default returns the paper's §3 experimental setup (strategy and
@@ -211,6 +216,7 @@ func newHarness(s Setup) (*harness, error) {
 	// are byte-identical whatever the worker count (the -jobs golden test
 	// pins this).
 	probes.Workers = s.Core.SolveWorkers
+	probes.Prof = s.Profile
 	probes.Instrument(s.Telemetry)
 	for i := 0; i < s.WarmupProbes; i++ {
 		probes.TickAll()
@@ -221,6 +227,7 @@ func newHarness(s Setup) (*harness, error) {
 	if err != nil {
 		return nil, err
 	}
+	sys.Prof = s.Profile
 
 	pairs, err := s.Workload.Generate(net, rng.Split())
 	if err != nil {

@@ -46,6 +46,10 @@ type LiveSetup struct {
 	// delivered/failed) into its ring.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// Spans, when non-nil, is attached to the conductor so the replay
+	// emits deterministic causal span trees (batch roots, launches, hops,
+	// responds, delivers, settles) into it — the log cmd/tracetool reads.
+	Spans *telemetry.SpanRecorder
 	// NewConductor, when non-nil, builds the forwarding backend the
 	// replay runs over — e.g. a netwire TCP loopback cluster — with the
 	// requested per-link latency. Nil uses the in-process
@@ -144,6 +148,13 @@ func RunLive(s LiveSetup) (*LiveOutcome, error) {
 	defer live.Close()
 	if s.Telemetry != nil || s.Tracer != nil {
 		live.Instrument(s.Telemetry, s.Tracer)
+	}
+	if s.Spans != nil {
+		si, ok := live.(interface{ SetSpans(*telemetry.SpanRecorder) })
+		if !ok {
+			return nil, fmt.Errorf("experiment: conductor %T cannot record spans", live)
+		}
+		si.SetSpans(s.Spans)
 	}
 	for id := range topo {
 		if err := live.Join(id, router); err != nil {

@@ -23,6 +23,9 @@ type Result struct {
 	SettledBatches, SkippedBatches, FailedSettles int
 	TraceDropped                                  uint64
 	VirtualSeconds                                float64
+
+	Spans       []telemetry.Span
+	SpanDropped uint64
 }
 
 // OK reports whether every invariant held.
@@ -39,6 +42,19 @@ func (r *Result) TraceJSONL() []byte {
 			// Event is a plain struct of scalars; encoding cannot fail.
 			panic(err)
 		}
+	}
+	return buf.Bytes()
+}
+
+// SpanJSONL renders the causal span log as JSON lines in canonical order.
+// Spans carry virtual-clock timestamps, so like TraceJSONL the output is
+// byte-identical across runs of the same plan — replay-compatible with the
+// event trace and readable by cmd/tracetool.
+func (r *Result) SpanJSONL() []byte {
+	var buf bytes.Buffer
+	if err := telemetry.WriteSpansJSONL(&buf, r.Spans); err != nil {
+		// Span is a plain struct of scalars; encoding cannot fail.
+		panic(err)
 	}
 	return buf.Bytes()
 }
@@ -74,6 +90,8 @@ func Run(p Plan) (*Result, error) {
 		FaultsInjected: w.cFaults.Value(),
 		TraceDropped:   w.tracer.Dropped(),
 		VirtualSeconds: float64(w.eng.Now()),
+		Spans:          w.spans.Spans(),
+		SpanDropped:    w.spans.Dropped(),
 	}
 	for _, rec := range w.batches {
 		switch {

@@ -181,6 +181,43 @@ func TestSeededPlans(t *testing.T) {
 	}
 }
 
+// TestSeededPlansSpanDeterminism extends the replay guarantee to the
+// causal span log: the same plan run twice must produce byte-identical
+// SpanJSONL output, including the virtual-clock timestamps. The name
+// shares the TestSeededPlans prefix so the CI faultsim -race job runs it.
+func TestSeededPlansSpanDeterminism(t *testing.T) {
+	for _, seed := range []uint64{42, 101} {
+		p := GeneratePlan(seed)
+		r1, err := Run(p)
+		if err != nil {
+			t.Fatalf("seed %d first run: %v", seed, err)
+		}
+		r2, err := Run(p)
+		if err != nil {
+			t.Fatalf("seed %d second run: %v", seed, err)
+		}
+		s1, s2 := r1.SpanJSONL(), r2.SpanJSONL()
+		if !bytes.Equal(s1, s2) {
+			t.Fatalf("seed %d: span logs differ across identical runs: %d vs %d bytes", seed, len(s1), len(s2))
+		}
+		if len(r1.Spans) == 0 {
+			t.Fatalf("seed %d: empty span log — no batch was traced", seed)
+		}
+		if r1.SpanDropped != 0 {
+			t.Fatalf("seed %d: recorder dropped %d spans; raise Plan.TraceCap", seed, r1.SpanDropped)
+		}
+		stamped := 0
+		for _, s := range r1.Spans {
+			if s.TimeMicros > 0 {
+				stamped++
+			}
+		}
+		if stamped == 0 {
+			t.Fatalf("seed %d: no span carries a virtual-clock timestamp", seed)
+		}
+	}
+}
+
 // TestValidateRejectsBadPlans spot-checks schedule validation.
 func TestValidateRejectsBadPlans(t *testing.T) {
 	cases := []Plan{

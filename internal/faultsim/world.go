@@ -68,6 +68,9 @@ type wmsg struct {
 	path                 []overlay.NodeID
 	hop                  int
 	reason               string
+	// Trace context, carried exactly like the netwire frame extension:
+	// the batch trace id and the span of the last causal step.
+	trace, span telemetry.SpanID
 }
 
 // connState tracks the single in-flight connection (connections within a
@@ -78,6 +81,9 @@ type connState struct {
 	resolved    bool
 	backoff     float64
 	reforms     int
+	// launchSpan is this attempt's launch; prevSpan the last causal step
+	// (launch, nack or timeout) the next reform/fail span parents on.
+	launchSpan, prevSpan telemetry.SpanID
 }
 
 // deliveredConn records one confirmed delivery for the path-contiguity
@@ -103,6 +109,7 @@ type batchRecord struct {
 	settleErr            error
 	settled              bool
 	expectRejected       int
+	trace, root          telemetry.SpanID
 }
 
 // faultSlot is a message fault awaiting its matching send.
@@ -123,6 +130,7 @@ type world struct {
 	bank   *payment.Bank
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
+	spans  *telemetry.SpanRecorder
 
 	rng       *dist.Source // world randomness (endpoints, churn, probes)
 	routerRNG *dist.Source // router randomness, split per batch
@@ -167,6 +175,14 @@ func newWorld(p Plan) (*world, error) {
 	w.net = overlay.NewNetwork(p.Degree, rng.Split())
 	w.probes = probe.NewSet(w.net, rng.Split(), sim.Time(p.ProbePeriod))
 	w.routerRNG = rng.Split()
+
+	// Spans are stamped with the virtual clock in microseconds, so the log
+	// is seed-determined: two runs of one plan are byte-identical.
+	w.spans = telemetry.NewSpanRecorder(p.TraceCap)
+	w.spans.SetSeed(int64(p.Seed))
+	w.spans.SetClock(func() int64 {
+		return int64(float64(w.eng.Now()) * 1e6)
+	})
 
 	w.cSends = reg.Counter(metricSends, nil)
 	w.cDrops = reg.Counter(metricDrops, nil)
@@ -345,6 +361,12 @@ func (w *world) startBatch(b int) {
 	}
 	rec.initiator, rec.responder = good[ii], good[rr]
 
+	rec.trace = w.spans.TraceID(b, int(rec.initiator), int(rec.responder))
+	rec.root = telemetry.NewSpanID(rec.trace, telemetry.SpanBatch, 0, 0, 0, int(rec.initiator))
+	w.spans.Record(telemetry.Span{
+		Trace: rec.trace, ID: rec.root, Kind: telemetry.SpanBatch, Batch: b, Node: int(rec.initiator),
+	})
+
 	topo := transport.SnapshotTopology(w.net)
 	rec.router = w.buildRouter(topo, w.availMap())
 
@@ -405,6 +427,12 @@ func (w *world) startAttempt() {
 		return
 	}
 	attempt := cur.attempt
+	launch := telemetry.NewSpanID(rec.root, telemetry.SpanLaunch, cur.conn, attempt, 0, int(rec.initiator))
+	w.spans.Record(telemetry.Span{
+		Trace: rec.trace, ID: launch, Parent: rec.root, Kind: telemetry.SpanLaunch,
+		Batch: cur.batch, Conn: cur.conn, Attempt: attempt, Node: int(rec.initiator),
+	})
+	cur.launchSpan, cur.prevSpan = launch, launch
 	w.eng.AfterFunc(sim.Time(w.plan.AttemptTimeout), func(*sim.Engine) {
 		if w.cur != cur || cur.attempt != attempt || cur.resolved {
 			return
@@ -415,6 +443,12 @@ func (w *world) startAttempt() {
 			Kind: telemetry.KindTimeout, Batch: cur.batch, Conn: cur.conn, Node: int(rec.initiator),
 			Detail: fmt.Sprintf("attempt %d", attempt),
 		})
+		timeoutSpan := telemetry.NewSpanID(launch, telemetry.SpanTimeout, cur.conn, attempt, 0, int(rec.initiator))
+		w.spans.Record(telemetry.Span{
+			Trace: rec.trace, ID: timeoutSpan, Parent: launch, Kind: telemetry.SpanTimeout,
+			Batch: cur.batch, Conn: cur.conn, Attempt: attempt, Node: int(rec.initiator),
+		})
+		cur.prevSpan = timeoutSpan
 		w.retryOrFail("timeout", "attempt deadline")
 	})
 	w.send(wmsg{
@@ -422,6 +456,7 @@ func (w *world) startAttempt() {
 		from: overlay.None, to: rec.initiator,
 		initiator: rec.initiator, responder: rec.responder,
 		remaining: w.plan.Budget,
+		trace:     rec.trace, span: launch,
 	})
 }
 
@@ -493,10 +528,19 @@ func (w *world) handleForward(m wmsg) {
 		if hop < 0 {
 			hop = 0
 		}
+		respondSpan := m.span
+		if m.trace != 0 {
+			respondSpan = telemetry.NewSpanID(m.span, telemetry.SpanRespond, m.conn, 0, len(path)-1, int(self))
+			w.spans.Record(telemetry.Span{
+				Trace: m.trace, ID: respondSpan, Parent: m.span, Kind: telemetry.SpanRespond,
+				Batch: m.batch, Conn: m.conn, Hop: len(path) - 1, Node: int(self),
+			})
+		}
 		w.send(wmsg{
 			kind: wConfirm, batch: m.batch, conn: m.conn, attempt: m.attempt,
 			initiator: m.initiator, responder: m.responder,
 			path: path, hop: hop, to: path[hop],
+			trace: m.trace, span: respondSpan,
 		})
 		return
 	}
@@ -505,6 +549,14 @@ func (w *world) handleForward(m wmsg) {
 		Kind: telemetry.KindHopForward, Batch: m.batch, Conn: m.conn, Node: int(self),
 		Hop: len(path) - 1, Detail: fmt.Sprintf("attempt %d", m.attempt),
 	})
+	if m.trace != 0 {
+		hopSpan := telemetry.NewSpanID(m.span, telemetry.SpanHop, m.conn, 0, len(path)-1, int(self))
+		w.spans.Record(telemetry.Span{
+			Trace: m.trace, ID: hopSpan, Parent: m.span, Kind: telemetry.SpanHop,
+			Batch: m.batch, Conn: m.conn, Hop: len(path) - 1, Node: int(self),
+		})
+		m.span = hopSpan
+	}
 	next := m.responder
 	if m.remaining > 0 {
 		if router := w.routerFor(m.batch); router != nil {
@@ -544,10 +596,19 @@ func (w *world) handleReverse(m wmsg) {
 // nackBack originates a NACK at path[fromIdx] (or directly at the
 // initiator when the path is empty).
 func (w *world) nackBack(m wmsg, fromIdx int, reason string) {
+	nackSpan := telemetry.SpanID(0)
+	if m.trace != 0 {
+		nackSpan = telemetry.NewSpanID(m.span, telemetry.SpanNack, m.conn, 0, len(m.path), int(m.initiator))
+		w.spans.Record(telemetry.Span{
+			Trace: m.trace, ID: nackSpan, Parent: m.span, Kind: telemetry.SpanNack,
+			Batch: m.batch, Conn: m.conn, Hop: len(m.path), Node: int(m.initiator), Detail: reason,
+		})
+	}
 	n := wmsg{
 		kind: wNack, batch: m.batch, conn: m.conn, attempt: m.attempt,
 		initiator: m.initiator, responder: m.responder,
 		path: m.path, reason: reason,
+		trace: m.trace, span: nackSpan,
 	}
 	if fromIdx < 0 || len(m.path) == 0 {
 		w.acceptNack(n)
@@ -579,6 +640,17 @@ func (w *world) acceptConfirm(m wmsg) {
 		Hop:    len(m.path),
 		Detail: fmt.Sprintf("attempt %d path %d after %d reformations", m.attempt, len(m.path), cur.reforms),
 	})
+	if m.trace != 0 {
+		parent := m.span
+		if parent == 0 {
+			parent = cur.launchSpan
+		}
+		deliver := telemetry.NewSpanID(parent, telemetry.SpanDeliver, m.conn, m.attempt, 0, int(m.initiator))
+		w.spans.Record(telemetry.Span{
+			Trace: m.trace, ID: deliver, Parent: parent, Kind: telemetry.SpanDeliver,
+			Batch: m.batch, Conn: m.conn, Attempt: m.attempt, Node: int(m.initiator),
+		})
+	}
 	rec.delivered[m.conn] = deliveredConn{path: append([]overlay.NodeID(nil), m.path...), attempt: m.attempt}
 	for i := 1; i <= len(m.path)-2; i++ {
 		f := m.path[i]
@@ -598,6 +670,9 @@ func (w *world) acceptNack(m wmsg) {
 		Kind: telemetry.KindNack, Batch: m.batch, Conn: m.conn, Node: int(m.initiator),
 		Hop: len(m.path), Detail: m.reason,
 	})
+	if m.span != 0 {
+		w.cur.prevSpan = m.span
+	}
 	w.retryOrFail("nack", m.reason)
 }
 
@@ -627,17 +702,36 @@ func (w *world) retryOrFail(cause, reason string) {
 			Kind: telemetry.KindReformation, Batch: cur.batch, Conn: cur.conn, Node: int(w.curRec.initiator),
 			Detail: fmt.Sprintf("attempt %d", cur.attempt),
 		})
+		rec := w.curRec
+		parent := cur.prevSpan
+		if parent == 0 {
+			parent = rec.root
+		}
+		reform := telemetry.NewSpanID(parent, telemetry.SpanReform, cur.conn, cur.attempt, 0, int(rec.initiator))
+		w.spans.Record(telemetry.Span{
+			Trace: rec.trace, ID: reform, Parent: parent, Kind: telemetry.SpanReform,
+			Batch: cur.batch, Conn: cur.conn, Attempt: cur.attempt, Node: int(rec.initiator),
+		})
 		w.startAttempt()
 	})
 }
 
 func (w *world) failConn(cause, reason string) {
-	cur := w.cur
+	cur, rec := w.cur, w.curRec
 	cur.resolved = true
 	w.cFailed.Inc()
 	w.trace(telemetry.Event{
-		Kind: telemetry.KindFailed, Batch: cur.batch, Conn: cur.conn, Node: int(w.curRec.initiator),
+		Kind: telemetry.KindFailed, Batch: cur.batch, Conn: cur.conn, Node: int(rec.initiator),
 		Detail: fmt.Sprintf("cause=%s: %s", cause, reason),
+	})
+	parent := cur.prevSpan
+	if parent == 0 {
+		parent = rec.root
+	}
+	fail := telemetry.NewSpanID(parent, telemetry.SpanFail, cur.conn, cur.attempt, 0, int(rec.initiator))
+	w.spans.Record(telemetry.Span{
+		Trace: rec.trace, ID: fail, Parent: parent, Kind: telemetry.SpanFail,
+		Batch: cur.batch, Conn: cur.conn, Attempt: cur.attempt, Node: int(rec.initiator),
 	})
 	w.finishConn()
 }
@@ -696,6 +790,14 @@ func (w *world) settleBatch() {
 			Kind: telemetry.KindSettled, Batch: rec.batch, Node: int(rec.initiator),
 			Detail: fmt.Sprintf("%d payouts, refund %d", len(payouts), refund),
 		})
+		for _, po := range payouts {
+			span := telemetry.NewSpanID(rec.root, telemetry.SpanSettle, 0, 0, 0, int(po.Forwarder))
+			w.spans.Record(telemetry.Span{
+				Trace: rec.trace, ID: span, Parent: rec.root, Kind: telemetry.SpanSettle,
+				Batch: rec.batch, Node: int(po.Forwarder),
+				Detail: fmt.Sprintf("payoff=%d forwards=%d", po.Amount, po.Forwards),
+			})
+		}
 	}
 	w.nextBatch()
 }

@@ -77,6 +77,10 @@ type wireResult struct {
 	records []onion.PathRecord
 	err     error
 	fatal   bool
+	// span is the causal span the terminal frame carried: the responder's
+	// respond span for a confirm, the nack span for a NACK. The initiator
+	// parents its deliver/fail span on it.
+	span telemetry.SpanID
 }
 
 // Cluster is the loopback harness and runtime: N nodes on ephemeral
@@ -98,6 +102,7 @@ type Cluster struct {
 	clock   vclock.Clock
 	metrics *metrics
 	tracer  *telemetry.Tracer
+	spans   *telemetry.SpanRecorder
 
 	pendMu  sync.Mutex
 	pending map[int]chan wireResult
@@ -165,6 +170,17 @@ func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	}
 	c.tracer = tr
 }
+
+// SetSpans attaches a causal span recorder: every connection then emits
+// the same deterministic span tree as the in-process backend — span ids
+// are chain hashes of causal coordinates carried in the frames' trace
+// context, never of arrival order, so both backends produce byte-equal
+// logs for the same seeded workload. A nil recorder disables emission.
+// Call before traffic starts.
+func (c *Cluster) SetSpans(r *telemetry.SpanRecorder) { c.spans = r }
+
+// Spans returns the attached span recorder, or nil.
+func (c *Cluster) Spans() *telemetry.SpanRecorder { return c.spans }
 
 // Telemetry returns the registry backing the cluster's metrics.
 func (c *Cluster) Telemetry() *telemetry.Registry { return c.metrics.reg }
@@ -376,6 +392,18 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			Node: int(initiator), Detail: fmt.Sprintf("responder %d budget %d", responder, budget),
 		})
 	}
+	// Span context: one trace per (batch, I, R); the root is minted lazily
+	// by every connection (the recorder deduplicates by id). Attempt
+	// coordinates on initiator-side spans are the per-connection ordinal,
+	// NOT the frame's Attempt field — that one is a cluster-global counter.
+	var trace, root telemetry.SpanID
+	if c.spans != nil {
+		trace = c.spans.TraceID(batch, int(initiator), int(responder))
+		root = telemetry.NewSpanID(trace, telemetry.SpanBatch, 0, 0, 0, int(initiator))
+		c.spans.Record(telemetry.Span{
+			Trace: trace, ID: root, Kind: telemetry.SpanBatch, Batch: batch, Node: int(initiator),
+		})
+	}
 	deadline := start.Add(timeout)
 	per := timeout / time.Duration(policy.MaxAttempts)
 	if per <= 0 {
@@ -383,8 +411,11 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 	}
 	backoff := policy.BaseBackoff
 	reforms := 0
+	lastAttempt := 1
 	var lastErr error
+	var prevSpan telemetry.SpanID // outcome span of the previous attempt
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		lastAttempt = attempt
 		remaining := c.clock.Until(deadline)
 		if remaining <= 0 {
 			break
@@ -411,11 +442,31 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 					Node: int(initiator), Detail: fmt.Sprintf("attempt %d", attempt),
 				})
 			}
+			if c.spans != nil {
+				parent := prevSpan
+				if parent == 0 {
+					parent = root
+				}
+				reform := telemetry.NewSpanID(parent, telemetry.SpanReform, conn, attempt, 0, int(initiator))
+				c.spans.Record(telemetry.Span{
+					Trace: trace, ID: reform, Parent: parent, Kind: telemetry.SpanReform,
+					Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+				})
+			}
 		}
 		window := per
 		if window > remaining {
 			window = remaining
 		}
+		launch := telemetry.SpanID(0)
+		if c.spans != nil {
+			launch = telemetry.NewSpanID(root, telemetry.SpanLaunch, conn, attempt, 0, int(initiator))
+			c.spans.Record(telemetry.Span{
+				Trace: trace, ID: launch, Parent: root, Kind: telemetry.SpanLaunch,
+				Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+			})
+		}
+		prevSpan = launch
 		aid := int(c.attempt.Add(1))
 		ch := make(chan wireResult, 1)
 		c.pendMu.Lock()
@@ -426,6 +477,7 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			c.deregister(aid)
 			c.metrics.failures.Inc()
 			c.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, "initiator departed")
+			c.failSpan(trace, prevSpan, batch, conn, attempt, initiator)
 			return wireResult{}, reforms, fmt.Errorf("netwire: initiator %d departed", initiator)
 		}
 		abs := c.clock.Now().Add(window)
@@ -439,6 +491,8 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			Responder: responder,
 			Remaining: budget,
 			Contract:  contract,
+			Trace:     trace,
+			Span:      launch,
 		}
 		c.wg.Add(1)
 		go func() {
@@ -455,18 +509,41 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 				c.metrics.pathLen.Observe(float64(len(res.path)))
 				c.traceTerminal(telemetry.KindDelivered, batch, conn, initiator, len(res.path),
 					fmt.Sprintf("path len %d after %d reformations", len(res.path), reforms))
+				if c.spans != nil {
+					parent := res.span
+					if parent == 0 {
+						parent = launch
+					}
+					deliver := telemetry.NewSpanID(parent, telemetry.SpanDeliver, conn, attempt, 0, int(initiator))
+					c.spans.Record(telemetry.Span{
+						Trace: trace, ID: deliver, Parent: parent, Kind: telemetry.SpanDeliver,
+						Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+					})
+				}
 				return res, reforms, nil
 			}
 			lastErr = res.err
+			if res.span != 0 {
+				prevSpan = res.span
+			}
 			if res.fatal {
 				c.metrics.failures.Inc()
 				c.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, res.err.Error())
+				c.failSpan(trace, prevSpan, batch, conn, attempt, initiator)
 				return wireResult{}, reforms, res.err
 			}
 		case <-timer.C:
 			c.deregister(aid)
 			c.metrics.timeouts.Inc()
 			lastErr = fmt.Errorf("netwire: attempt %d of connection %d/%d timed out after %v", attempt, batch, conn, window)
+			if c.spans != nil {
+				timeoutSpan := telemetry.NewSpanID(launch, telemetry.SpanTimeout, conn, attempt, 0, int(initiator))
+				c.spans.Record(telemetry.Span{
+					Trace: trace, ID: timeoutSpan, Parent: launch, Kind: telemetry.SpanTimeout,
+					Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+				})
+				prevSpan = timeoutSpan
+			}
 		}
 	}
 	c.metrics.failures.Inc()
@@ -474,7 +551,24 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 		lastErr = fmt.Errorf("netwire: connection %d/%d timed out after %v", batch, conn, timeout)
 	}
 	c.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, lastErr.Error())
+	if prevSpan == 0 {
+		prevSpan = root
+	}
+	c.failSpan(trace, prevSpan, batch, conn, lastAttempt, initiator)
 	return wireResult{}, reforms, fmt.Errorf("netwire: connection %d/%d failed after %d reformations: %w", batch, conn, reforms, lastErr)
+}
+
+// failSpan emits the terminal fail span of a connection, parented on the
+// last causal step (nack span, timeout span, or the launch itself).
+func (c *Cluster) failSpan(trace, parent telemetry.SpanID, batch, conn, attempt int, initiator overlay.NodeID) {
+	if c.spans == nil {
+		return
+	}
+	id := telemetry.NewSpanID(parent, telemetry.SpanFail, conn, attempt, 0, int(initiator))
+	c.spans.Record(telemetry.Span{
+		Trace: trace, ID: id, Parent: parent, Kind: telemetry.SpanFail,
+		Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+	})
 }
 
 // deregister abandons a pending attempt.
@@ -588,6 +682,17 @@ func (c *Cluster) SettleBatch(initiator overlay.NodeID, batch int, out *transpor
 	if nd == nil {
 		return 0, fmt.Errorf("netwire: unknown initiator %d", initiator)
 	}
+	// The settle frames carry the batch root as trace context; the
+	// receiving node emits the settle span, so the log records settlement
+	// where it actually happened — yet with the same ids the in-process
+	// backend derives, because both hash the same causal coordinates.
+	var trace, root telemetry.SpanID
+	if c.spans != nil && len(out.Paths) > 0 {
+		first := out.Paths[0]
+		responder := first[len(first)-1]
+		trace = c.spans.TraceID(batch, int(initiator), int(responder))
+		root = telemetry.NewSpanID(trace, telemetry.SpanBatch, 0, 0, 0, int(initiator))
+	}
 	sent := 0
 	for id := range out.Set {
 		f := &Frame{
@@ -597,6 +702,8 @@ func (c *Cluster) SettleBatch(initiator overlay.NodeID, batch int, out *transpor
 			SetSize:  out.SetSize(),
 			Forwards: out.Forwards[id],
 			Payoff:   out.Payoff(id, contract),
+			Trace:    trace,
+			Span:     root,
 		}
 		if nd.sendMsg(id, f, time.Time{}) {
 			sent++

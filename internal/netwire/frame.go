@@ -27,6 +27,7 @@ import (
 
 	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
 
 	"crypto/ecdh"
 )
@@ -54,8 +55,15 @@ const (
 	maxSigLen     = 256
 	flagFatal     = 1 << 0
 	flagContract  = 1 << 1
-	flagKnownMask = flagFatal | flagContract
+	flagTrace     = 1 << 2
+	flagKnownMask = flagFatal | flagContract | flagTrace
 )
+
+// traceTailSize is the trace-context extension: trace id + parent span
+// id, 8 bytes each. On the message kinds its presence is signalled by
+// flagTrace; on the fixed-layout kinds that carry it (hello/hello_ack,
+// settle) by the body length alone.
+const traceTailSize = 16
 
 // Kind discriminates frame payloads.
 type Kind uint8
@@ -86,11 +94,11 @@ const (
 func BodyCap(k Kind) int {
 	switch k {
 	case KindHello, KindHelloAck:
-		return 2 + 8 + 8 // node + nonce
+		return 2 + 8 + 8 + traceTailSize // node + nonce + optional trace context
 	case KindProbe, KindProbeAck:
 		return 2 + 8 // nonce
 	case KindSettle:
-		return 2 + 5*8 // batch, node, set size, forwards, payoff
+		return 2 + 5*8 + traceTailSize // batch, node, set size, forwards, payoff + optional trace context
 	case KindForward, KindConfirm, KindNack:
 		return MaxFrameSize
 	default:
@@ -132,6 +140,7 @@ var (
 	ErrBadFlags     = errors.New("netwire: unknown flag bits set")
 	ErrFieldTooLong = errors.New("netwire: field exceeds its cap")
 	ErrBadKey       = errors.New("netwire: malformed contract key")
+	ErrEmptyTrace   = errors.New("netwire: trace-context extension present but all-zero")
 )
 
 // Frame is the decoded form of one wire frame. Which fields are
@@ -163,7 +172,17 @@ type Frame struct {
 	// Settle: the initiator's split-payment notice for one batch.
 	SetSize, Forwards int
 	Payoff            float64
+
+	// Trace context (optional, any kind except probe/probe_ack): the
+	// batch's deterministic trace id and the sender-side span the receiver
+	// should parent its own spans under. Zero means "no trace context";
+	// the codec never emits the extension for an all-zero pair, and
+	// rejects wire forms that carry one, keeping encoding canonical.
+	Trace, Span telemetry.SpanID
 }
+
+// hasTrace reports whether the frame carries trace context.
+func (f *Frame) hasTrace() bool { return f.Trace != 0 || f.Span != 0 }
 
 func appendU16(dst []byte, v int) []byte {
 	return append(dst, byte(v>>8), byte(v))
@@ -202,6 +221,7 @@ func (f *Frame) encodeBody() ([]byte, error) {
 	case KindHello, KindHelloAck:
 		out = appendI64(out, int64(f.Node))
 		out = appendU64(out, f.Nonce)
+		out = f.appendTraceTail(out)
 	case KindForward, KindConfirm, KindNack:
 		return f.encodeMessage(out)
 	case KindProbe, KindProbeAck:
@@ -212,6 +232,7 @@ func (f *Frame) encodeBody() ([]byte, error) {
 		out = appendI64(out, int64(f.SetSize))
 		out = appendI64(out, int64(f.Forwards))
 		out = appendU64(out, math.Float64bits(f.Payoff))
+		out = f.appendTraceTail(out)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Kind)
 	}
@@ -232,6 +253,9 @@ func (f *Frame) encodeMessage(out []byte) ([]byte, error) {
 	}
 	if f.Contract != nil {
 		flags |= flagContract
+	}
+	if f.hasTrace() {
+		flags |= flagTrace
 	}
 	out = append(out, flags)
 	if len(f.Path) > maxPathLen {
@@ -275,7 +299,35 @@ func (f *Frame) encodeMessage(out []byte) ([]byte, error) {
 		out = appendU16(out, len(r.Sealed))
 		out = append(out, r.Sealed...)
 	}
+	out = f.appendTraceTail(out)
 	return out, nil
+}
+
+// appendTraceTail serialises the trace-context extension when the frame
+// carries one; an all-zero pair is "absent" and emits nothing.
+func (f *Frame) appendTraceTail(out []byte) []byte {
+	if !f.hasTrace() {
+		return out
+	}
+	out = appendU64(out, uint64(f.Trace))
+	return appendU64(out, uint64(f.Span))
+}
+
+// decodeTraceTail parses the optional trace-context extension on the
+// fixed-layout kinds, where its presence is signalled by body length
+// alone: if any bytes remain after the kind's base payload, they must be
+// exactly the 16-byte tail. A present-but-zero tail is rejected so every
+// frame has one canonical encoding.
+func (f *Frame) decodeTraceTail(r *frameReader, bodyLen int) error {
+	if r.err != nil || r.off == bodyLen {
+		return r.err
+	}
+	f.Trace = telemetry.SpanID(r.u64())
+	f.Span = telemetry.SpanID(r.u64())
+	if r.err == nil && !f.hasTrace() {
+		return ErrEmptyTrace
+	}
+	return r.err
 }
 
 // frameReader is a cursor over one frame body with error-free sequential
@@ -369,6 +421,9 @@ func decodeBody(body []byte) (*Frame, error) {
 	case KindHello, KindHelloAck:
 		f.Node = overlay.NodeID(r.i64())
 		f.Nonce = r.u64()
+		if err := f.decodeTraceTail(r, len(body)); err != nil {
+			return nil, err
+		}
 	case KindForward, KindConfirm, KindNack:
 		if err := f.decodeMessage(r); err != nil {
 			return nil, err
@@ -381,6 +436,9 @@ func decodeBody(body []byte) (*Frame, error) {
 		f.SetSize = int(r.i64())
 		f.Forwards = int(r.i64())
 		f.Payoff = math.Float64frombits(r.u64())
+		if err := f.decodeTraceTail(r, len(body)); err != nil {
+			return nil, err
+		}
 	default:
 		if r.err == nil {
 			return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Kind)
@@ -473,6 +531,13 @@ func (f *Frame) decodeMessage(r *frameReader) error {
 		}
 		if b := r.take(recLen); b != nil {
 			f.Records = append(f.Records, onion.PathRecord{Sealed: append([]byte(nil), b...)})
+		}
+	}
+	if flags&flagTrace != 0 {
+		f.Trace = telemetry.SpanID(r.u64())
+		f.Span = telemetry.SpanID(r.u64())
+		if r.err == nil && !f.hasTrace() {
+			return ErrEmptyTrace
 		}
 	}
 	return r.err

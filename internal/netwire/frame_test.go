@@ -10,6 +10,7 @@ import (
 
 	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
+	"p2panon/internal/telemetry"
 )
 
 // testContract builds a valid signed contract for codec tests.
@@ -69,6 +70,16 @@ func randomFrame(t testing.TB, rng *rand.Rand, kind Kind) *Frame {
 			f.Records = append(f.Records, onion.PathRecord{Sealed: sealed})
 		}
 	}
+	// Every kind except probe/probe_ack may carry the trace-context
+	// extension; exercise both the with- and without- wire forms.
+	switch kind {
+	case KindProbe, KindProbeAck:
+	default:
+		if rng.Intn(2) == 1 {
+			f.Trace = telemetry.SpanID(rng.Uint64() | 1)
+			f.Span = telemetry.SpanID(rng.Uint64() | 1)
+		}
+	}
 	return f
 }
 
@@ -101,6 +112,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			g.Remaining != f.Remaining || g.Hop != f.Hop || g.Reason != f.Reason ||
 			g.Fatal != f.Fatal || g.DeadlineMicros != f.DeadlineMicros ||
 			g.SetSize != f.SetSize || g.Forwards != f.Forwards ||
+			g.Trace != f.Trace || g.Span != f.Span ||
 			math.Float64bits(g.Payoff) != math.Float64bits(f.Payoff) ||
 			len(g.Path) != len(f.Path) || len(g.Records) != len(f.Records) {
 			t.Fatalf("trial %d (%s): decoded frame differs:\n got %+v\nwant %+v", trial, f.Kind, g, f)
@@ -229,9 +241,9 @@ func TestBodyCapEnforcedPerKind(t *testing.T) {
 	}{
 		{KindProbe, 10},
 		{KindProbeAck, 10},
-		{KindHello, 18},
-		{KindHelloAck, 18},
-		{KindSettle, 42},
+		{KindHello, 18 + traceTailSize},
+		{KindHelloAck, 18 + traceTailSize},
+		{KindSettle, 42 + traceTailSize},
 	}
 	for _, tc := range cases {
 		t.Run(tc.kind.String(), func(t *testing.T) {
@@ -280,5 +292,74 @@ func TestEncodeRejectsOversizedFields(t *testing.T) {
 	h := &Frame{Kind: Kind(200)}
 	if _, err := h.Encode(); !errors.Is(err, ErrBadKind) {
 		t.Fatalf("bad kind: got %v, want ErrBadKind", err)
+	}
+}
+
+// TestTraceContextExtension pins the trace-context wire forms: the tail
+// round-trips on every eligible kind, absence encodes nothing, and the
+// non-canonical encodings — a present-but-zero tail, or a partial tail —
+// are rejected rather than silently re-encoded differently.
+func TestTraceContextExtension(t *testing.T) {
+	for _, kind := range []Kind{KindHello, KindHelloAck, KindForward, KindConfirm, KindNack, KindSettle} {
+		f := &Frame{Kind: kind, Trace: 0xdeadbeefcafe0001, Span: 0x0123456789abcdef}
+		buf, err := f.Encode()
+		if err != nil {
+			t.Fatalf("%v: encode: %v", kind, err)
+		}
+		g, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", kind, err)
+		}
+		if g.Trace != f.Trace || g.Span != f.Span {
+			t.Fatalf("%v: trace context mangled: %+v", kind, g)
+		}
+		bare, err := (&Frame{Kind: kind}).Encode()
+		if err != nil {
+			t.Fatalf("%v: bare encode: %v", kind, err)
+		}
+		if len(buf) != len(bare)+traceTailSize {
+			t.Fatalf("%v: tail is %d bytes, want %d", kind, len(buf)-len(bare), traceTailSize)
+		}
+	}
+
+	// A zero tail on a fixed-layout kind: length says "extension present",
+	// content says "absent" — re-encoding would drop it, so reject.
+	settle := &Frame{Kind: KindSettle, Batch: 1, Node: 2, SetSize: 3, Forwards: 4, Payoff: 5}
+	buf, err := settle.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroTail := append(append([]byte(nil), buf...), make([]byte, traceTailSize)...)
+	binary.BigEndian.PutUint32(zeroTail, uint32(len(zeroTail)-4))
+	if _, err := DecodeFrame(zeroTail); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("zero settle tail: got %v, want ErrEmptyTrace", err)
+	}
+
+	// A partial tail is a short frame, not a smaller extension.
+	halfTail := append(append([]byte(nil), buf...), make([]byte, 8)...)
+	binary.BigEndian.PutUint32(halfTail, uint32(len(halfTail)-4))
+	if _, err := DecodeFrame(halfTail); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("half settle tail: got %v, want ErrShortFrame", err)
+	}
+
+	// flagTrace set with an all-zero tail on a message kind: same
+	// canonicality argument, same rejection.
+	msg := &Frame{Kind: KindForward, Batch: 3, Attempt: 8, Responder: 5, Remaining: 4}
+	mbuf, err := msg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := append(append([]byte(nil), mbuf...), make([]byte, traceTailSize)...)
+	traced[4+2+72] |= flagTrace
+	binary.BigEndian.PutUint32(traced, uint32(len(traced)-4))
+	if _, err := DecodeFrame(traced); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("zero message tail: got %v, want ErrEmptyTrace", err)
+	}
+
+	// flagTrace set but no tail bytes: short frame.
+	flagOnly := append([]byte(nil), mbuf...)
+	flagOnly[4+2+72] |= flagTrace
+	if _, err := DecodeFrame(flagOnly); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("flag without tail: got %v, want ErrShortFrame", err)
 	}
 }

@@ -158,9 +158,9 @@ func (nd *Node) handleFrame(f *Frame, abs time.Time) {
 	case KindForward:
 		nd.handleForward(f, abs)
 	case KindConfirm:
-		nd.relayBack(f, abs, wireResult{path: f.Path, records: f.Records})
+		nd.relayBack(f, abs, wireResult{path: f.Path, records: f.Records, span: f.Span})
 	case KindNack:
-		nd.relayBack(f, abs, wireResult{err: fmt.Errorf("netwire: %s", f.Reason), fatal: f.Fatal})
+		nd.relayBack(f, abs, wireResult{err: fmt.Errorf("netwire: %s", f.Reason), fatal: f.Fatal, span: f.Span})
 	case KindProbe:
 		nd.sendMsg(f.Node, &Frame{Kind: KindProbeAck, Node: nd.id, Nonce: f.Nonce}, time.Time{})
 	case KindProbeAck:
@@ -170,6 +170,15 @@ func (nd *Node) handleFrame(f *Frame, abs time.Time) {
 		nd.credited[f.Batch] += f.Payoff
 		nd.mu.Unlock()
 		nd.c.metrics.settles.Inc()
+		// The settle span is minted where the credit lands, from the batch
+		// root the frame carried — same id the in-process backend derives.
+		if nd.c.spans != nil && f.Trace != 0 {
+			span := telemetry.NewSpanID(f.Span, telemetry.SpanSettle, 0, 0, 0, int(nd.id))
+			nd.c.spans.Record(telemetry.Span{
+				Trace: f.Trace, ID: span, Parent: f.Span, Kind: telemetry.SpanSettle,
+				Batch: f.Batch, Node: int(nd.id), Detail: transport.SettleDetail(f.Payoff),
+			})
+		}
 	}
 }
 
@@ -178,6 +187,16 @@ func (nd *Node) handleFrame(f *Frame, abs time.Time) {
 func (nd *Node) handleForward(f *Frame, abs time.Time) {
 	f.Path = append(f.Path, nd.id)
 	if nd.id == f.Responder {
+		// The respond span closes the forward chain; the confirm carries it
+		// so the initiator can parent its deliver span on it.
+		if nd.c.spans != nil && f.Trace != 0 {
+			respondSpan := telemetry.NewSpanID(f.Span, telemetry.SpanRespond, f.Conn, 0, len(f.Path)-1, int(nd.id))
+			nd.c.spans.Record(telemetry.Span{
+				Trace: f.Trace, ID: respondSpan, Parent: f.Span, Kind: telemetry.SpanRespond,
+				Batch: f.Batch, Conn: f.Conn, Hop: len(f.Path) - 1, Node: int(nd.id),
+			})
+			f.Span = respondSpan
+		}
 		confirm := *f
 		confirm.Kind = KindConfirm
 		confirm.Hop = len(f.Path) - 2 // index of our predecessor
@@ -205,6 +224,18 @@ func (nd *Node) handleForward(f *Frame, abs time.Time) {
 			Kind: telemetry.KindHopForward, Batch: f.Batch, Conn: f.Conn,
 			Node: int(nd.id), Hop: len(f.Path) - 1,
 		})
+	}
+	// Chain the causal span: this hop's span hashes its predecessor's, so
+	// the id is derivable from the carried trace context alone — the
+	// property that keeps remote nodes in lock-step with the in-process
+	// backend's ids.
+	if nd.c.spans != nil && f.Trace != 0 {
+		hopSpan := telemetry.NewSpanID(f.Span, telemetry.SpanHop, f.Conn, 0, len(f.Path)-1, int(nd.id))
+		nd.c.spans.Record(telemetry.Span{
+			Trace: f.Trace, ID: hopSpan, Parent: f.Span, Kind: telemetry.SpanHop,
+			Batch: f.Batch, Conn: f.Conn, Hop: len(f.Path) - 1, Node: int(nd.id),
+		})
+		f.Span = hopSpan
 	}
 	var next overlay.NodeID
 	if f.Remaining <= 0 {
@@ -278,8 +309,16 @@ func (nd *Node) nackBack(f *Frame, fromIdx int, reason string, fatal bool, abs t
 			Node: int(f.Initiator), Hop: len(f.Path), Detail: reason,
 		})
 	}
+	nackSpan := telemetry.SpanID(0)
+	if c.spans != nil && f.Trace != 0 {
+		nackSpan = telemetry.NewSpanID(f.Span, telemetry.SpanNack, f.Conn, 0, len(f.Path), int(f.Initiator))
+		c.spans.Record(telemetry.Span{
+			Trace: f.Trace, ID: nackSpan, Parent: f.Span, Kind: telemetry.SpanNack,
+			Batch: f.Batch, Conn: f.Conn, Hop: len(f.Path), Node: int(f.Initiator), Detail: reason,
+		})
+	}
 	if fromIdx < 0 || len(f.Path) == 0 {
-		c.resolve(f.Attempt, wireResult{err: fmt.Errorf("netwire: %s", reason), fatal: fatal})
+		c.resolve(f.Attempt, wireResult{err: fmt.Errorf("netwire: %s", reason), fatal: fatal, span: nackSpan})
 		return
 	}
 	nack := *f
@@ -288,10 +327,11 @@ func (nd *Node) nackBack(f *Frame, fromIdx int, reason string, fatal bool, abs t
 	nack.Reason = reason
 	nack.Fatal = fatal
 	nack.Records = nil
+	nack.Span = nackSpan
 	if f.Path[fromIdx] == nd.id {
 		// The NACK starts at this node itself (e.g. a delivery failure we
 		// detected): relay it locally instead of a TCP round trip to self.
-		nd.relayBack(&nack, abs, wireResult{err: fmt.Errorf("netwire: %s", reason), fatal: fatal})
+		nd.relayBack(&nack, abs, wireResult{err: fmt.Errorf("netwire: %s", reason), fatal: fatal, span: nackSpan})
 		return
 	}
 	nd.reverseRoute(&nack, abs)

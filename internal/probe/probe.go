@@ -228,6 +228,12 @@ type Set struct {
 	// whatever the value.
 	Workers int
 
+	// Prof, when non-nil, brackets every TickAll round under the
+	// telemetry probe.tick phase. It observes only wall time and global
+	// alloc counters — never the estimators — so transcripts are
+	// unchanged.
+	Prof *telemetry.PhaseProfiler
+
 	// version counts estimate updates across the whole set: every Tick of
 	// a member estimator advances it (atomically). Equal versions
 	// guarantee unchanged availability scores.
@@ -279,6 +285,8 @@ func (s *Set) For(id overlay.NodeID) *Estimator {
 // draw only from their own streams, and the shared change counters are
 // atomic — so the transcript is identical to a serial round.
 func (s *Set) TickAll() {
+	ph := s.Prof.Start(telemetry.PhaseProbeTick)
+	defer ph.End()
 	ids := s.net.OnlineIDs()
 	ests := make([]*Estimator, len(ids))
 	for i, id := range ids {

@@ -19,7 +19,18 @@ import (
 // empty documents.
 func Handler(reg *Registry, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
+	if reg != nil && tr != nil {
+		reg.Help("telemetry_trace_events", "Events ever recorded by the trace ring.")
+		reg.Help("telemetry_trace_dropped", "Events the bounded trace ring has evicted.")
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// The tracer's own accounting is refreshed at scrape time, so the
+		// ring's loss rate is visible on the same dashboard as everything
+		// it traces.
+		if reg != nil && tr != nil {
+			reg.Gauge("telemetry_trace_events", nil).Set(int64(tr.Total()))
+			reg.Gauge("telemetry_trace_dropped", nil).Set(int64(tr.Dropped()))
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})

@@ -26,8 +26,10 @@ func TestHandlerEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("hits_total", nil).Add(3)
 	reg.Histogram("lat_seconds", []float64{0.01}, nil).Observe(0.005)
-	tr := NewTracer(8)
-	tr.Record(Event{Kind: KindLaunch, Batch: 1, Conn: 1, Node: 0})
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Kind: KindLaunch, Batch: 1, Conn: i, Node: 0})
+	}
 
 	ts := httptest.NewServer(Handler(reg, tr))
 	defer ts.Close()
@@ -36,7 +38,12 @@ func TestHandlerEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/metrics status %d", code)
 	}
-	for _, want := range []string{"hits_total 3", `lat_seconds_bucket{le="0.01"} 1`, "lat_seconds_count 1"} {
+	// The ring's own accounting is refreshed per scrape: 5 recorded into a
+	// 2-slot ring means 3 evicted, and both series carry HELP text.
+	for _, want := range []string{
+		"hits_total 3", `lat_seconds_bucket{le="0.01"} 1`, "lat_seconds_count 1",
+		"# HELP telemetry_trace_dropped ", "telemetry_trace_events 5", "telemetry_trace_dropped 3",
+	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)
 		}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanIDDerivationIsStable(t *testing.T) {
+	tr := NewTraceID(42, 3, 7, 11)
+	if tr != NewTraceID(42, 3, 7, 11) {
+		t.Fatal("trace id not deterministic")
+	}
+	for _, other := range []SpanID{
+		NewTraceID(43, 3, 7, 11),
+		NewTraceID(42, 4, 7, 11),
+		NewTraceID(42, 3, 8, 11),
+		NewTraceID(42, 3, 7, 12),
+	} {
+		if other == tr {
+			t.Fatalf("trace id collision on a single-coordinate change")
+		}
+	}
+	root := NewSpanID(tr, SpanBatch, 0, 0, 0, 7)
+	if root != NewSpanID(tr, SpanBatch, 0, 0, 0, 7) {
+		t.Fatal("span id not deterministic")
+	}
+	if NewSpanID(root, SpanLaunch, 1, 1, 0, 7) == NewSpanID(root, SpanLaunch, 1, 2, 0, 7) {
+		t.Fatal("attempt not folded into span id")
+	}
+	if NewSpanID(root, SpanHop, 1, 0, 1, 5) == NewSpanID(root, SpanNack, 1, 0, 1, 5) {
+		t.Fatal("kind not folded into span id")
+	}
+}
+
+func TestSpanIDJSONRoundTrip(t *testing.T) {
+	id := SpanID(0x0123456789abcdef)
+	raw, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `"0123456789abcdef"` {
+		t.Fatalf("marshal = %s", raw)
+	}
+	var back SpanID
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip = %v", back)
+	}
+	if err := json.Unmarshal([]byte(`"zz"`), &back); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+// TestSpanRecorderCanonicalOrder records the same spans in two shuffled
+// orders (simulating different goroutine interleavings) and asserts the
+// exported logs are byte-identical — the property the cross-backend
+// conformance case relies on.
+func TestSpanRecorderCanonicalOrder(t *testing.T) {
+	mk := func() []Span {
+		trace := NewTraceID(1, 1, 0, 9)
+		root := NewSpanID(trace, SpanBatch, 0, 0, 0, 0)
+		var spans []Span
+		spans = append(spans, Span{Trace: trace, ID: root, Kind: SpanBatch, Batch: 1, Node: 0})
+		for conn := 0; conn < 3; conn++ {
+			launch := NewSpanID(root, SpanLaunch, conn, 1, 0, 0)
+			spans = append(spans, Span{Trace: trace, ID: launch, Parent: root, Kind: SpanLaunch, Batch: 1, Conn: conn, Attempt: 1, Node: 0})
+			parent := launch
+			for hop := 1; hop <= 3; hop++ {
+				id := NewSpanID(parent, SpanHop, conn, 0, hop, hop+2)
+				spans = append(spans, Span{Trace: trace, ID: id, Parent: parent, Kind: SpanHop, Batch: 1, Conn: conn, Hop: hop, Node: hop + 2})
+				parent = id
+			}
+		}
+		return spans
+	}
+
+	var logs [][]byte
+	for trial := 0; trial < 2; trial++ {
+		spans := mk()
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(spans), func(i, j int) {
+			spans[i], spans[j] = spans[j], spans[i]
+		})
+		rec := NewSpanRecorder(1024)
+		for _, s := range spans {
+			rec.Record(s)
+			rec.Record(s) // duplicates are idempotent
+		}
+		var b bytes.Buffer
+		if err := rec.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, b.Bytes())
+	}
+	if !bytes.Equal(logs[0], logs[1]) {
+		t.Fatalf("shuffled recordings diverge:\n%s\nvs\n%s", logs[0], logs[1])
+	}
+}
+
+func TestSpanRecorderCapacityAndDrops(t *testing.T) {
+	rec := NewSpanRecorder(2)
+	for i := 0; i < 5; i++ {
+		rec.Record(Span{ID: SpanID(i + 1), Kind: SpanHop})
+	}
+	if rec.Total() != 2 {
+		t.Fatalf("retained %d, want 2", rec.Total())
+	}
+	if rec.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3", rec.Dropped())
+	}
+}
+
+func TestSpanRecorderClockStamps(t *testing.T) {
+	rec := NewSpanRecorder(8)
+	now := int64(1000)
+	rec.SetClock(func() int64 { return now })
+	rec.Record(Span{ID: 1, Kind: SpanLaunch})
+	now = 2500
+	rec.Record(Span{ID: 2, Kind: SpanHop})
+	rec.Record(Span{ID: 3, Kind: SpanHop, TimeMicros: 99}) // explicit stamp wins
+	byID := map[SpanID]int64{}
+	for _, s := range rec.Spans() {
+		byID[s.ID] = s.TimeMicros
+	}
+	if byID[1] != 1000 || byID[2] != 2500 || byID[3] != 99 {
+		t.Fatalf("timestamps = %v", byID)
+	}
+}
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var rec *SpanRecorder
+	rec.Record(Span{ID: 1})
+	rec.SetSeed(7)
+	rec.SetClock(nil)
+	if rec.TraceID(1, 2, 3) != 0 || rec.Total() != 0 || rec.Dropped() != 0 || rec.Spans() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	if err := rec.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSpansRoundTrip(t *testing.T) {
+	rec := NewSpanRecorder(8)
+	rec.SetSeed(99)
+	trace := rec.TraceID(2, 0, 5)
+	root := NewSpanID(trace, SpanBatch, 0, 0, 0, 0)
+	rec.Record(Span{Trace: trace, ID: root, Kind: SpanBatch, Batch: 2, Node: 0})
+	rec.Record(Span{Trace: trace, ID: NewSpanID(root, SpanSettle, 0, 0, 0, 3), Parent: root, Kind: SpanSettle, Batch: 2, Node: 3, Detail: "payoff=3ff0000000000000"})
+
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := rec.DumpJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := rec.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Spans()
+	if len(spans) != len(want) {
+		t.Fatalf("parsed %d spans, want %d", len(spans), len(want))
+	}
+	for i := range spans {
+		if spans[i] != want[i] {
+			t.Fatalf("span %d round trip: %+v != %+v", i, spans[i], want[i])
+		}
+	}
+	if _, err := ReadSpans(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder(4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec.Record(Span{ID: SpanID(w*1000 + i + 1), Kind: SpanHop, Node: w, Conn: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rec.Total() != 1600 {
+		t.Fatalf("retained %d, want 1600", rec.Total())
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -129,5 +130,56 @@ func TestTracerJSONL(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.jsonl")
 	if err := tr.DumpJSONL(path); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// failWriter accepts limit bytes, then fails every write — exercising
+// both the mid-stream encode error and the final flush error.
+type failWriter struct {
+	limit   int
+	written int
+}
+
+var errSink = errors.New("sink full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		return 0, errSink
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestTracerWriteJSONLErrorPaths(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Kind: KindLaunch, Batch: 1})
+
+	// A writer that fails immediately: the encoder buffers into bufio, so
+	// the error must still surface from the final Flush.
+	if err := tr.WriteJSONL(&failWriter{limit: 0}); !errors.Is(err, errSink) {
+		t.Fatalf("flush error not propagated: %v", err)
+	}
+
+	// Enough events to overflow the bufio buffer mid-loop: the error must
+	// surface from Encode, not be swallowed until flush.
+	big := NewTracer(4096)
+	for i := 0; i < 4096; i++ {
+		big.Record(Event{Kind: KindHopForward, Conn: i, Detail: "padding-padding-padding"})
+	}
+	if err := big.WriteJSONL(&failWriter{limit: 8192}); !errors.Is(err, errSink) {
+		t.Fatalf("mid-stream encode error not propagated: %v", err)
+	}
+}
+
+func TestTracerDumpJSONLErrorPaths(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(Event{Kind: KindLaunch})
+	// Create fails: the target is a directory.
+	if err := tr.DumpJSONL(t.TempDir()); err == nil {
+		t.Fatal("DumpJSONL to a directory succeeded")
+	}
+	// Create fails: the parent directory does not exist.
+	if err := tr.DumpJSONL(filepath.Join(t.TempDir(), "missing", "trace.jsonl")); err == nil {
+		t.Fatal("DumpJSONL into a missing directory succeeded")
 	}
 }

@@ -27,6 +27,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -81,6 +82,10 @@ type connResult struct {
 	records []onion.PathRecord
 	err     error
 	fatal   bool
+	// span is the causal span the terminal message carried: the responder's
+	// respond span for a confirm, the nack span for a NACK. The initiator
+	// parents its deliver/fail span on it.
+	span telemetry.SpanID
 }
 
 // message is what travels over links.
@@ -116,6 +121,12 @@ type message struct {
 	// contribute.
 	contract *onion.SignedContract
 	records  []onion.PathRecord
+
+	// Trace context: the connection's trace id and the span of the last
+	// causal step, which the next handler parents its own span on. Zero
+	// when span recording is off.
+	trace telemetry.SpanID
+	span  telemetry.SpanID
 }
 
 // Peer is one concurrently running overlay member.
@@ -168,6 +179,7 @@ type Network struct {
 	clock   vclock.Clock
 	metrics *Metrics
 	tracer  *telemetry.Tracer
+	spans   *telemetry.SpanRecorder
 	wg      sync.WaitGroup
 	quit    chan struct{}
 	once    sync.Once
@@ -206,6 +218,18 @@ func (n *Network) Telemetry() *telemetry.Registry { return n.metrics.reg }
 
 // Tracer returns the attached event tracer, or nil.
 func (n *Network) Tracer() *telemetry.Tracer { return n.tracer }
+
+// SetSpans attaches a causal span recorder: every connection then emits
+// a deterministic span tree — batch root, per-attempt launches, hops,
+// the responder's accept, nacks and terminal outcomes — whose ids are
+// derived from causal coordinates, so the same seeded workload yields
+// the same log on every backend. A nil recorder disables span emission.
+// Call before traffic starts; not safe to race with in-flight
+// connections.
+func (n *Network) SetSpans(r *telemetry.SpanRecorder) { n.spans = r }
+
+// Spans returns the attached span recorder, or nil.
+func (n *Network) Spans() *telemetry.SpanRecorder { return n.spans }
 
 // ResetMetrics zeroes the runtime's counters and histograms so the next
 // window reports from a clean slate (see MetricsSnapshot.Delta for the
@@ -436,7 +460,15 @@ func (n *Network) nackBack(msg message, fromIdx int, reason string, fatal bool) 
 			Node: int(msg.initiator), Hop: len(msg.path), Detail: reason,
 		})
 	}
-	res := connResult{err: fmt.Errorf("transport: %s", reason), fatal: fatal}
+	nackSpan := telemetry.SpanID(0)
+	if n.spans != nil && msg.trace != 0 {
+		nackSpan = telemetry.NewSpanID(msg.span, telemetry.SpanNack, msg.conn, 0, len(msg.path), int(msg.initiator))
+		n.spans.Record(telemetry.Span{
+			Trace: msg.trace, ID: nackSpan, Parent: msg.span, Kind: telemetry.SpanNack,
+			Batch: msg.batch, Conn: msg.conn, Hop: len(msg.path), Node: int(msg.initiator), Detail: reason,
+		})
+	}
+	res := connResult{err: fmt.Errorf("transport: %s", reason), fatal: fatal, span: nackSpan}
 	if fromIdx < 0 || len(msg.path) == 0 {
 		resolve(msg.done, res)
 		return
@@ -453,6 +485,8 @@ func (n *Network) nackBack(msg message, fromIdx int, reason string, fatal bool) 
 		reason:    reason,
 		fatal:     fatal,
 		deadline:  msg.deadline,
+		trace:     msg.trace,
+		span:      nackSpan,
 	}
 	n.reverseRoute(nack)
 }
@@ -540,7 +574,17 @@ func (p *Peer) handle(msg message) {
 func (p *Peer) handleForward(msg message) {
 	msg.path = append(msg.path, p.ID)
 	if p.ID == msg.responder {
-		// Payload arrived: send CONFIRM back along the reverse path.
+		// Payload arrived: send CONFIRM back along the reverse path. The
+		// respond span closes the forward chain; the confirm carries it so
+		// the initiator can parent its deliver span on it.
+		respondSpan := msg.span
+		if p.net.spans != nil && msg.trace != 0 {
+			respondSpan = telemetry.NewSpanID(msg.span, telemetry.SpanRespond, msg.conn, 0, len(msg.path)-1, int(p.ID))
+			p.net.spans.Record(telemetry.Span{
+				Trace: msg.trace, ID: respondSpan, Parent: msg.span, Kind: telemetry.SpanRespond,
+				Batch: msg.batch, Conn: msg.conn, Hop: len(msg.path) - 1, Node: int(p.ID),
+			})
+		}
 		confirm := message{
 			kind:      msgConfirm,
 			batch:     msg.batch,
@@ -553,6 +597,8 @@ func (p *Peer) handleForward(msg message) {
 			contract:  msg.contract,
 			records:   msg.records,
 			deadline:  msg.deadline,
+			trace:     msg.trace,
+			span:      respondSpan,
 		}
 		p.net.reverseRoute(confirm)
 		return
@@ -583,6 +629,17 @@ func (p *Peer) handleForward(msg message) {
 			Kind: telemetry.KindHopForward, Batch: msg.batch, Conn: msg.conn,
 			Node: int(p.ID), Hop: len(msg.path) - 1,
 		})
+	}
+	// Chain the causal span: this hop's span hashes its predecessor's, so
+	// the id is derivable from carried context alone — the property that
+	// lets the TCP backend mint identical ids on remote nodes.
+	if p.net.spans != nil && msg.trace != 0 {
+		hopSpan := telemetry.NewSpanID(msg.span, telemetry.SpanHop, msg.conn, 0, len(msg.path)-1, int(p.ID))
+		p.net.spans.Record(telemetry.Span{
+			Trace: msg.trace, ID: hopSpan, Parent: msg.span, Kind: telemetry.SpanHop,
+			Batch: msg.batch, Conn: msg.conn, Hop: len(msg.path) - 1, Node: int(p.ID),
+		})
+		msg.span = hopSpan
 	}
 	var next overlay.NodeID
 	if msg.remaining <= 0 {
@@ -637,13 +694,13 @@ func (p *Peer) relayBack(msg message, terminal connResult) {
 
 // handleConfirm retraces the reverse path back to the initiator.
 func (p *Peer) handleConfirm(msg message) {
-	p.relayBack(msg, connResult{path: msg.path, records: msg.records})
+	p.relayBack(msg, connResult{path: msg.path, records: msg.records, span: msg.span})
 }
 
 // handleNack retraces the reverse path like a confirm, terminating the
 // initiator's attempt with the carried error.
 func (p *Peer) handleNack(msg message) {
-	p.relayBack(msg, connResult{err: fmt.Errorf("transport: %s", msg.reason), fatal: msg.fatal})
+	p.relayBack(msg, connResult{err: fmt.Errorf("transport: %s", msg.reason), fatal: msg.fatal, span: msg.span})
 }
 
 // traceTerminal records a connection's terminal lifecycle event.
@@ -682,6 +739,16 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			Node: int(initiator), Detail: fmt.Sprintf("responder %d budget %d", responder, budget),
 		})
 	}
+	// Span context: one trace per (batch, I, R); its root span is minted
+	// lazily by every connection (the recorder deduplicates by id).
+	var trace, root telemetry.SpanID
+	if n.spans != nil {
+		trace = n.spans.TraceID(batch, int(initiator), int(responder))
+		root = telemetry.NewSpanID(trace, telemetry.SpanBatch, 0, 0, 0, int(initiator))
+		n.spans.Record(telemetry.Span{
+			Trace: trace, ID: root, Kind: telemetry.SpanBatch, Batch: batch, Node: int(initiator),
+		})
+	}
 	deadline := start.Add(timeout)
 	per := timeout / time.Duration(policy.MaxAttempts)
 	if per <= 0 {
@@ -689,8 +756,11 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 	}
 	backoff := policy.BaseBackoff
 	reforms := 0
+	lastAttempt := 1
 	var lastErr error
+	var prevSpan telemetry.SpanID // outcome span of the previous attempt
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		lastAttempt = attempt
 		remaining := n.clock.Until(deadline)
 		if remaining <= 0 {
 			break
@@ -717,11 +787,31 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 					Node: int(initiator), Detail: fmt.Sprintf("attempt %d", attempt),
 				})
 			}
+			if n.spans != nil {
+				parent := prevSpan
+				if parent == 0 {
+					parent = root
+				}
+				reform := telemetry.NewSpanID(parent, telemetry.SpanReform, conn, attempt, 0, int(initiator))
+				n.spans.Record(telemetry.Span{
+					Trace: trace, ID: reform, Parent: parent, Kind: telemetry.SpanReform,
+					Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+				})
+			}
 		}
 		window := per
 		if window > remaining {
 			window = remaining
 		}
+		launch := telemetry.SpanID(0)
+		if n.spans != nil {
+			launch = telemetry.NewSpanID(root, telemetry.SpanLaunch, conn, attempt, 0, int(initiator))
+			n.spans.Record(telemetry.Span{
+				Trace: trace, ID: launch, Parent: root, Kind: telemetry.SpanLaunch,
+				Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+			})
+		}
+		prevSpan = launch
 		done := make(chan connResult, 1)
 		sent := n.send(initiator, message{
 			kind:      msgForward,
@@ -734,10 +824,13 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 			contract:  contract,
 			deadline:  n.clock.Now().Add(window),
 			done:      done,
+			trace:     trace,
+			span:      launch,
 		})
 		if !sent {
 			n.metrics.failures.Add(1)
 			n.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, "initiator departed")
+			n.failSpan(trace, prevSpan, batch, conn, attempt, initiator)
 			return connResult{}, reforms, fmt.Errorf("transport: initiator %d departed", initiator)
 		}
 		timer := n.clock.NewTimer(window)
@@ -750,17 +843,40 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 				n.metrics.pathLen.Observe(float64(len(res.path)))
 				n.traceTerminal(telemetry.KindDelivered, batch, conn, initiator, len(res.path),
 					fmt.Sprintf("path len %d after %d reformations", len(res.path), reforms))
+				if n.spans != nil {
+					parent := res.span
+					if parent == 0 {
+						parent = launch
+					}
+					deliver := telemetry.NewSpanID(parent, telemetry.SpanDeliver, conn, attempt, 0, int(initiator))
+					n.spans.Record(telemetry.Span{
+						Trace: trace, ID: deliver, Parent: parent, Kind: telemetry.SpanDeliver,
+						Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+					})
+				}
 				return res, reforms, nil
 			}
 			lastErr = res.err
+			if res.span != 0 {
+				prevSpan = res.span
+			}
 			if res.fatal {
 				n.metrics.failures.Add(1)
 				n.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, res.err.Error())
+				n.failSpan(trace, prevSpan, batch, conn, attempt, initiator)
 				return connResult{}, reforms, res.err
 			}
 		case <-timer.C:
 			n.metrics.timeouts.Add(1)
 			lastErr = fmt.Errorf("transport: attempt %d of connection %d/%d timed out after %v", attempt, batch, conn, window)
+			if n.spans != nil {
+				timeoutSpan := telemetry.NewSpanID(launch, telemetry.SpanTimeout, conn, attempt, 0, int(initiator))
+				n.spans.Record(telemetry.Span{
+					Trace: trace, ID: timeoutSpan, Parent: launch, Kind: telemetry.SpanTimeout,
+					Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+				})
+				prevSpan = timeoutSpan
+			}
 		}
 	}
 	n.metrics.failures.Add(1)
@@ -768,7 +884,24 @@ func (n *Network) connect(initiator, responder overlay.NodeID, batch, conn, budg
 		lastErr = fmt.Errorf("transport: connection %d/%d timed out after %v", batch, conn, timeout)
 	}
 	n.traceTerminal(telemetry.KindFailed, batch, conn, initiator, 0, lastErr.Error())
+	if prevSpan == 0 {
+		prevSpan = root
+	}
+	n.failSpan(trace, prevSpan, batch, conn, lastAttempt, initiator)
 	return connResult{}, reforms, fmt.Errorf("transport: connection %d/%d failed after %d reformations: %w", batch, conn, reforms, lastErr)
+}
+
+// failSpan emits the terminal fail span of a connection, parented on the
+// last causal step (nack span, timeout span, or the launch itself).
+func (n *Network) failSpan(trace, parent telemetry.SpanID, batch, conn, attempt int, initiator overlay.NodeID) {
+	if n.spans == nil {
+		return
+	}
+	id := telemetry.NewSpanID(parent, telemetry.SpanFail, conn, attempt, 0, int(initiator))
+	n.spans.Record(telemetry.Span{
+		Trace: trace, ID: id, Parent: parent, Kind: telemetry.SpanFail,
+		Batch: batch, Conn: conn, Attempt: attempt, Node: int(initiator),
+	})
 }
 
 // Connect runs one connection from initiator to responder with the given
@@ -781,6 +914,13 @@ func (n *Network) Connect(initiator, responder overlay.NodeID, batch, conn, budg
 		return nil, err
 	}
 	return res.path, nil
+}
+
+// SettleDetail renders a settlement payoff as its exact float bits —
+// the backend-independent span detail format (decimal rendering could
+// round differently across writers; bits cannot).
+func SettleDetail(payoff float64) string {
+	return fmt.Sprintf("payoff=%016x", math.Float64bits(payoff))
 }
 
 // BatchOutcome aggregates a batch of connections: the union forwarder set,
@@ -822,6 +962,32 @@ func (o *BatchOutcome) Payoff(id overlay.NodeID, c core.Contract) float64 {
 		return 0
 	}
 	return float64(o.Forwards[id])*c.Pf + c.Pr/float64(len(o.Set))
+}
+
+// SettleBatch accounts a completed batch's split payment: every member
+// of the forwarder set is credited m·P_f + P_r/‖π‖ and a settle span is
+// emitted under the batch's trace root, mirroring the TCP backend's
+// Settle frames so both backends produce identical settlement spans.
+// In-process there is no wire to cross, so the credit is implicit in the
+// outcome itself; it returns how many members were settled.
+func (n *Network) SettleBatch(initiator overlay.NodeID, batch int, out *BatchOutcome, contract core.Contract) (int, error) {
+	if n.Peer(initiator) == nil {
+		return 0, fmt.Errorf("transport: unknown initiator %d", initiator)
+	}
+	if n.spans != nil && len(out.Paths) > 0 {
+		first := out.Paths[0]
+		responder := first[len(first)-1]
+		trace := n.spans.TraceID(batch, int(initiator), int(responder))
+		root := telemetry.NewSpanID(trace, telemetry.SpanBatch, 0, 0, 0, int(initiator))
+		for id := range out.Set {
+			span := telemetry.NewSpanID(root, telemetry.SpanSettle, 0, 0, 0, int(id))
+			n.spans.Record(telemetry.Span{
+				Trace: trace, ID: span, Parent: root, Kind: telemetry.SpanSettle,
+				Batch: batch, Node: int(id), Detail: SettleDetail(out.Payoff(id, contract)),
+			})
+		}
+	}
+	return len(out.Set), nil
 }
 
 // RunBatch executes k connections sequentially (recurring connections of

@@ -1,22 +1,26 @@
 #!/usr/bin/env sh
 # bench.sh — run the tracked benchmark set and archive it as JSON.
 #
-# Usage: scripts/bench.sh [output.json]    (default BENCH_PR6.json)
+# Usage: scripts/bench.sh [output.json]    (default BENCH_PR7.json)
 #
-# Three tiers:
+# Four tiers:
 #   - experiment benchmarks (repo root): whole figure pipelines, few
 #     iterations because each run is seconds of simulation;
 #   - micro-benchmarks (internal packages): the hot paths the performance
 #     work targets, timed properly;
 #   - N-sweep scale frontier: one cold sparse stage-game solve per op at
 #     N = 10², 10³, 10⁴ and 10⁵ on a static overlay, single iteration —
-#     the curve CI's bench-delta gate reads B/op and allocs/op from.
+#     the curve CI's bench-delta gate reads B/op and allocs/op from;
+#   - phase breakdown: the same N-sweep with the phase profiler attached,
+#     emitting per-phase <phase>-ns/op and <phase>-allocs/op custom
+#     metrics that name where each decade's cost lives (the -allocs/op
+#     entries are gated by CI like allocs/op).
 # The combined text output is converted by cmd/benchjson into one JSON
-# document with ns/op, B/op and allocs/op per benchmark.
+# document with ns/op, B/op, allocs/op and custom metrics per benchmark.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -33,6 +37,11 @@ go test -run '^$' \
 echo "== N-sweep scale frontier =="
 go test -run '^$' \
   -bench 'BenchmarkScaleFrontier' \
+  -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee -a "$tmp"
+
+echo "== phase breakdown =="
+go test -run '^$' \
+  -bench 'BenchmarkPhaseBreakdown' \
   -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee -a "$tmp"
 
 go run ./cmd/benchjson -in "$tmp" -out "$out"
