@@ -263,6 +263,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("phases: wrote breakdown to %s (dominant: %s)\n", *phaseReport, prof.Dominant())
+		sv := res.Solver
+		fmt.Printf("solver: %d solves (%d warm incremental, %d fallbacks), %d induction stages skipped, %d frontier cells swept\n",
+			sv.Solves, sv.Incremental, sv.Fallbacks, sv.StagesSkipped, sv.FrontierCells)
 	}
 }
 

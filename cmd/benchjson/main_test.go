@@ -140,11 +140,13 @@ func TestGatePhaseMetrics(t *testing.T) {
 	})
 
 	// Per-phase wall time may explode without tripping; allocs within
-	// ratio pass; a phase the baseline has never seen is ignored.
+	// ratio pass; a phase the baseline has never seen is ignored; a
+	// GC-boundary alloc batch (a couple hundred over a zero baseline —
+	// solve.rows here) stays inside the absolute phase slack.
 	ok := gateDoc(Benchmark{
 		Name: "BenchmarkPhaseBreakdown/N=1000", BytesPerOp: 1000, AllocsOp: 100,
 		Metrics: map[string]float64{
-			"solve.rows-allocs/op":    44,
+			"solve.rows-allocs/op":    44 + 200,
 			"solve.rows-ns/op":        1e12,
 			"probe.tick-allocs/op":    800,
 			"route.walk-allocs/op":    5000,
@@ -155,11 +157,12 @@ func TestGatePhaseMetrics(t *testing.T) {
 		t.Fatalf("clean phase run: violations=%v err=%v", v, err)
 	}
 
-	// An alloc regression in one phase fails with that phase named.
+	// A real alloc regression in one phase — past ratio and the
+	// attribution slack — fails with that phase named.
 	blown := gateDoc(Benchmark{
 		Name: "BenchmarkPhaseBreakdown/N=1000", BytesPerOp: 1000, AllocsOp: 100,
 		Metrics: map[string]float64{
-			"solve.rows-allocs/op": 80,
+			"solve.rows-allocs/op": 2000,
 			"probe.tick-allocs/op": 800,
 		},
 	})

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sync"
 
 	"p2panon/internal/game"
@@ -43,6 +45,13 @@ type Batch struct {
 	// SPNE table below, mirroring the transport router's cache semantics:
 	// a table is reused only while every input it consumed is unchanged.
 	histQual uint64
+
+	// histNodes is the set of nodes holding quality-relevant history for
+	// this batch — exactly the nodes whose scorer output can depend on
+	// the history version or the connection index k (everything else has
+	// selectivity 0 whatever k is). A warm re-solve marks them dirty when
+	// histQual or k moved instead of invalidating the whole table.
+	histNodes map[overlay.NodeID]struct{}
 
 	// spne is the batch's cached Utility Model II prescription table,
 	// solved to the full MaxHops budget (rows for h ≤ budget are
@@ -423,6 +432,10 @@ func (b *Batch) recordHop(res *PathResult, cur, pred, next overlay.NodeID, q flo
 	// can push a quality-relevant row out.
 	if next != b.Responder || b.sys.cfg.HistoryCapacity > 0 {
 		b.histQual++
+		if b.histNodes == nil {
+			b.histNodes = make(map[overlay.NodeID]struct{})
+		}
+		b.histNodes[cur] = struct{}{}
 	}
 
 	// Forwarding instances are credited to interior nodes only.
@@ -446,14 +459,28 @@ func (b *Batch) recordHop(res *PathResult, cur, pred, next overlay.NodeID, q flo
 // connection, reusing the batch's cached solve when every input it
 // consumed — overlay topology, probe estimates, this batch's
 // quality-relevant history and (when history matters) the connection
-// index — is unchanged. Otherwise it re-solves, recycling the previous
-// table as scratch.
+// index — is unchanged. An invalidated table is first offered to the
+// incremental re-solver, which patches only what the recorded changes
+// can reach; when that cannot run (journal gap, population change,
+// oversized dirty set, scratch owned by another batch) the previous
+// table is recycled as scratch for a full solve.
 func (b *Batch) spneTable() [][]game.Decision {
 	netV, probeV := b.sys.Net.Version(), b.sys.Probes.Version()
 	st := b.spneStamp
 	if st.valid && st.net == netV && st.probe == probeV && st.hist == b.histQual &&
 		(b.histQual == 0 || st.k == b.k) {
 		return b.spne
+	}
+	if st.valid && !b.sys.forceDense {
+		if b.resolveIncremental(st, netV, probeV) {
+			b.sys.mIncHit.Inc()
+			b.spneStamp = spneStamp{valid: true, net: netV, probe: probeV, hist: b.histQual, k: b.k}
+			return b.spne
+		}
+		// A valid solve existed but could not be patched: count the miss
+		// (first-time solves never reach here).
+		b.sys.mIncMiss.Inc()
+		b.sys.solverStats.Fallbacks++
 	}
 	b.spne = b.solveStageGame(b.spne)
 	b.spneStamp = spneStamp{valid: true, net: netV, probe: probeV, hist: b.histQual, k: b.k}
@@ -487,30 +514,256 @@ func (b *Batch) solveStageGame(scratch [][]game.Decision) [][]game.Decision {
 		MaxHops:   b.sys.cfg.MaxHops,
 		Workers:   b.sys.cfg.SolveWorkers,
 	}
-	if b.sys.forceDense {
+	s := b.sys
+	if s.forceDense {
 		// Retained dense oracle (equivalence tests): O(n²) scan via the
 		// map-free closure, same scorer-creation order as the sparse
-		// prefetch (ascending i), so RNG streams stay aligned.
+		// prefetch (ascending i), so RNG streams stay aligned. The dense
+		// solver also runs no frontier or fixed-point shortcut — it is
+		// the reference everything else is pinned bit-identical against.
 		g.EdgeQuality = func(i, j int) float64 {
 			return b.stageEdgeQuality(overlay.NodeID(i), overlay.NodeID(j))
 		}
 		g.Workers = 0
-		ps := b.sys.Prof.Start(telemetry.PhaseSolveInduction)
+		g.Stats = &s.lastSolve
+		s.solveOwner = 0 // dense solves leave no reusable sparse rows
+		ps := s.Prof.Start(telemetry.PhaseSolveInduction)
 		table := g.SolveInto(scratch)
 		ps.End()
+		s.noteSolve(&s.lastSolve)
 		return table
 	}
-	pr := b.sys.Prof.Start(telemetry.PhaseSolveRows)
+	pr := s.Prof.Start(telemetry.PhaseSolveRows)
 	row, rowLen, succ, qual := b.buildSparseRows(n)
 	pr.End()
 	g.Adjacency = func(i int) ([]int32, []float64) {
 		lo, m := row[i], rowLen[i]
 		return succ[lo : lo+m], qual[lo : lo+m]
 	}
-	ps := b.sys.Prof.Start(telemetry.PhaseSolveInduction)
+	s.buildReverse(n)
+	prow, pred := s.solvePredRow, s.solvePred
+	g.Predecessors = func(j int32) []int32 { return pred[prow[j]:prow[j+1]] }
+	g.Stats = &s.lastSolve
+	g.Scratch = &s.solveSweep
+	if g.Workers > 1 {
+		g.Pool = s.sweepPool()
+	}
+	ps := s.Prof.Start(telemetry.PhaseSolveInduction)
 	table := g.SolveInto(scratch)
 	ps.End()
+	// Record what the warm re-solver needs to pick this solve up: whose
+	// rows the scratch holds, over how many nodes, and from which stage
+	// the table rows are pairwise identical.
+	s.solveOwner, s.solveN, s.solveConverged = b.ID, n, s.lastSolve.Converged
+	s.noteSolve(&s.lastSolve)
 	return table
+}
+
+// resolveIncremental attempts a warm re-solve of the batch's cached
+// table in place: it asks the overlay and probe journals exactly what
+// changed since the stamped versions, expands those changes into the set
+// of candidate rows that can feel them, refreshes those rows, and lets
+// game.ResolveInto propagate the rows whose contents actually moved
+// through the reverse CSR. Returns false — leaving the caller to run a
+// full solve — when any precondition fails:
+//
+//   - the sparse scratch describes another batch's solve or a different
+//     population size (any Join changes Net.Len);
+//   - a journal cannot cover the span (overlay.Touch wildcard, probe
+//     TickAll round, or eviction of old entries);
+//   - the dirty set exceeds half the population, where refreshing rows
+//     one by one loses to the sequential full rebuild;
+//   - a dirty node's neighbor list outgrew its slot span (neighbor
+//     repair), so its row no longer fits without recomputing offsets.
+//
+// Every bail-out happens before the first scorer prefetch, so the RNG
+// split sequence (estimator creation) is identical whether an event is
+// handled incrementally or by a full solve — the bit-equivalence suite
+// depends on that.
+func (b *Batch) resolveIncremental(st spneStamp, netV, probeV uint64) bool {
+	s := b.sys
+	n := s.Net.Len()
+	if s.solveOwner != b.ID || s.solveN != n {
+		return false
+	}
+	if len(b.spne) != s.cfg.MaxHops+1 || len(b.spne[0]) != n {
+		return false
+	}
+	ph := s.Prof.Start(telemetry.PhaseSolveIncremental)
+	defer ph.End()
+	buf, ok := s.Net.ChangesSince(st.net, s.dirtyNodes[:0])
+	s.dirtyNodes = buf
+	if !ok {
+		return false
+	}
+	netEnd := len(buf)
+	buf, ok = s.Probes.ChangesSince(st.probe, buf)
+	s.dirtyNodes = buf
+	if !ok {
+		return false
+	}
+	histMoved := st.hist != b.histQual || (b.histQual != 0 && st.k != b.k)
+
+	// Rebuild the reverse CSR from the current neighbor lists — needed
+	// both to expand lifecycle changes into the rows that can see them
+	// and for the frontier propagation inside ResolveInto.
+	s.buildReverse(n)
+	prow, pred := s.solvePredRow, s.solvePred
+
+	if cap(s.dirtyMark) < n {
+		s.dirtyMark = make([]bool, n)
+	}
+	mark := s.dirtyMark[:n]
+	list := s.dirtyList[:0]
+	add := func(x int32) {
+		if !mark[x] {
+			mark[x] = true
+			list = append(list, x)
+		}
+	}
+	// A lifecycle change of x rewrites x's own row and every row listing
+	// x (x appears or vanishes as a candidate); a neighbor edit or probe
+	// tick of x rewrites x's row only; history/k movement rewrites the
+	// rows of every node holding quality-relevant history for the batch.
+	for _, id := range buf[:netEnd] {
+		add(int32(id))
+		for _, p := range pred[prow[id]:prow[id+1]] {
+			add(p)
+		}
+	}
+	for _, id := range buf[netEnd:] {
+		add(int32(id))
+	}
+	if histMoved {
+		for id := range b.histNodes {
+			add(int32(id))
+		}
+	}
+	for _, x := range list {
+		mark[x] = false
+	}
+	s.dirtyList = list
+	if len(list)*2 > n {
+		return false
+	}
+	// Conservative fit check before any row is touched: a row can only
+	// have outgrown its span if its raw neighbor list did.
+	row, rowLen := s.solveRow[:n+1], s.solveLen[:n]
+	for _, x := range list {
+		id := overlay.NodeID(x)
+		if id == b.Responder || !s.Net.Online(id) {
+			continue
+		}
+		if len(s.Net.Node(id).Neighbors)+1 > int(row[x+1]-row[x]) {
+			return false
+		}
+	}
+	// Ascending refresh order, for two reasons: a node missing its probe
+	// estimator consumes an RNG split at scorer prefetch, and ascending
+	// IDs is the order every full solve creates them in — transcripts
+	// must not depend on which solve flavor handled an event. It also
+	// neutralises the map iteration order of histNodes above.
+	slices.Sort(list)
+	seeds := list[:0]
+	for _, x := range list {
+		if b.refreshRow(int(x)) {
+			seeds = append(seeds, x)
+		}
+	}
+	succ, qual := s.solveSucc, s.solveQual
+	g := &game.PathGame{
+		Nodes:     n,
+		Responder: int(b.Responder),
+		Pf:        b.Contract.Pf,
+		Pr:        b.Contract.Pr,
+		Cost:      s.cfg.Cost,
+		MaxHops:   s.cfg.MaxHops,
+		Workers:   s.cfg.SolveWorkers,
+		Adjacency: func(i int) ([]int32, []float64) {
+			lo, m := row[i], rowLen[i]
+			return succ[lo : lo+m], qual[lo : lo+m]
+		},
+		Predecessors: func(j int32) []int32 { return pred[prow[j]:prow[j+1]] },
+		Stats:        &s.lastSolve,
+		Scratch:      &s.solveSweep,
+	}
+	if g.Workers > 1 {
+		g.Pool = s.sweepPool()
+	}
+	g.ResolveInto(b.spne, seeds, s.solveConverged)
+	s.solveConverged = s.lastSolve.Converged
+	s.noteSolve(&s.lastSolve)
+	return true
+}
+
+// refreshRow recomputes node i's candidate row in place against the
+// current overlay/probe/history state, exactly as buildSparseRows' fill
+// would, and reports whether the row's contents actually changed (full
+// bit comparison — an unchanged row must not seed the frontier). The
+// caller has already verified the new candidates fit the row's span.
+func (b *Batch) refreshRow(i int) (changed bool) {
+	s := b.sys
+	lo := int(s.solveRow[i])
+	oldLen := int(s.solveLen[i])
+	id := overlay.NodeID(i)
+	if id == b.Responder || !s.Net.Online(id) {
+		s.solveScorers[i] = nil
+		s.solveLen[i] = 0
+		return oldLen != 0
+	}
+	neigh := s.Net.Node(id).Neighbors
+	want := len(neigh) + 1
+	if cap(s.refreshSucc) < want {
+		s.refreshSucc = make([]int32, want)
+		s.refreshQual = make([]float64, want)
+	}
+	cands := s.refreshSucc[:want]
+	m := 0
+	for _, v := range neigh {
+		if v == id || v == b.Responder || v == b.Initiator || !s.Net.Online(v) {
+			continue
+		}
+		cands[m] = int32(v)
+		m++
+	}
+	cands[m] = int32(b.Responder) // delivery edge, last-edge rule
+	m++
+	for a := 1; a < m; a++ {
+		for j := a; j > 0 && cands[j] < cands[j-1]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	w := 1
+	for a := 1; a < m; a++ {
+		if cands[a] != cands[a-1] {
+			cands[w] = cands[a]
+			w++
+		}
+	}
+	m = w
+	sc := s.scorer(id, b.ID)
+	s.solveScorers[i] = sc
+	quals := s.refreshQual[:m]
+	for a := 0; a < m; a++ {
+		quals[a] = sc.Edge(overlay.NodeID(cands[a]), b.Responder, b.k)
+	}
+	oldS := s.solveSucc[lo : lo+oldLen]
+	oldQ := s.solveQual[lo : lo+oldLen]
+	changed = m != oldLen
+	if !changed {
+		for a := 0; a < m; a++ {
+			if cands[a] != oldS[a] || math.Float64bits(quals[a]) != math.Float64bits(oldQ[a]) {
+				changed = true
+				break
+			}
+		}
+	}
+	if changed {
+		copy(s.solveSucc[lo:lo+m], cands[:m])
+		copy(s.solveQual[lo:lo+m], quals)
+		s.solveLen[i] = int32(m)
+	}
+	return changed
 }
 
 // buildSparseRows materialises the stage game's sparse adjacency into the

@@ -246,11 +246,118 @@ type System struct {
 	// access and safe to shard.
 	solveScorers []*quality.Scorer
 
+	// Reverse (predecessor) CSR over the raw neighbor lists, rebuilt on
+	// every sparse solve: the vertices that may list j in their candidate
+	// rows are solvePred[solvePredRow[j]:solvePredRow[j+1]]. Built from
+	// Neighbors unconditionally (offline and departed sources included),
+	// it over-approximates the game's true reverse adjacency — which is
+	// safe for frontier propagation (an extra predecessor is a recompute
+	// that finds its cell unchanged) and keeps a node that flaps back
+	// online covered without patching. Rebuilding per solve costs O(n·d)
+	// integer work and removes any journal of edge-level changes: rows
+	// whose forward adjacency drifted are in the dirty set anyway.
+	solvePredRow []int32
+	solvePred    []int32
+
+	// solveSweep and pool are the frontier solver's work buffers and its
+	// persistent sweep workers (lazily created at cfg.SolveWorkers width).
+	solveSweep game.SweepScratch
+	pool       *game.Pool
+
+	// Warm-solve bookkeeping: the batch whose solve the CSR rows (and the
+	// Converged bound) currently describe, the node count it was built
+	// over, and the first stage from which that solve's table rows are
+	// pairwise identical. A warm re-solve is only attempted when the same
+	// batch solved last over the same population; anything else falls
+	// back to a full solve.
+	solveOwner     int
+	solveN         int
+	solveConverged int
+
+	// Dirty-set assembly buffers for warm re-solves.
+	dirtyNodes  []overlay.NodeID
+	dirtyMark   []bool
+	dirtyList   []int32
+	refreshSucc []int32
+	refreshQual []float64
+
+	// lastSolve receives per-solve statistics from the game solver;
+	// solverStats accumulates them system-wide.
+	lastSolve   game.SolveStats
+	solverStats SolverStats
+
+	// Solve telemetry; nil (no-op) until Instrument binds them.
+	mStagesSkipped *telemetry.Counter
+	mFrontier      *telemetry.Gauge
+	mIncHit        *telemetry.Counter
+	mIncMiss       *telemetry.Counter
+
 	// forceDense routes solveStageGame through the retained dense
 	// EdgeQuality oracle instead of the sparse adjacency path. Test-only:
 	// the sparse-vs-dense equivalence suite uses it to prove the two
 	// formulations produce bit-identical tables and payoffs.
 	forceDense bool
+}
+
+// SolverStats accumulates what the Utility Model II solver did across a
+// System's lifetime, mirroring the solve_* telemetry for callers without
+// a registry (anonsim's phase report).
+type SolverStats struct {
+	// Solves counts stage-game solves of any kind (cold, warm, dense).
+	Solves int
+	// Incremental counts warm re-solves that succeeded.
+	Incremental int
+	// Fallbacks counts invalidations that held a valid previous solve but
+	// could not re-solve incrementally (journal gap, population change,
+	// oversized dirty set) and ran a full solve instead.
+	Fallbacks int
+	// StagesSkipped totals induction stages satisfied by the fixed-point
+	// exit instead of a sweep.
+	StagesSkipped int
+	// FrontierCells totals cells recomputed by frontier sweeps.
+	FrontierCells int
+}
+
+// SolverStats returns the accumulated solve counters.
+func (s *System) SolverStats() SolverStats { return s.solverStats }
+
+// Solve metric names (see System.Instrument).
+const (
+	metricSolveStagesSkipped = "solve_induction_stages_skipped"
+	metricSolveFrontierSize  = "solve_frontier_size"
+	metricSolveIncremental   = "solve_incremental_total"
+)
+
+// Instrument binds the solver's telemetry into reg: the fixed-point
+// stage-skip counter, a gauge holding the last solve's frontier size
+// (total cells recomputed by frontier sweeps; 0 for a full solve), and
+// the warm re-solve hit/miss counters. A miss is counted only when a
+// valid cached solve existed but could not be reused incrementally —
+// first-time solves and plain stamp hits touch neither counter.
+func (s *System) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help(metricSolveStagesSkipped, "backward-induction stages satisfied by the fixed-point exit instead of a sweep")
+	reg.Help(metricSolveFrontierSize, "cells recomputed by the last solve's frontier sweeps (0 = full sweeps)")
+	reg.Help(metricSolveIncremental, "warm SPNE re-solve attempts by result (hit = incremental, miss = fell back to a full solve)")
+	s.mStagesSkipped = reg.Counter(metricSolveStagesSkipped, nil)
+	s.mFrontier = reg.Gauge(metricSolveFrontierSize, nil)
+	s.mIncHit = reg.Counter(metricSolveIncremental, telemetry.Labels{"result": "hit"})
+	s.mIncMiss = reg.Counter(metricSolveIncremental, telemetry.Labels{"result": "miss"})
+}
+
+// noteSolve folds one solve's statistics into the counters. incremental
+// reports whether the solve was a successful warm re-solve.
+func (s *System) noteSolve(st *game.SolveStats) {
+	s.solverStats.Solves++
+	if st.Incremental {
+		s.solverStats.Incremental++
+	}
+	s.solverStats.StagesSkipped += st.StagesSkipped
+	s.solverStats.FrontierCells += st.FrontierCells
+	s.mStagesSkipped.Add(int64(st.StagesSkipped))
+	s.mFrontier.Set(int64(st.FrontierCells))
 }
 
 type scorerKey struct {
@@ -383,4 +490,74 @@ func (s *System) solveScratch(n, slots int) {
 // solve rebuilds at the size it actually needs.
 func (s *System) releaseSolveScratch() {
 	s.solveRow, s.solveLen, s.solveSucc, s.solveQual, s.solveScorers = nil, nil, nil, nil, nil
+	s.solvePredRow, s.solvePred = nil, nil
+	s.solveSweep = game.SweepScratch{}
+	s.dirtyNodes, s.dirtyMark, s.dirtyList = nil, nil, nil
+	s.refreshSucc, s.refreshQual = nil, nil
+	s.solveOwner, s.solveN, s.solveConverged = 0, 0, 0
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+}
+
+// sweepPool returns (creating on first use) the persistent sweep worker
+// pool. Callers only ask for it when cfg.SolveWorkers > 1.
+func (s *System) sweepPool() *game.Pool {
+	if s.pool == nil {
+		s.pool = game.NewPool(s.cfg.SolveWorkers)
+	}
+	return s.pool
+}
+
+// buildReverse rebuilds the predecessor CSR from the current raw
+// neighbor lists with one counting pass, one prefix sum and one fill —
+// O(n·d) integer work, no branching on lifecycle state (see the field
+// comment for why the over-approximation is deliberate). Delivery edges
+// (i → R) are not represented: R's induction cell is constant, so it can
+// never enter a changed set and its predecessors are never asked for.
+func (s *System) buildReverse(n int) {
+	if cap(s.solvePredRow) < n+1 {
+		s.solvePredRow = make([]int32, n+1)
+	}
+	prow := s.solvePredRow[:n+1]
+	for j := range prow {
+		prow[j] = 0
+	}
+	edges := 0
+	for i := 0; i < n; i++ {
+		for _, v := range s.Net.Node(overlay.NodeID(i)).Neighbors {
+			if int(v) == i {
+				continue
+			}
+			prow[v+1]++
+			edges++
+		}
+	}
+	for j := 0; j < n; j++ {
+		prow[j+1] += prow[j]
+	}
+	if c := cap(s.solvePred); c > solveShrinkMin && edges < c/solveShrinkDenom {
+		s.solvePred = nil
+	}
+	if cap(s.solvePred) < edges {
+		s.solvePred = make([]int32, edges)
+	}
+	pred := s.solvePred[:edges]
+	// Fill using prow[j] as j's write cursor (sources ascend, so each
+	// predecessor list comes out sorted), then shift the cursors — now
+	// row ends — right one slot to restore the start offsets.
+	for i := 0; i < n; i++ {
+		for _, v := range s.Net.Node(overlay.NodeID(i)).Neighbors {
+			if int(v) == i {
+				continue
+			}
+			pred[prow[v]] = int32(i)
+			prow[v]++
+		}
+	}
+	for j := n; j > 0; j-- {
+		prow[j] = prow[j-1]
+	}
+	prow[0] = 0
 }

@@ -115,6 +115,19 @@ func TestSolveScratchReleasedOnClose(t *testing.T) {
 		sys.solveLen != nil || sys.solveScorers != nil {
 		t.Fatal("Batch.Close left solve scratch pinned")
 	}
+	if sys.solvePredRow != nil || sys.solvePred != nil {
+		t.Fatal("Batch.Close left the reverse CSR pinned")
+	}
+	if sys.dirtyNodes != nil || sys.dirtyMark != nil || sys.dirtyList != nil ||
+		sys.refreshSucc != nil || sys.refreshQual != nil {
+		t.Fatal("Batch.Close left incremental re-solve buffers pinned")
+	}
+	if sys.pool != nil {
+		t.Fatal("Batch.Close left the sweep worker pool running")
+	}
+	if sys.solveOwner != 0 || sys.solveN != 0 || sys.solveConverged != 0 {
+		t.Fatal("Batch.Close left warm-solve bookkeeping set")
+	}
 }
 
 // BenchmarkScaleFrontier is the N-sweep scale frontier (BENCH_PR6.json):

@@ -136,6 +136,10 @@ type Result struct {
 	Skipped int
 	// TotalDeclines counts NULL plays across all batches.
 	TotalDeclines int
+	// Solver aggregates the run's SPNE solve statistics: how many solves
+	// ran, how many were warm incremental re-solves vs counted fallbacks,
+	// and the frontier/fixed-point work saved (-phase-report surfaces it).
+	Solver core.SolverStats
 }
 
 // AvgGoodPayoff returns the mean and 95% CI of the good-payoff samples.
@@ -228,6 +232,7 @@ func newHarness(s Setup) (*harness, error) {
 		return nil, err
 	}
 	sys.Prof = s.Profile
+	sys.Instrument(s.Telemetry)
 
 	pairs, err := s.Workload.Generate(net, rng.Split())
 	if err != nil {
@@ -301,7 +306,7 @@ func (h *harness) run() error {
 
 // result settles every batch and aggregates the run.
 func (h *harness) result() *Result {
-	res := &Result{Setup: h.s, Skipped: h.skipped}
+	res := &Result{Setup: h.s, Skipped: h.skipped, Solver: h.sys.SolverStats()}
 	nodeTotals := make(map[overlay.NodeID]float64)
 	for i, b := range h.batches {
 		if b.Connections() == 0 {

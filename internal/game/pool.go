@@ -1,0 +1,69 @@
+package game
+
+import (
+	"runtime"
+	"sync"
+)
+
+// task is one contiguous chunk of sweep work handed to a pool worker.
+type task struct {
+	chunk int
+	fn    func(chunk int)
+	wg    *sync.WaitGroup
+}
+
+// Pool is a persistent worker pool for induction sweeps. The per-stage
+// goroutine spawn the sharded solver used before (w goroutines × L stages
+// × every solve) shows up as scheduler churn at scale; a Pool keeps w
+// workers parked on a channel instead, so a sweep costs one WaitGroup and
+// w channel sends. A Pool is safe for use by one solve at a time (the
+// solver calls Run sequentially per stage).
+type Pool struct {
+	tasks   chan task
+	workers int
+	once    sync.Once
+}
+
+// NewPool starts a pool of the given width (clamped to ≥ 1). Workers
+// capture only the task channel — not the Pool — so a pool abandoned
+// without Close becomes unreachable and the finalizer shuts its workers
+// down rather than leaking them until process exit.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan task, workers), workers: workers}
+	for w := 0; w < workers; w++ {
+		go poolWorker(p.tasks)
+	}
+	runtime.SetFinalizer(p, (*Pool).Close)
+	return p
+}
+
+func poolWorker(tasks <-chan task) {
+	for t := range tasks {
+		t.fn(t.chunk)
+		t.wg.Done()
+	}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(c) for every chunk c in [0, chunks) on the pool and
+// waits for completion. Distinct chunks must be disjoint work: the pool
+// gives no ordering guarantees between them.
+func (p *Pool) Run(chunks int, fn func(chunk int)) {
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		p.tasks <- task{chunk: c, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close shuts the workers down. Idempotent; a closed pool must not be
+// Run again.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+}

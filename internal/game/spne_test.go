@@ -8,7 +8,10 @@ import (
 	"p2panon/internal/dist"
 )
 
-func randomPathGame(seed uint64) *PathGame {
+// randomPathEdges draws the random edge set behind randomPathGame,
+// shared with the sparse-view tests so both formulations see the same
+// graph.
+func randomPathEdges(seed uint64) (int, map[[2]int]float64) {
 	rng := dist.NewSource(seed)
 	n := 4 + rng.Intn(5)
 	edges := make(map[[2]int]float64)
@@ -19,6 +22,11 @@ func randomPathGame(seed uint64) *PathGame {
 			}
 		}
 	}
+	return n, edges
+}
+
+func randomPathGame(seed uint64) *PathGame {
+	n, edges := randomPathEdges(seed)
 	return &PathGame{
 		Nodes:     n,
 		Responder: n - 1,

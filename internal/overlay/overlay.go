@@ -97,6 +97,15 @@ type Network struct {
 	// have moved. Pure queries never advance it.
 	version uint64
 
+	// journal records which node each recent version bump touched, so
+	// incremental solvers can ask "what changed since version v" instead
+	// of invalidating wholesale. jbase is the newest version the journal
+	// can NOT account for: entries cover (jbase, version]. Touch is an
+	// out-of-band wildcard — it resets the journal and advances jbase,
+	// since the caller did not say which node it edited.
+	journal []journalEntry
+	jbase   uint64
+
 	// churn counters, one per destination state; nil (no-op) until
 	// Instrument binds them into a telemetry registry.
 	churnOnline   *telemetry.Counter
@@ -140,9 +149,62 @@ func (n *Network) Instrument(reg *telemetry.Registry) {
 	n.churnDeparted = reg.Counter("overlay_churn_total", telemetry.Labels{"state": "departed"})
 }
 
+// journalEntry says version bumped because node changed.
+type journalEntry struct {
+	version uint64
+	node    NodeID
+}
+
+// journalCap bounds the change journal. When full, the oldest half is
+// dropped and jbase advances past it — readers that far behind fall back
+// to a full rebuild, exactly as if a wildcard had occurred.
+const journalCap = 1024
+
+// journalRecord attributes the current (just bumped) version to id.
+// Every version advance must either pass through here or reset the
+// journal via journalWildcard, or ChangesSince would claim coverage of
+// changes it never saw.
+func (n *Network) journalRecord(id NodeID) {
+	if len(n.journal) >= journalCap {
+		half := len(n.journal) / 2
+		n.jbase = n.journal[half-1].version
+		n.journal = append(n.journal[:0], n.journal[half:]...)
+	}
+	n.journal = append(n.journal, journalEntry{version: n.version, node: id})
+}
+
+// journalWildcard forgets the journal after an unattributable change.
+func (n *Network) journalWildcard() {
+	n.journal = n.journal[:0]
+	n.jbase = n.version
+}
+
+// ChangesSince appends to buf the IDs of every node the overlay touched
+// after version v (duplicates possible — one entry per change) and
+// reports whether the journal actually covers that span. ok == false
+// means v predates the journal's horizon (or a Touch wildcard occurred
+// since); the caller must then treat everything as changed. With
+// ok == true and no appended IDs, nothing changed since v.
+func (n *Network) ChangesSince(v uint64, buf []NodeID) ([]NodeID, bool) {
+	if v == n.version {
+		return buf, true
+	}
+	if v < n.jbase || v > n.version {
+		return buf, false
+	}
+	for i := len(n.journal) - 1; i >= 0; i-- {
+		if n.journal[i].version <= v {
+			break
+		}
+		buf = append(buf, n.journal[i].node)
+	}
+	return buf, true
+}
+
 // notifyChurn fans a transition out to the registered observers.
 func (n *Network) notifyChurn(id NodeID, s State) {
 	n.version++
+	n.journalRecord(id)
 	switch s {
 	case Online:
 		n.churnOnline.Inc()
@@ -169,7 +231,12 @@ func (n *Network) Version() uint64 { return n.version }
 
 // Touch records an out-of-band structural change: call it after mutating
 // a Node's Neighbors slice directly so version-keyed caches invalidate.
-func (n *Network) Touch() { n.version++ }
+// Touch cannot know which node was edited, so it also voids the change
+// journal — incremental consumers fall back to a full rebuild.
+func (n *Network) Touch() {
+	n.version++
+	n.journalWildcard()
+}
 
 // Len returns the total number of nodes ever created (any state).
 func (n *Network) Len() int { return len(n.nodes) }
@@ -385,6 +452,7 @@ func (n *Network) RefreshNeighbors(id NodeID) {
 	// must not invalidate topology-keyed caches.
 	if dropped > 0 || len(node.Neighbors) != len(keep) {
 		n.version++
+		n.journalRecord(id)
 	}
 }
 

@@ -66,6 +66,11 @@ type Estimator struct {
 	// tables) can invalidate.
 	setVersion *uint64
 
+	// journal, when non-nil, attributes each version bump to this
+	// estimator's owner in the owning Set's change journal, so warm SPNE
+	// re-solves can treat only the ticked observer as dirty.
+	journal func(v uint64, owner overlay.NodeID)
+
 	// nil (no-op) until Instrument binds them.
 	ticks, credits, decays, inits *telemetry.Counter
 }
@@ -122,7 +127,10 @@ func (est *Estimator) Tick() {
 	est.ticks.Inc()
 	est.totalValid = false
 	if est.setVersion != nil {
-		atomic.AddUint64(est.setVersion, 1)
+		v := atomic.AddUint64(est.setVersion, 1)
+		if est.journal != nil {
+			est.journal(v, est.owner)
+		}
 	}
 	current := est.net.NeighborsOf(est.owner)
 	inSet := make(map[overlay.NodeID]struct{}, len(current))
@@ -238,6 +246,66 @@ type Set struct {
 	// a member estimator advances it (atomically). Equal versions
 	// guarantee unchanged availability scores.
 	version uint64
+
+	// journal attributes recent version bumps to the estimator owner that
+	// ticked, mirroring the overlay's change journal: entries cover
+	// versions (jbase, version]. A TickAll round touches every online
+	// estimator, so it is recorded as a wildcard (journal cleared, jbase
+	// advanced) rather than one entry per node; only out-of-band
+	// individual Ticks are attributed. mu guards the journal fields —
+	// sharded TickAll rounds invoke the hook concurrently.
+	mu      sync.Mutex
+	journal []probeEntry
+	jbase   uint64
+	bulk    bool
+}
+
+// probeEntry says set version v bumped because node's estimator ticked.
+type probeEntry struct {
+	version uint64
+	node    overlay.NodeID
+}
+
+// probeJournalCap bounds the journal; see overlay.journalCap for the
+// eviction story (oldest half dropped, jbase advances past it).
+const probeJournalCap = 1024
+
+// journalTick records one attributed estimate change.
+func (s *Set) journalTick(v uint64, owner overlay.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bulk {
+		return
+	}
+	if len(s.journal) >= probeJournalCap {
+		half := len(s.journal) / 2
+		s.jbase = s.journal[half-1].version
+		s.journal = append(s.journal[:0], s.journal[half:]...)
+	}
+	s.journal = append(s.journal, probeEntry{version: v, node: owner})
+}
+
+// ChangesSince appends to buf the owners whose estimates changed after
+// set version v and reports whether the journal covers that span. ok ==
+// false — v predates the horizon or a TickAll ran since — means the
+// caller must treat every estimate as changed.
+func (s *Set) ChangesSince(v uint64, buf []overlay.NodeID) ([]overlay.NodeID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := atomic.LoadUint64(&s.version)
+	if v == cur {
+		return buf, true
+	}
+	if v < s.jbase || v > cur {
+		return buf, false
+	}
+	for i := len(s.journal) - 1; i >= 0; i-- {
+		if s.journal[i].version <= v {
+			break
+		}
+		buf = append(buf, s.journal[i].node)
+	}
+	return buf, true
 }
 
 // Version returns the set-wide estimate-change counter.
@@ -268,6 +336,7 @@ func (s *Set) For(id overlay.NodeID) *Estimator {
 	if !ok {
 		est = NewEstimator(id, s.net, s.rng.Split(), s.period)
 		est.setVersion = &s.version
+		est.journal = s.journalTick
 		if s.reg != nil {
 			est.Instrument(s.reg)
 		}
@@ -292,6 +361,21 @@ func (s *Set) TickAll() {
 	for i, id := range ids {
 		ests[i] = s.For(id)
 	}
+	// A full round changes every online estimate: recording it entry by
+	// entry would only flood the journal, so suppress attribution for the
+	// duration and mark the round as a wildcard afterwards (incremental
+	// consumers fall back to a full solve, which is the right answer when
+	// everything moved anyway).
+	s.mu.Lock()
+	s.bulk = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.bulk = false
+		s.journal = s.journal[:0]
+		s.jbase = atomic.LoadUint64(&s.version)
+		s.mu.Unlock()
+	}()
 	workers := s.Workers
 	if workers > len(ests) {
 		workers = len(ests)

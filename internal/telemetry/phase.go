@@ -19,6 +19,7 @@ import (
 const (
 	PhaseSolveRows         = "solve.rows"         // sparse CSR row build (scorer prefetch + fill)
 	PhaseSolveInduction    = "solve.induction"    // backward-induction stage sweeps
+	PhaseSolveIncremental  = "solve.incremental"  // warm re-solve: journal drain, row refresh, frontier sweeps
 	PhaseProbeTick         = "probe.tick"         // probe estimator TickAll rounds
 	PhaseOverlayCandidates = "overlay.candidates" // per-hop neighbor candidate gathering
 	PhaseRouteWalk         = "route.walk"         // per-connection forwarding walk

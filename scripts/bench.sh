@@ -1,9 +1,13 @@
 #!/usr/bin/env sh
 # bench.sh — run the tracked benchmark set and archive it as JSON.
 #
-# Usage: scripts/bench.sh [output.json]    (default BENCH_PR7.json)
+# Usage: scripts/bench.sh [output.json]    (default BENCH_PR${BENCH_PR}.json)
 #
-# Four tiers:
+# BENCH_PR names the PR whose baseline this archive becomes; bump it when
+# a PR re-baselines the gate instead of editing the default filename in
+# every call site (CI reads the same file name in its -gate step).
+#
+# Five tiers:
 #   - experiment benchmarks (repo root): whole figure pipelines, few
 #     iterations because each run is seconds of simulation;
 #   - micro-benchmarks (internal packages): the hot paths the performance
@@ -11,7 +15,11 @@
 #   - N-sweep scale frontier: one cold sparse stage-game solve per op at
 #     N = 10², 10³, 10⁴ and 10⁵ on a static overlay, single iteration —
 #     the curve CI's bench-delta gate reads B/op and allocs/op from;
-#   - phase breakdown: the same N-sweep with the phase profiler attached,
+#   - warm churn: one single-node lifecycle event plus one connection per
+#     op, warm (incremental re-solve from the churn journals) vs cold
+#     (journal wildcarded, full solve per event) — the warm/cold ratio is
+#     the incremental solver's headline number;
+#   - phase breakdown: the N-sweep with the phase profiler attached,
 #     emitting per-phase <phase>-ns/op and <phase>-allocs/op custom
 #     metrics that name where each decade's cost lives (the -allocs/op
 #     entries are gated by CI like allocs/op).
@@ -20,7 +28,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+BENCH_PR=8
+out="${1:-BENCH_PR${BENCH_PR}.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -38,6 +47,11 @@ echo "== N-sweep scale frontier =="
 go test -run '^$' \
   -bench 'BenchmarkScaleFrontier' \
   -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee -a "$tmp"
+
+echo "== warm churn =="
+go test -run '^$' \
+  -bench 'BenchmarkWarmChurn' \
+  -benchmem -benchtime 20x -timeout 30m ./internal/core/ | tee -a "$tmp"
 
 echo "== phase breakdown =="
 go test -run '^$' \
