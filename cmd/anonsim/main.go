@@ -16,7 +16,10 @@
 // generates one from a seed with gen:<seed>), replays the seeded world,
 // checks every system invariant and exits non-zero on a violation. With
 // -trace-out the run's full event trace is written as JSONL — byte-identical
-// across runs of the same plan.
+// across runs of the same plan. The plan's settle_queue/settle_delay fields
+// size the bounded async settlement queue and the virtual-clock delay after
+// batch close at which the world drains it (the deterministic drain point
+// of the payment pipeline; defaults 4 jobs / 0.5 s).
 //
 // -span-out captures the causal span log: in -faults mode the virtual-clock
 // span trees of the deterministic world (byte-identical across runs of the

@@ -24,6 +24,13 @@
 // fixed workload) for every benchmark present in both documents; ns/op is
 // deliberately ungated — wall time on shared CI runners is too noisy to
 // fail a build over. -gate-ratio sets the allowed growth factor.
+//
+// With -speedup "metric,numerator,denominator,min" it asserts a
+// throughput ratio *within* the run: metric(numerator)/metric(denominator)
+// must be at least min. Unlike absolute wall times, a same-run same-runner
+// ratio between two tiers of one benchmark is stable on shared CI
+// hardware, so it can gate (e.g. the settlement pipeline's aggregated-
+// vs-serial speedup). The flag repeats for multiple assertions.
 package main
 
 import (
@@ -68,6 +75,9 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	gate := flag.String("gate", "", "baseline JSON to gate B/op and allocs/op against")
 	gateRatio := flag.Float64("gate-ratio", 1.15, "allowed growth factor over the baseline")
+	var speedups speedupFlags
+	flag.Var(&speedups, "speedup",
+		"metric,numerator,denominator,min — require metric(numerator)/metric(denominator) ≥ min (repeatable)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -120,6 +130,70 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	for _, spec := range speedups {
+		if err := checkSpeedup(doc, spec); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// speedupFlags collects repeated -speedup specs.
+type speedupFlags []string
+
+func (s *speedupFlags) String() string     { return strings.Join(*s, " ") }
+func (s *speedupFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+// checkSpeedup enforces one "metric,numerator,denominator,min" assertion
+// against the parsed run. Both benchmarks must be present and carry the
+// metric — a gate that cannot find its operands fails loudly rather than
+// passing forever after a rename.
+func checkSpeedup(doc *Document, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return fmt.Errorf("speedup spec %q: want metric,numerator,denominator,min", spec)
+	}
+	metric, numName, denName := parts[0], parts[1], parts[2]
+	min, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("speedup spec %q: bad minimum %q", spec, parts[3])
+	}
+	lookup := func(name string) (float64, error) {
+		for _, b := range doc.Benchmarks {
+			if b.Name != name {
+				continue
+			}
+			switch metric {
+			case "ns/op":
+				return b.NsPerOp, nil
+			case "B/op":
+				return b.BytesPerOp, nil
+			case "allocs/op":
+				return b.AllocsOp, nil
+			default:
+				if v, ok := b.Metrics[metric]; ok {
+					return v, nil
+				}
+				return 0, fmt.Errorf("speedup: %s has no %q metric", name, metric)
+			}
+		}
+		return 0, fmt.Errorf("speedup: benchmark %q not in run", name)
+	}
+	num, err := lookup(numName)
+	if err != nil {
+		return err
+	}
+	den, err := lookup(denName)
+	if err != nil {
+		return err
+	}
+	if den <= 0 {
+		return fmt.Errorf("speedup: %s %s is %g, ratio undefined", denName, metric, den)
+	}
+	if ratio := num / den; ratio < min {
+		return fmt.Errorf("speedup: %s %s/%s = %.2f, below the required %g×",
+			metric, numName, denName, ratio, min)
+	}
+	return nil
 }
 
 // loadDocument reads a previously emitted benchjson artifact.

@@ -174,3 +174,43 @@ func TestGatePhaseMetrics(t *testing.T) {
 		t.Fatalf("phase regression: violations=%v, want one naming solve.rows-allocs/op", v)
 	}
 }
+
+// TestCheckSpeedup pins the within-run throughput-ratio gate used for the
+// settlement pipeline's aggregated-vs-serial speedup.
+func TestCheckSpeedup(t *testing.T) {
+	doc := gateDoc(
+		Benchmark{Name: "BenchmarkSettlementThroughput/N=10000/serial", NsPerOp: 8e6,
+			Metrics: map[string]float64{"settlements/sec": 1e6}},
+		Benchmark{Name: "BenchmarkSettlementThroughput/N=10000/aggregated", NsPerOp: 2e6,
+			Metrics: map[string]float64{"settlements/sec": 4.5e6}},
+	)
+	spec := func(metric, num, den, min string) string {
+		return metric + "," + num + "," + den + "," + min
+	}
+	agg := "BenchmarkSettlementThroughput/N=10000/aggregated"
+	ser := "BenchmarkSettlementThroughput/N=10000/serial"
+
+	if err := checkSpeedup(doc, spec("settlements/sec", agg, ser, "4")); err != nil {
+		t.Fatalf("4.5x ratio rejected at min 4: %v", err)
+	}
+	if err := checkSpeedup(doc, spec("settlements/sec", agg, ser, "5")); err == nil {
+		t.Fatal("4.5x ratio accepted at min 5")
+	}
+	// Standard metrics resolve too (here ns/op, inverted operands).
+	if err := checkSpeedup(doc, spec("ns/op", ser, agg, "4")); err != nil {
+		t.Fatalf("ns/op ratio rejected: %v", err)
+	}
+	// Missing operands or metrics fail loudly — no silent disarm.
+	if err := checkSpeedup(doc, spec("settlements/sec", "BenchmarkRenamed", ser, "4")); err == nil {
+		t.Fatal("missing numerator accepted")
+	}
+	if err := checkSpeedup(doc, spec("widgets/sec", agg, ser, "4")); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+	if err := checkSpeedup(doc, "not-a-spec"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if err := checkSpeedup(doc, spec("settlements/sec", agg, ser, "zero")); err == nil {
+		t.Fatal("bad minimum accepted")
+	}
+}

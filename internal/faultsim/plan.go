@@ -107,6 +107,12 @@ type Plan struct {
 	// Probing.
 	ProbePeriod float64 `json:"probe_period,omitempty"` // seconds, 0 = default
 
+	// Settlement pipeline: batch close enqueues the settlement job on a
+	// bounded queue and the world drains it SettleDelay virtual seconds
+	// later — the deterministic drain point of the async settlement stage.
+	SettleQueue int     `json:"settle_queue,omitempty"` // queue capacity
+	SettleDelay float64 `json:"settle_delay,omitempty"` // seconds to drain
+
 	// TraceCap bounds the event ring; the trace-capacity invariant fails
 	// if the run records more events than this.
 	TraceCap int `json:"trace_cap,omitempty"`
@@ -165,6 +171,12 @@ func (p Plan) Normalize() Plan {
 	if p.ProbePeriod == 0 {
 		p.ProbePeriod = 60
 	}
+	if p.SettleQueue == 0 {
+		p.SettleQueue = 4
+	}
+	if p.SettleDelay == 0 {
+		p.SettleDelay = 0.5
+	}
 	if p.TraceCap == 0 {
 		p.TraceCap = 1 << 14
 	}
@@ -196,6 +208,9 @@ func (p Plan) Validate() error {
 	}
 	if p.Pf < 0 || p.Pr < 0 || p.Opening <= 0 {
 		return errors.New("faultsim: bad incentive parameters")
+	}
+	if p.SettleQueue < 1 || p.SettleDelay < 0 {
+		return errors.New("faultsim: bad settlement pipeline parameters")
 	}
 	for i, f := range p.Faults {
 		switch f.Kind {

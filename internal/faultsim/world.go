@@ -150,6 +150,7 @@ type world struct {
 	batches      []*batchRecord
 	cur          *connState
 	curRec       *batchRecord
+	settleQ      *payment.SettleQueue
 	finished     bool
 	anySettleErr bool
 }
@@ -171,6 +172,7 @@ func newWorld(p Plan) (*world, error) {
 		accounts:  make(map[overlay.NodeID]struct{}),
 		msgSeq:    make(map[[2]int]int),
 		probeLies: make(map[overlay.NodeID]bool),
+		settleQ:   payment.NewSettleQueue(p.SettleQueue),
 	}
 	w.net = overlay.NewNetwork(p.Degree, rng.Split())
 	w.probes = probe.NewSet(w.net, rng.Split(), sim.Time(p.ProbePeriod))
@@ -226,6 +228,7 @@ func (w *world) traceFault(f Fault, detail string) {
 func (w *world) setup() {
 	w.bank.Instrument(w.reg)
 	w.net.Instrument(w.reg)
+	w.settleQ.Instrument(w.reg)
 	w.net.OnChurn(func(id overlay.NodeID, s overlay.State) {
 		switch s {
 		case overlay.Online:
@@ -748,7 +751,12 @@ func (w *world) finishConn() {
 
 // settleBatch assembles claims from the minted receipts (sorted by
 // forwarder for determinism), applies any settlement faults, mirrors the
-// bank's rejection rule into expectRejected, and settles from escrow.
+// bank's rejection rule into expectRejected, and hands the job to the
+// bounded settlement queue. The queue is drained SettleDelay virtual
+// seconds later — the deterministic drain point of the async pipeline.
+// The funds sit in escrow for that whole window, so a crash between
+// enqueue and drain loses nothing: settlement runs against the escrow
+// account, not the (possibly dead) initiator.
 func (w *world) settleBatch() {
 	rec := w.curRec
 	fwds := make([]overlay.NodeID, 0, len(rec.receipts))
@@ -777,20 +785,65 @@ func (w *world) settleBatch() {
 	}
 	rec.expectRejected = expectRejected(rec.minter, claims)
 
-	payouts, refund, err := rec.escrow.SettleFromEscrow(
-		rec.minter, payment.Amount(w.plan.Pf), payment.Amount(w.plan.Pr), claims)
-	rec.payouts, rec.refund = payouts, refund
-	if err != nil {
-		rec.settleErr = err
+	job := payment.SettleJob{
+		Batch: rec.batch, Escrow: rec.escrow, Minter: rec.minter,
+		Pf: payment.Amount(w.plan.Pf), Pr: payment.Amount(w.plan.Pr),
+		Claims: claims,
+	}
+	if err := w.settleQ.Enqueue(job); err != nil {
+		// Backpressure: drain on the spot to free a slot, then retry. The
+		// world runs one batch at a time, so this only trips when a plan
+		// sets settle_queue below the number of undrained batches.
+		for _, res := range w.settleQ.Drain() {
+			w.applySettleResult(res)
+		}
+		if err := w.settleQ.Enqueue(job); err != nil {
+			w.applySettleResult(settleNow(job))
+			w.nextBatch()
+			return
+		}
+	}
+	w.eng.AfterFunc(sim.Time(w.plan.SettleDelay), func(*sim.Engine) { w.drainSettlements() })
+}
+
+// settleNow executes a job synchronously — the fallback when the queue
+// refuses it even after a drain (it was closed).
+func settleNow(j payment.SettleJob) payment.SettleResult {
+	res := payment.SettleResult{Batch: j.Batch}
+	res.Payouts, res.Refund, res.Err = j.Escrow.SettleFromEscrow(j.Minter, j.Pf, j.Pr, j.Claims)
+	return res
+}
+
+// drainSettlements is the virtual-clock drain point: settle every queued
+// job, fold the outcomes back into their batch records, then advance to
+// the next batch.
+func (w *world) drainSettlements() {
+	for _, res := range w.settleQ.Drain() {
+		w.applySettleResult(res)
+	}
+	w.nextBatch()
+}
+
+// applySettleResult folds one settlement outcome into its batch record,
+// emitting the same trace event and payout spans the inline settlement
+// used to.
+func (w *world) applySettleResult(res payment.SettleResult) {
+	if res.Batch < 1 || res.Batch > len(w.batches) {
+		return
+	}
+	rec := w.batches[res.Batch-1]
+	rec.payouts, rec.refund = res.Payouts, res.Refund
+	if res.Err != nil {
+		rec.settleErr = res.Err
 		w.anySettleErr = true
 		rec.escrow.Close() // best effort: return whatever is still locked
 	} else {
 		rec.settled = true
 		w.trace(telemetry.Event{
 			Kind: telemetry.KindSettled, Batch: rec.batch, Node: int(rec.initiator),
-			Detail: fmt.Sprintf("%d payouts, refund %d", len(payouts), refund),
+			Detail: fmt.Sprintf("%d payouts, refund %d", len(res.Payouts), res.Refund),
 		})
-		for _, po := range payouts {
+		for _, po := range res.Payouts {
 			span := telemetry.NewSpanID(rec.root, telemetry.SpanSettle, 0, 0, 0, int(po.Forwarder))
 			w.spans.Record(telemetry.Span{
 				Trace: rec.trace, ID: span, Parent: rec.root, Kind: telemetry.SpanSettle,
@@ -799,7 +852,6 @@ func (w *world) settleBatch() {
 			})
 		}
 	}
-	w.nextBatch()
 }
 
 // applyInflate pads the target's claim with forged receipts plus one

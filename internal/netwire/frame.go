@@ -27,6 +27,7 @@ import (
 
 	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
+	"p2panon/internal/payment"
 	"p2panon/internal/telemetry"
 
 	"crypto/ecdh"
@@ -71,7 +72,10 @@ type Kind uint8
 // Frame kinds. Hello/HelloAck are the per-connection handshake; Forward,
 // Confirm and Nack mirror transport's message kinds; Probe/ProbeAck are
 // the liveness ping the connection manager uses; Settle carries a batch's
-// split payment (m·P_f + P_r/‖π‖) to a forwarder after settlement.
+// split payment (m·P_f + P_r/‖π‖) to a forwarder after settlement; Claim
+// carries a forwarder's rolled-up aggregate claim (payment.AggregateClaim)
+// to the settlement point — 16 bytes per forwarding instance instead of a
+// 56-byte receipt each.
 const (
 	KindHello Kind = iota + 1
 	KindHelloAck
@@ -81,6 +85,7 @@ const (
 	KindProbe
 	KindProbeAck
 	KindSettle
+	KindClaim
 	kindEnd
 )
 
@@ -99,7 +104,7 @@ func BodyCap(k Kind) int {
 		return 2 + 8 // nonce
 	case KindSettle:
 		return 2 + 5*8 + traceTailSize // batch, node, set size, forwards, payoff + optional trace context
-	case KindForward, KindConfirm, KindNack:
+	case KindForward, KindConfirm, KindNack, KindClaim:
 		return MaxFrameSize
 	default:
 		return -1
@@ -125,6 +130,8 @@ func (k Kind) String() string {
 		return "probe_ack"
 	case KindSettle:
 		return "settle"
+	case KindClaim:
+		return "claim"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -173,6 +180,11 @@ type Frame struct {
 	SetSize, Forwards int
 	Payoff            float64
 
+	// Claim: a forwarder's aggregate settlement claim for Batch. The
+	// payload embeds payment's canonical claim encoding, so the payment
+	// fuzzer's guarantees carry over to the frame.
+	AggClaim *payment.AggregateClaim
+
 	// Trace context (optional, any kind except probe/probe_ack): the
 	// batch's deterministic trace id and the sender-side span the receiver
 	// should parent its own spans under. Zero means "no trace context";
@@ -197,6 +209,12 @@ func appendI64(dst []byte, v int64) []byte {
 func appendU64(dst []byte, v uint64) []byte {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU32(dst []byte, v int) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
 	return append(dst, b[:]...)
 }
 
@@ -232,6 +250,18 @@ func (f *Frame) encodeBody() ([]byte, error) {
 		out = appendI64(out, int64(f.SetSize))
 		out = appendI64(out, int64(f.Forwards))
 		out = appendU64(out, math.Float64bits(f.Payoff))
+		out = f.appendTraceTail(out)
+	case KindClaim:
+		if f.AggClaim == nil {
+			return nil, errors.New("netwire: claim frame without aggregate claim")
+		}
+		claim, err := payment.EncodeAggregateClaim(*f.AggClaim)
+		if err != nil {
+			return nil, fmt.Errorf("netwire: encoding aggregate claim: %w", err)
+		}
+		out = appendI64(out, int64(f.Batch))
+		out = appendU32(out, len(claim))
+		out = append(out, claim...)
 		out = f.appendTraceTail(out)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, f.Kind)
@@ -375,6 +405,14 @@ func (r *frameReader) i64() int64 {
 	return int64(binary.BigEndian.Uint64(b))
 }
 
+func (r *frameReader) u32() int {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(b))
+}
+
 func (r *frameReader) u64() uint64 {
 	b := r.take(8)
 	if b == nil {
@@ -436,6 +474,22 @@ func decodeBody(body []byte) (*Frame, error) {
 		f.SetSize = int(r.i64())
 		f.Forwards = int(r.i64())
 		f.Payoff = math.Float64frombits(r.u64())
+		if err := f.decodeTraceTail(r, len(body)); err != nil {
+			return nil, err
+		}
+	case KindClaim:
+		f.Batch = int(r.i64())
+		claimLen := r.u32()
+		if r.err == nil && claimLen > MaxFrameSize {
+			return nil, fmt.Errorf("%w: claim %d bytes", ErrFieldTooLong, claimLen)
+		}
+		if b := r.take(claimLen); b != nil {
+			claim, err := payment.DecodeAggregateClaim(b)
+			if err != nil {
+				return nil, fmt.Errorf("netwire: decoding aggregate claim: %w", err)
+			}
+			f.AggClaim = &claim
+		}
 		if err := f.decodeTraceTail(r, len(body)); err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 
 	"p2panon/internal/onion"
 	"p2panon/internal/overlay"
+	"p2panon/internal/payment"
 	"p2panon/internal/telemetry"
 )
 
@@ -43,6 +44,24 @@ func randomFrame(t testing.TB, rng *rand.Rand, kind Kind) *Frame {
 		f.SetSize = rng.Intn(100)
 		f.Forwards = rng.Intn(100)
 		f.Payoff = rng.NormFloat64() * 10
+	case KindClaim:
+		f.Batch = rng.Intn(1 << 20)
+		claim := payment.AggregateClaim{Forwarder: payment.AccountID(rng.Int63n(1 << 40))}
+		conn, hop := 0, 0
+		for i := 1 + rng.Intn(8); i > 0; i-- {
+			conn += rng.Intn(3)
+			hop = rng.Intn(64)
+			for len(claim.Entries) > 0 {
+				last := claim.Entries[len(claim.Entries)-1]
+				if conn > last.Conn || (conn == last.Conn && hop > last.Hop) {
+					break
+				}
+				hop++
+			}
+			claim.Entries = append(claim.Entries, payment.AggEntry{Conn: conn, Hop: hop})
+		}
+		rng.Read(claim.Chain[:])
+		f.AggClaim = &claim
 	case KindForward, KindConfirm, KindNack:
 		f.Batch = rng.Intn(1 << 20)
 		f.Conn = rng.Intn(1 << 20)
@@ -88,7 +107,7 @@ func randomFrame(t testing.TB, rng *rand.Rand, kind Kind) *Frame {
 // carries the same fields.
 func TestFrameRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	kinds := []Kind{KindHello, KindHelloAck, KindForward, KindConfirm, KindNack, KindProbe, KindProbeAck, KindSettle}
+	kinds := []Kind{KindHello, KindHelloAck, KindForward, KindConfirm, KindNack, KindProbe, KindProbeAck, KindSettle, KindClaim}
 	for trial := 0; trial < 200; trial++ {
 		f := randomFrame(t, rng, kinds[trial%len(kinds)])
 		buf, err := f.Encode()
@@ -125,6 +144,20 @@ func TestFrameRoundTrip(t *testing.T) {
 		for i := range f.Records {
 			if !bytes.Equal(g.Records[i].Sealed, f.Records[i].Sealed) {
 				t.Fatalf("trial %d: record %d differs", trial, i)
+			}
+		}
+		if (g.AggClaim == nil) != (f.AggClaim == nil) {
+			t.Fatalf("trial %d: aggregate claim presence differs", trial)
+		}
+		if f.AggClaim != nil {
+			if g.AggClaim.Forwarder != f.AggClaim.Forwarder || g.AggClaim.Chain != f.AggClaim.Chain ||
+				len(g.AggClaim.Entries) != len(f.AggClaim.Entries) {
+				t.Fatalf("trial %d: aggregate claim differs:\n got %+v\nwant %+v", trial, g.AggClaim, f.AggClaim)
+			}
+			for i, e := range f.AggClaim.Entries {
+				if g.AggClaim.Entries[i] != e {
+					t.Fatalf("trial %d: claim entry %d = %+v, want %+v", trial, i, g.AggClaim.Entries[i], e)
+				}
 			}
 		}
 		if (g.Contract == nil) != (f.Contract == nil) {

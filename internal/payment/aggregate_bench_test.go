@@ -1,0 +1,32 @@
+package payment
+
+import "testing"
+
+// BenchmarkVerifyAggregateOnly isolates the chain re-derivation itself —
+// no decode, no escrow — so the mid-state MAC verifier can be profiled
+// against its floor of ~2.5 SHA-256 compressions per entry (inner block,
+// outer block, half a block of chain fold).
+func BenchmarkVerifyAggregateOnly(b *testing.B) {
+	m, err := NewReceiptMinter([]byte("profile-secret"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClaimChain(7)
+	for i := 0; i < 4096; i++ {
+		if err := c.Add(m.Mint(i, 1, 7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	claim := c.Claim()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.VerifyAggregate(&claim) != 4096 {
+			b.Fatal("genuine claim rejected")
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(4096)*float64(b.N)/secs/1e6, "Mmacs/sec")
+	}
+}

@@ -1,0 +1,135 @@
+package payment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Batch deposit path: a settlement epoch hands the bank its deposits in
+// one slice, the RSA signature checks — the only expensive, pure part of
+// a deposit — fan out over a persistent worker pool, and the ledger
+// mutations are then applied serially in submission order. Per-token
+// error attribution is identical to calling Deposit in a loop: the apply
+// phase replays the serial check order (unknown account, bad signature,
+// double spend) with the signature verdict precomputed.
+
+// DepositRequest is one deposit of a settlement epoch's batch.
+type DepositRequest struct {
+	Account AccountID
+	Token   Token
+}
+
+// verifyTask is one contiguous chunk of signature checks.
+type verifyTask struct {
+	chunk int
+	fn    func(chunk int)
+	wg    *sync.WaitGroup
+}
+
+// verifyPool mirrors game.Pool: persistent workers parked on a channel,
+// shut down by an explicit Close or the finalizer when the bank becomes
+// unreachable. Workers capture only the channel, never the pool or the
+// bank.
+type verifyPool struct {
+	tasks   chan verifyTask
+	workers int
+	once    sync.Once
+}
+
+func newVerifyPool(workers int) *verifyPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &verifyPool{tasks: make(chan verifyTask, workers), workers: workers}
+	for w := 0; w < workers; w++ {
+		go verifyWorker(p.tasks)
+	}
+	runtime.SetFinalizer(p, (*verifyPool).Close)
+	return p
+}
+
+func verifyWorker(tasks <-chan verifyTask) {
+	for t := range tasks {
+		t.fn(t.chunk)
+		t.wg.Done()
+	}
+}
+
+// run executes fn(c) for chunks [0, chunks) on the pool and waits.
+func (p *verifyPool) run(chunks int, fn func(chunk int)) {
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		p.tasks <- verifyTask{chunk: c, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close shuts the workers down. Idempotent.
+func (p *verifyPool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+}
+
+// SetVerifyWorkers fixes the signature-check pool width (0 restores the
+// GOMAXPROCS default). A width of 1 makes DepositBatch verify serially —
+// the baseline benchmarks pin this. Replacing an existing pool shuts the
+// old one down.
+func (b *Bank) SetVerifyWorkers(n int) {
+	b.verifyMu.Lock()
+	defer b.verifyMu.Unlock()
+	b.verifyWorkers = n
+	if b.verifyPool != nil {
+		b.verifyPool.Close()
+		b.verifyPool = nil
+	}
+}
+
+// pool returns the verification pool, building it on first use.
+func (b *Bank) pool() *verifyPool {
+	b.verifyMu.Lock()
+	defer b.verifyMu.Unlock()
+	if b.verifyPool == nil {
+		w := b.verifyWorkers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		b.verifyPool = newVerifyPool(w)
+	}
+	return b.verifyPool
+}
+
+// DepositBatch verifies and applies a settlement epoch's deposits. The
+// returned slice has one entry per request, nil on success, positionally
+// aligned with reqs; errors match what Deposit would have returned for
+// the same stream, in the same order. Telemetry counters see one
+// noteDeposit per request, exactly like the serial path.
+func (b *Bank) DepositBatch(reqs []DepositRequest) []error {
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return errs
+	}
+	sigOK := make([]bool, len(reqs))
+	pub := &b.key.PublicKey
+	p := b.pool()
+	chunks := p.workers
+	if chunks > len(reqs) {
+		chunks = len(reqs)
+	}
+	per := (len(reqs) + chunks - 1) / chunks
+	p.run(chunks, func(c int) {
+		lo := c * per
+		hi := lo + per
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		for i := lo; i < hi; i++ {
+			sigOK[i] = VerifyToken(pub, reqs[i].Token)
+		}
+	})
+	for i := range reqs {
+		err := b.deposit(reqs[i].Account, reqs[i].Token, sigOK[i])
+		b.noteDeposit(err)
+		errs[i] = err
+	}
+	return errs
+}

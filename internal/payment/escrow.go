@@ -33,11 +33,7 @@ func (b *Bank) OpenEscrow(initiator AccountID, amount Amount) (*Escrow, error) {
 	if amount <= 0 {
 		return nil, ErrBadAmount
 	}
-	b.mu.Lock()
-	if _, ok := b.accounts[escrowAccount]; !ok {
-		b.accounts[escrowAccount] = 0
-	}
-	b.mu.Unlock()
+	b.ensureAccount(escrowAccount)
 	if err := b.Transfer(initiator, escrowAccount, amount); err != nil {
 		return nil, fmt.Errorf("payment: opening escrow: %w", err)
 	}
@@ -126,5 +122,46 @@ func (e *Escrow) SettleFromEscrow(minter *ReceiptMinter, pf, pr Amount, claims [
 		return accepted, 0, err
 	}
 	e.bank.noteSettlement(accepted, countRejected(claims, accepted))
+	return accepted, refund, nil
+}
+
+// SettleAggregated is SettleFromEscrow over rolled-up chain claims: one
+// AggregateClaim per forwarder replaces its m individual receipts, and
+// verification is one O(m) chain re-derivation per claim instead of m
+// independent MAC checks with a dedup map. A claim whose chain does not
+// verify is rejected whole (all-or-nothing — see VerifyAggregate), and
+// its entries count as rejected receipts for the §5 cheating signal.
+func (e *Escrow) SettleAggregated(minter *ReceiptMinter, pf, pr Amount, claims []AggregateClaim) ([]Payout, Amount, error) {
+	if minter == nil {
+		return nil, 0, errors.New("payment: nil minter")
+	}
+	if pf < 0 || pr < 0 {
+		return nil, 0, ErrBadAmount
+	}
+	accepted := make([]Payout, 0, len(claims))
+	rejected := 0
+	verify := minter.aggregateVerifier()
+	for i := range claims {
+		m := verify(&claims[i])
+		if m > 0 {
+			accepted = append(accepted, Payout{Forwarder: claims[i].Forwarder, Forwards: m})
+		} else {
+			rejected += len(claims[i].Entries)
+		}
+	}
+	if len(accepted) > 0 {
+		share := pr / Amount(len(accepted))
+		for i := range accepted {
+			accepted[i].Amount = Amount(accepted[i].Forwards)*pf + share
+			if err := e.Pay(accepted[i].Forwarder, accepted[i].Amount); err != nil {
+				return accepted[:i], 0, err
+			}
+		}
+	}
+	refund, err := e.Close()
+	if err != nil {
+		return accepted, 0, err
+	}
+	e.bank.noteSettlement(accepted, rejected)
 	return accepted, refund, nil
 }

@@ -139,6 +139,74 @@ func FuzzReceiptWire(f *testing.F) {
 	})
 }
 
+// FuzzAggregateClaimWire throws arbitrary byte strings at the
+// aggregate-claim decoder: it must never panic, anything it accepts must
+// re-encode to exactly the input (canonical form), and — the settlement
+// guarantee — no decoded mutation of a genuine claim may ever verify
+// unless it is byte-identical to the genuine encoding. The seed corpus
+// covers the attacks by construction: truncation, oversized counts,
+// forged chains and replayed prefixes.
+func FuzzAggregateClaimWire(f *testing.F) {
+	m, err := NewReceiptMinter([]byte("fuzz-aggclaim-secret"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	chain := NewClaimChain(7)
+	for _, co := range [][2]int{{1, 1}, {1, 2}, {2, 1}, {5, 3}} {
+		if err := chain.Add(m.Mint(co[0], co[1], 7)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	claim := chain.Claim()
+	genuine, err := EncodeAggregateClaim(claim)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine)
+	f.Add([]byte{})
+	f.Add(genuine[:11])                            // truncated header
+	f.Add(genuine[:len(genuine)-1])                // truncated chain
+	f.Add(genuine[:AggClaimWireSize(2)])           // fewer bytes than the count promises
+	f.Add(append(append([]byte{}, genuine...), 0)) // trailing garbage
+
+	forged := append([]byte{}, genuine...)
+	forged[len(forged)-1] ^= 1 // flipped chain byte
+	f.Add(forged)
+
+	oversized := append([]byte{}, genuine...)
+	oversized[8], oversized[9] = 0xff, 0xff // count 0xffff0004 > MaxAggEntries
+	f.Add(oversized)
+
+	// Replayed prefix: the first two entries with the count fixed up — the
+	// chain covers all four, so the prefix must not verify.
+	prefix := append([]byte{}, genuine[:AggClaimWireSize(2)-32]...)
+	prefix[11] = 2
+	prefix = append(prefix, genuine[len(genuine)-32:]...)
+	f.Add(prefix)
+
+	zeroCount := append([]byte{}, genuine[:AggClaimWireSize(0)]...)
+	zeroCount[11] = 0
+	f.Add(zeroCount)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeAggregateClaim(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeAggregateClaim(dec)
+		if err != nil {
+			t.Fatalf("decoded claim failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical decode: %x re-encoded as %x", data, re)
+		}
+		// The settlement gate: only the genuine bytes may ever settle.
+		if m.VerifyAggregate(&dec) > 0 && !bytes.Equal(data, genuine) {
+			t.Fatalf("forged aggregate claim verified: %x", data)
+		}
+	})
+}
+
 // FuzzReceiptVerify must never panic and never accept a receipt whose MAC
 // does not match.
 func FuzzReceiptVerify(f *testing.F) {

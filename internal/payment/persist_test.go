@@ -130,16 +130,17 @@ func TestVerifyConservationDetectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt internals directly (white-box).
-	b.mu.Lock()
-	b.accounts[1] = -5
-	b.mu.Unlock()
+	s := b.shardOf(1)
+	s.mu.Lock()
+	s.accounts[1] = -5
+	s.mu.Unlock()
 	if err := b.VerifyConservation(); err == nil {
 		t.Fatal("negative balance not detected")
 	}
-	b.mu.Lock()
-	b.accounts[1] = 100
-	b.redeemed = b.issued + 1
-	b.mu.Unlock()
+	s.mu.Lock()
+	s.accounts[1] = 100
+	s.mu.Unlock()
+	b.redeemed.Store(b.issued.Load() + 1)
 	if err := b.VerifyConservation(); err == nil {
 		t.Fatal("over-redemption not detected")
 	}

@@ -1,0 +1,168 @@
+package payment
+
+import (
+	"errors"
+	"sync"
+
+	"p2panon/internal/telemetry"
+)
+
+// Async settlement stage: batch close hands the escrow and the collected
+// claims to a bounded queue and returns to the forwarding hot path; the
+// runtime drains the queue at a point it controls — faultsim drains on a
+// virtual-clock timer so transcripts stay deterministic, a live node
+// would drain from a background loop. The queue is deliberately passive
+// (no goroutine of its own): whoever owns the clock owns the drain, which
+// is what keeps replays byte-identical.
+
+// ErrQueueFull is the backpressure signal: the enqueuer must settle
+// synchronously or retry after a drain — the queue never grows past its
+// bound.
+var ErrQueueFull = errors.New("payment: settlement queue full")
+
+// SettleJob is one batch's deferred settlement. Exactly one of Claims and
+// AggClaims is consulted: aggregated jobs settle through the chain path.
+type SettleJob struct {
+	Batch      int
+	Escrow     *Escrow
+	Minter     *ReceiptMinter
+	Pf, Pr     Amount
+	Claims     []Claim
+	AggClaims  []AggregateClaim
+	Aggregated bool
+}
+
+// SettleResult is the outcome of one drained job.
+type SettleResult struct {
+	Batch   int
+	Payouts []Payout
+	Refund  Amount
+	Err     error
+}
+
+// SettleQueue is the bounded buffer between batch close and settlement.
+// All methods are safe for concurrent use; settlement work itself runs on
+// the drainer's goroutine, outside the queue lock.
+type SettleQueue struct {
+	mu     sync.Mutex
+	jobs   []SettleJob
+	limit  int
+	closed bool
+
+	depth    *telemetry.Gauge
+	enqueued *telemetry.Counter
+	drained  *telemetry.Counter
+	rejected *telemetry.Counter
+}
+
+// NewSettleQueue creates a queue holding at most capacity pending jobs
+// (clamped to ≥ 1).
+func NewSettleQueue(capacity int) *SettleQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SettleQueue{limit: capacity}
+}
+
+// Pipeline metric names.
+const (
+	metricQueueDepth    = "payment_settle_queue_depth"
+	metricQueueEnqueued = "payment_settle_queue_enqueued_total"
+	metricQueueDrained  = "payment_settle_queue_drained_total"
+	metricQueueRejected = "payment_settle_queue_rejected_total"
+)
+
+// Instrument binds the queue's gauges and counters into reg.
+func (q *SettleQueue) Instrument(reg *telemetry.Registry) {
+	reg.Help(metricQueueDepth, "settlement jobs currently queued")
+	reg.Help(metricQueueRejected, "enqueues rejected by backpressure (queue full)")
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.depth = reg.Gauge(metricQueueDepth, nil)
+	q.enqueued = reg.Counter(metricQueueEnqueued, nil)
+	q.drained = reg.Counter(metricQueueDrained, nil)
+	q.rejected = reg.Counter(metricQueueRejected, nil)
+}
+
+// Len returns the number of pending jobs.
+func (q *SettleQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// Cap returns the queue bound.
+func (q *SettleQueue) Cap() int { return q.limit }
+
+// Enqueue appends a job, or reports ErrQueueFull (the backpressure
+// signal) when the bound is reached. Enqueueing on a closed queue errors.
+func (q *SettleQueue) Enqueue(j SettleJob) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("payment: settlement queue closed")
+	}
+	if len(q.jobs) >= q.limit {
+		q.rejected.Inc()
+		return ErrQueueFull
+	}
+	q.jobs = append(q.jobs, j)
+	q.enqueued.Inc()
+	q.depth.Set(int64(len(q.jobs)))
+	return nil
+}
+
+// take pops all pending jobs FIFO.
+func (q *SettleQueue) take() []SettleJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jobs := q.jobs
+	q.jobs = nil
+	q.depth.Set(0)
+	return jobs
+}
+
+// settle executes one job against its escrow.
+func settle(j SettleJob) SettleResult {
+	res := SettleResult{Batch: j.Batch}
+	if j.Escrow == nil || j.Minter == nil {
+		res.Err = errors.New("payment: settle job missing escrow or minter")
+		return res
+	}
+	if j.Aggregated {
+		res.Payouts, res.Refund, res.Err = j.Escrow.SettleAggregated(j.Minter, j.Pf, j.Pr, j.AggClaims)
+	} else {
+		res.Payouts, res.Refund, res.Err = j.Escrow.SettleFromEscrow(j.Minter, j.Pf, j.Pr, j.Claims)
+	}
+	return res
+}
+
+// Drain settles every pending job in FIFO order and returns the results
+// in that order. The settlement work runs on the caller's goroutine with
+// the queue unlocked, so enqueuers are never blocked behind it.
+func (q *SettleQueue) Drain() []SettleResult {
+	jobs := q.take()
+	if len(jobs) == 0 {
+		return nil
+	}
+	out := make([]SettleResult, len(jobs))
+	for i, j := range jobs {
+		out[i] = settle(j)
+		q.drained.Inc()
+	}
+	return out
+}
+
+// Close seals the queue and returns the jobs that were never drained —
+// their funds still sit in escrow; the caller decides whether to settle
+// them anyway or refund via Escrow.Close. Conservation holds either way:
+// an undrained job's money is locked, not lost.
+func (q *SettleQueue) Close() []SettleJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	jobs := q.jobs
+	q.jobs = nil
+	q.depth.Set(0)
+	return jobs
+}

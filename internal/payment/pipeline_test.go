@@ -1,0 +1,208 @@
+package payment
+
+import (
+	"errors"
+	"testing"
+
+	"p2panon/internal/telemetry"
+)
+
+// settleFixture builds a bank, a funded initiator, an escrow and a claim
+// worth settling.
+func settleFixture(t *testing.T, b *Bank, m *ReceiptMinter, batch int) SettleJob {
+	t.Helper()
+	esc, err := b.OpenEscrow(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SettleJob{
+		Batch: batch, Escrow: esc, Minter: m, Pf: 10, Pr: 50,
+		Claims: []Claim{{Forwarder: 2, Receipts: []Receipt{m.Mint(batch, 1, 2)}}},
+	}
+}
+
+func TestSettleQueueBackpressure(t *testing.T) {
+	b := freshBank(t)
+	m := minter(t)
+	if err := b.OpenAccount(1, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.OpenAccount(2, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	q := NewSettleQueue(3)
+	reg := telemetry.NewRegistry()
+	q.Instrument(reg)
+	if q.Cap() != 3 {
+		t.Fatalf("cap %d", q.Cap())
+	}
+	total := b.TotalBalance()
+
+	for i := 1; i <= 3; i++ {
+		if err := q.Enqueue(settleFixture(t, b, m, i)); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len %d", q.Len())
+	}
+	// The bound bites: the fourth job is refused, the queue does not grow.
+	overflow := settleFixture(t, b, m, 4)
+	if err := q.Enqueue(overflow); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow enqueue: %v", err)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("queue grew past its bound: %d", q.Len())
+	}
+
+	// While jobs sit in the queue the funds sit in escrow — nothing lost.
+	if got := b.TotalBalance(); got != total {
+		t.Fatalf("total balance drifted to %d while queued", got)
+	}
+	if err := b.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	results := q.Drain()
+	if len(results) != 3 {
+		t.Fatalf("drained %d jobs", len(results))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		if res.Batch != i+1 {
+			t.Fatalf("drain order: job %d has batch %d", i, res.Batch)
+		}
+		if len(res.Payouts) != 1 || res.Payouts[0].Forwarder != 2 {
+			t.Fatalf("job %d payouts %v", i, res.Payouts)
+		}
+	}
+	// After the drain frees a slot the refused job goes through.
+	if err := q.Enqueue(overflow); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+	if res := q.Drain(); len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("drain of retried job: %+v", res)
+	}
+	if got := b.TotalBalance(); got != total {
+		t.Fatalf("total balance %d after settlement, want %d", got, total)
+	}
+	if err := b.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSettleQueueCrashMidQueue models the crash window: jobs are enqueued,
+// the owner dies before the drain (Close), and no escrowed cent is lost —
+// the undrained jobs come back, their funds still locked, and settling
+// them later (the escrow outlives its initiator) restores the flow.
+func TestSettleQueueCrashMidQueue(t *testing.T) {
+	b := freshBank(t)
+	m := minter(t)
+	if err := b.OpenAccount(1, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.OpenAccount(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	total := b.TotalBalance()
+
+	q := NewSettleQueue(4)
+	jobs := []SettleJob{settleFixture(t, b, m, 1), settleFixture(t, b, m, 2)}
+	for _, j := range jobs {
+		if err := q.Enqueue(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	undrained := q.Close() // the crash
+	if len(undrained) != 2 {
+		t.Fatalf("%d undrained jobs", len(undrained))
+	}
+	if err := q.Enqueue(settleFixture(t, b, m, 3)); err == nil {
+		t.Fatal("closed queue accepted a job")
+	}
+	// Crash lost nothing: both locks still sit in the escrow account.
+	if got := b.TotalBalance(); got != total {
+		t.Fatalf("total balance %d after crash, want %d", got, total)
+	}
+	if bal, _ := b.Balance(escrowAccount); bal < 2*100 {
+		t.Fatalf("escrow account holds %d, want the two 100-locks", bal)
+	}
+	if err := b.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery settles the recovered jobs directly against their escrows.
+	for _, j := range undrained {
+		payouts, _, err := j.Escrow.SettleFromEscrow(j.Minter, j.Pf, j.Pr, j.Claims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(payouts) != 1 {
+			t.Fatalf("payouts %v", payouts)
+		}
+	}
+	if got := b.TotalBalance(); got != total {
+		t.Fatalf("total balance %d after recovery, want %d", got, total)
+	}
+	if err := b.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettleQueueAggregatedJobs(t *testing.T) {
+	b := freshBank(t)
+	m := minter(t)
+	if err := b.OpenAccount(1, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.OpenAccount(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	esc, err := b.OpenEscrow(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim := BuildAggregate(2, []Receipt{m.Mint(1, 1, 2), m.Mint(2, 1, 2)})
+	q := NewSettleQueue(1)
+	err = q.Enqueue(SettleJob{
+		Batch: 1, Escrow: esc, Minter: m, Pf: 10, Pr: 50,
+		AggClaims: []AggregateClaim{claim}, Aggregated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := q.Drain()
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("results %+v", res)
+	}
+	if len(res[0].Payouts) != 1 || res[0].Payouts[0].Forwards != 2 {
+		t.Fatalf("payouts %v", res[0].Payouts)
+	}
+	if bal, _ := b.Balance(2); bal != 2*10+50 {
+		t.Fatalf("forwarder balance %d", bal)
+	}
+	if err := b.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettleQueueBadJob(t *testing.T) {
+	q := NewSettleQueue(0) // clamps to 1
+	if q.Cap() != 1 {
+		t.Fatalf("cap %d", q.Cap())
+	}
+	if err := q.Enqueue(SettleJob{Batch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res := q.Drain()
+	if len(res) != 1 || res[0].Err == nil {
+		t.Fatalf("job without escrow settled: %+v", res)
+	}
+	if q.Drain() != nil {
+		t.Fatal("empty drain returned results")
+	}
+}

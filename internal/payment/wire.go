@@ -95,6 +95,86 @@ func EncodeReceipt(r Receipt) []byte {
 	return out
 }
 
+// AggClaimWireSize returns the encoded size of an aggregate claim with n
+// entries:
+//
+//	8B forwarder | 4B count | n × (8B conn | 8B hop) | 32B chain
+//
+// 16 bytes per claimed instance against a receipt's 56 — the MACs stay
+// home, only the chain travels.
+func AggClaimWireSize(n int) int { return 8 + 4 + 16*n + 32 }
+
+// EncodeAggregateClaim renders c in the canonical wire format. Claims
+// with no entries, too many entries, or entries out of strictly
+// increasing (conn, hop) order have no encoding — the canonical order is
+// part of the format, so every valid byte string decodes to exactly one
+// claim.
+func EncodeAggregateClaim(c AggregateClaim) ([]byte, error) {
+	n := len(c.Entries)
+	if n == 0 || n > MaxAggEntries {
+		return nil, fmt.Errorf("payment: aggregate claim with %d entries (want 1..%d)", n, MaxAggEntries)
+	}
+	lastConn, lastHop := -1, -1
+	for _, e := range c.Entries {
+		if e.Conn < lastConn || (e.Conn == lastConn && e.Hop <= lastHop) {
+			return nil, fmt.Errorf("%w: aggregate entries not strictly increasing", ErrNonCanonical)
+		}
+		lastConn, lastHop = e.Conn, e.Hop
+	}
+	out := make([]byte, AggClaimWireSize(n))
+	binary.BigEndian.PutUint64(out[0:8], uint64(c.Forwarder))
+	binary.BigEndian.PutUint32(out[8:12], uint32(n))
+	off := 12
+	for _, e := range c.Entries {
+		binary.BigEndian.PutUint64(out[off:off+8], uint64(e.Conn))
+		binary.BigEndian.PutUint64(out[off+8:off+16], uint64(e.Hop))
+		off += 16
+	}
+	copy(out[off:], c.Chain[:])
+	return out, nil
+}
+
+// DecodeAggregateClaim parses a canonical aggregate-claim encoding. It
+// rejects truncated or oversized buffers, hostile entry counts and
+// non-canonical (unordered or duplicate) entry lists before touching the
+// chain, so decode∘encode and encode∘decode are identities. A decoded
+// claim is well-formed, not authentic — only VerifyAggregate can accept
+// it.
+func DecodeAggregateClaim(data []byte) (AggregateClaim, error) {
+	if len(data) < AggClaimWireSize(0) {
+		return AggregateClaim{}, fmt.Errorf("%w: %d bytes, need at least %d", ErrShortBuffer, len(data), AggClaimWireSize(0))
+	}
+	n := int(binary.BigEndian.Uint32(data[8:12]))
+	if n == 0 || n > MaxAggEntries {
+		return AggregateClaim{}, fmt.Errorf("payment: aggregate claim count %d invalid (want 1..%d)", n, MaxAggEntries)
+	}
+	want := AggClaimWireSize(n)
+	if len(data) < want {
+		return AggregateClaim{}, fmt.Errorf("%w: %d bytes, claim with %d entries needs %d", ErrShortBuffer, len(data), n, want)
+	}
+	if len(data) > want {
+		return AggregateClaim{}, ErrTrailingData
+	}
+	c := AggregateClaim{
+		Forwarder: AccountID(int64(binary.BigEndian.Uint64(data[0:8]))),
+		Entries:   make([]AggEntry, n),
+	}
+	off := 12
+	lastConn, lastHop := -1, -1
+	for i := 0; i < n; i++ {
+		conn := int(int64(binary.BigEndian.Uint64(data[off : off+8])))
+		hop := int(int64(binary.BigEndian.Uint64(data[off+8 : off+16])))
+		if conn < lastConn || (conn == lastConn && hop <= lastHop) {
+			return AggregateClaim{}, fmt.Errorf("%w: aggregate entries not strictly increasing", ErrNonCanonical)
+		}
+		c.Entries[i] = AggEntry{Conn: conn, Hop: hop}
+		lastConn, lastHop = conn, hop
+		off += 16
+	}
+	copy(c.Chain[:], data[off:])
+	return c, nil
+}
+
 // DecodeReceipt parses a fixed-size receipt encoding, rejecting any other
 // length.
 func DecodeReceipt(data []byte) (Receipt, error) {

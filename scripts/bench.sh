@@ -7,7 +7,7 @@
 # a PR re-baselines the gate instead of editing the default filename in
 # every call site (CI reads the same file name in its -gate step).
 #
-# Five tiers:
+# Six tiers:
 #   - experiment benchmarks (repo root): whole figure pipelines, few
 #     iterations because each run is seconds of simulation;
 #   - micro-benchmarks (internal packages): the hot paths the performance
@@ -22,13 +22,17 @@
 #   - phase breakdown: the N-sweep with the phase profiler attached,
 #     emitting per-phase <phase>-ns/op and <phase>-allocs/op custom
 #     metrics that name where each decade's cost lives (the -allocs/op
-#     entries are gated by CI like allocs/op).
+#     entries are gated by CI like allocs/op);
+#   - settlement throughput: the payment pipeline at N = 10²..10⁵
+#     receipts per epoch, serial vs sharded vs aggregated tiers, with a
+#     settlements/sec custom metric — CI gates the aggregated/serial
+#     ratio at N=10⁴ via benchjson -speedup.
 # The combined text output is converted by cmd/benchjson into one JSON
 # document with ns/op, B/op, allocs/op and custom metrics per benchmark.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCH_PR=8
+BENCH_PR=9
 out="${1:-BENCH_PR${BENCH_PR}.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -58,5 +62,11 @@ go test -run '^$' \
   -bench 'BenchmarkPhaseBreakdown' \
   -benchmem -benchtime 1x -timeout 30m ./internal/core/ | tee -a "$tmp"
 
-go run ./cmd/benchjson -in "$tmp" -out "$out"
+echo "== settlement throughput =="
+go test -run '^$' \
+  -bench 'BenchmarkSettlementThroughput' \
+  -benchmem -benchtime 20x -timeout 30m ./internal/payment/ | tee -a "$tmp"
+
+go run ./cmd/benchjson -in "$tmp" -out "$out" \
+  -speedup 'settlements/sec,BenchmarkSettlementThroughput/N=10000/aggregated,BenchmarkSettlementThroughput/N=10000/serial,4'
 echo "wrote $out"
