@@ -63,6 +63,7 @@ import (
 	"strings"
 	"time"
 
+	"p2panon/internal/clusterd"
 	"p2panon/internal/core"
 	"p2panon/internal/experiment"
 	"p2panon/internal/netwire"
@@ -96,7 +97,17 @@ func main() {
 	spanOut := flag.String("span-out", "", "write the causal span log as JSONL to this file (faultsim world or -live replay; read it with tracetool)")
 	phaseReport := flag.String("phase-report", "", "profile the simulator's phases and write the per-phase breakdown JSON to this file")
 	faults := flag.String("faults", "", "run a deterministic fault-injection plan instead of the simulator: a plan JSON path, or gen:<seed>")
+	clusterWorker := flag.String("cluster-worker", "", "run as a clusterd worker process: the orchestrator's control address (see cmd/clusterd)")
+	clusterIndex := flag.Int("cluster-index", 0, "this process's worker index under -cluster-worker")
 	flag.Parse()
+
+	if *clusterWorker != "" {
+		if err := clusterd.RunWorker(*clusterWorker, *clusterIndex); err != nil {
+			fmt.Fprintf(os.Stderr, "anonsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *faults != "" {
 		os.Exit(runFaults(*faults, *traceOut, *spanOut))

@@ -1,0 +1,498 @@
+package clusterd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"p2panon/internal/faultsim"
+)
+
+// TestMain doubles as the worker entry point: the orchestrator tests
+// re-execute this test binary with CLUSTERD_WORKER_ADDR set, and the
+// child runs the worker runtime instead of the test suite — real
+// processes, no separate binary to build.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("CLUSTERD_WORKER_ADDR"); addr != "" {
+		idx, err := strconv.Atoi(os.Getenv("CLUSTERD_WORKER_INDEX"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterd worker:", err)
+			os.Exit(1)
+		}
+		if err := RunWorker(addr, idx); err != nil {
+			fmt.Fprintln(os.Stderr, "clusterd worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// selfSpawn re-executes the running test binary as a worker process.
+// Spawned commands are recorded so tests can assert they were reaped.
+func selfSpawn(t *testing.T, spawned *[]*exec.Cmd) SpawnFunc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	return func(worker int, orchAddr string) (*exec.Cmd, error) {
+		cmd := exec.Command(exe, "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"CLUSTERD_WORKER_ADDR="+orchAddr,
+			"CLUSTERD_WORKER_INDEX="+strconv.Itoa(worker),
+		)
+		if spawned != nil {
+			mu.Lock()
+			*spawned = append(*spawned, cmd)
+			mu.Unlock()
+		}
+		return cmd, nil
+	}
+}
+
+// artifactDir returns a run directory under $CLUSTERD_ARTIFACT_DIR
+// when set (CI keeps and uploads it on failure), else a temp dir.
+func artifactDir(t *testing.T, name string) string {
+	t.Helper()
+	root := os.Getenv("CLUSTERD_ARTIFACT_DIR")
+	if root == "" {
+		return t.TempDir()
+	}
+	dir := filepath.Join(root, t.Name(), name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// runComposition runs one composition end to end with self-exec
+// workers and returns the result plus the spawned commands.
+func runComposition(t *testing.T, comp Composition, dir string) (*RunResult, []*exec.Cmd) {
+	t.Helper()
+	var spawned []*exec.Cmd
+	orch := &Orchestrator{Comp: comp, Spawn: selfSpawn(t, &spawned), Dir: dir, Logf: t.Logf}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := orch.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, spawned
+}
+
+// TestClusterRunDeterministic runs the same fault-free composition
+// twice across 3 real worker processes and requires byte-identical
+// merged span artifacts — the cross-process determinism contract.
+func TestClusterRunDeterministic(t *testing.T) {
+	comp := Composition{
+		Plan:    faultsim.Plan{Seed: 7, Nodes: 9, Batches: 3, Conns: 4},
+		Workers: 3,
+	}
+	dirs := []string{artifactDir(t, "run1"), artifactDir(t, "run2")}
+	var logs [][]byte
+	for _, dir := range dirs {
+		res, _ := runComposition(t, comp, dir)
+		for _, b := range res.Batches {
+			if b.Failed {
+				t.Fatalf("batch %d failed in a fault-free run", b.Batch)
+			}
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		if len(res.Spans) == 0 {
+			t.Fatal("no spans collected")
+		}
+		log, err := os.ReadFile(filepath.Join(dir, "spans.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, log)
+	}
+	if !bytes.Equal(logs[0], logs[1]) {
+		t.Fatalf("merged span logs diverge across runs:\nrun 1: %d bytes\nrun 2: %d bytes", len(logs[0]), len(logs[1]))
+	}
+}
+
+// TestClusterSoakChurn is the seeded soak smoke: a 3-process cluster
+// runs a composition whose schedule crashes a forwarder at one batch
+// boundary and restarts it at the next, all invariants must hold over
+// the merged artifact, the orchestrator must leak no goroutines, and
+// every child process must be reaped by the time Run returns.
+func TestClusterSoakChurn(t *testing.T) {
+	comp := Composition{
+		Plan:    faultsim.Plan{Seed: 11, Nodes: 9, Batches: 4, Conns: 3},
+		Workers: 3,
+	}
+	comp = comp.Normalize()
+	// Crash a node that is never an initiator or responder, so routing
+	// must reform around the corpse but every batch can still settle.
+	victim := -1
+	pairs := make(map[int]bool)
+	for _, spec := range comp.Workload() {
+		pairs[int(spec.Initiator)] = true
+		pairs[int(spec.Responder)] = true
+	}
+	for n := 0; n < comp.Nodes; n++ {
+		if !pairs[n] {
+			victim = n
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no forwarder-only node under this seed; pick another")
+	}
+	comp.Faults = []faultsim.Fault{
+		{Kind: faultsim.FaultCrash, At: 1, Node: victim},   // boundary 2
+		{Kind: faultsim.FaultRestart, At: 2, Node: victim}, // boundary 3
+	}
+
+	before := runtime.NumGoroutine()
+	res, spawned := runComposition(t, comp, artifactDir(t, "soak"))
+
+	if len(spawned) != comp.Workers {
+		t.Fatalf("spawned %d workers, want %d", len(spawned), comp.Workers)
+	}
+	for i, cmd := range spawned {
+		if cmd.ProcessState == nil {
+			t.Fatalf("worker %d not reaped", i)
+		}
+	}
+	if len(res.Batches) != comp.Batches {
+		t.Fatalf("got %d batch results, want %d", len(res.Batches), comp.Batches)
+	}
+	for _, b := range res.Batches {
+		if b.Failed {
+			t.Errorf("batch %d (%d→%d) failed under churn", b.Batch, b.Initiator, b.Responder)
+		}
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("%d spans dropped", res.Dropped)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines before=%d after=%d; dump:\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterOrphansExitWhenOrchestratorDies pins the self-reaping
+// property: a worker whose control connection dies exits on its own,
+// with no orchestrator left to kill it.
+func TestClusterOrphansExitWhenOrchestratorDies(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var spawned []*exec.Cmd
+	spawn := selfSpawn(t, &spawned)
+	cmd, err := spawn(0, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _, err := ReadMsg(conn); err != nil || m.Kind != MsgHello {
+		t.Fatalf("hello: %v", err)
+	}
+	// The orchestrator "crashes": the control connection just dies.
+	conn.Close()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+		// Exited on its own — exit status does not matter, only that it
+		// did not linger.
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("worker outlived its orchestrator")
+	}
+}
+
+// TestRelayShapes pins the three link-shaping behaviors at the socket
+// level: partitioned links die on contact, dropped links never answer,
+// delayed links deliver late but intact.
+func TestRelayShapes(t *testing.T) {
+	// Echo target.
+	target, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	go func() {
+		for {
+			c, err := target.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	addr := func() (string, bool) { return target.Addr().String(), true }
+
+	t.Run("partition", func(t *testing.T) {
+		r, err := newRelay(LinkShape{Partition: true}, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		conn, err := net.Dial("tcp", r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("partitioned link answered")
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		r, err := newRelay(LinkShape{Drop: true}, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		conn, err := net.Dial("tcp", r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte("hello?")); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("dropped link answered")
+		}
+	})
+	t.Run("delay", func(t *testing.T) {
+		r, err := newRelay(LinkShape{Delay: 0.15}, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		conn, err := net.Dial("tcp", r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		start := time.Now()
+		if _, err := conn.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+			t.Fatalf("delayed link echoed in %v", elapsed)
+		}
+		if string(buf) != "ping" {
+			t.Fatalf("payload corrupted: %q", buf)
+		}
+	})
+}
+
+// TestCompositionWorkload pins the derived schedule: a pure function
+// of the composition, identically derived by every process.
+func TestCompositionWorkload(t *testing.T) {
+	comp := Composition{Plan: faultsim.Plan{Seed: 7, Nodes: 9, Batches: 5}}.Normalize()
+	a, b := comp.Workload(), comp.Workload()
+	if len(a) != 5 {
+		t.Fatalf("%d specs, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workload not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Initiator == a[i].Responder {
+			t.Fatalf("spec %d: initiator = responder = %d", i, a[i].Initiator)
+		}
+		if a[i].Batch != i+1 {
+			t.Fatalf("spec %d: batch %d", i, a[i].Batch)
+		}
+	}
+	other := Composition{Plan: faultsim.Plan{Seed: 8, Nodes: 9, Batches: 5}}.Normalize().Workload()
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds derived identical schedules")
+	}
+}
+
+// TestCompositionOwnership pins the node partition: every node has
+// exactly one owner, and AssignedNodes inverts Owner.
+func TestCompositionOwnership(t *testing.T) {
+	comp := Composition{Plan: faultsim.Plan{Nodes: 10}, Workers: 3}.Normalize()
+	seen := make(map[int]int)
+	for w := 0; w < comp.Workers; w++ {
+		for _, n := range comp.AssignedNodes(w) {
+			if comp.Owner(n) != w {
+				t.Fatalf("node %d assigned to %d but owned by %d", n, w, comp.Owner(n))
+			}
+			seen[n]++
+		}
+	}
+	if len(seen) != comp.Nodes {
+		t.Fatalf("assignment covers %d nodes, want %d", len(seen), comp.Nodes)
+	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d assigned %d times", n, c)
+		}
+	}
+}
+
+// TestCompositionValidate pins the configuration errors.
+func TestCompositionValidate(t *testing.T) {
+	base := faultsim.Plan{Nodes: 6}
+	cases := []struct {
+		name string
+		comp Composition
+		ok   bool
+	}{
+		{"defaults", Composition{Plan: base}, true},
+		{"too many workers", Composition{Plan: base, Workers: 65}, false},
+		{"link out of range", Composition{Plan: base, Links: []LinkShape{{From: 0, To: 99}}}, false},
+		{"self loop", Composition{Plan: base, Links: []LinkShape{{From: 2, To: 2}}}, false},
+		{"negative delay", Composition{Plan: base, Links: []LinkShape{{From: 0, To: 1, Delay: -1}}}, false},
+		{"conflicting shapes", Composition{Plan: base, Workers: 3, Links: []LinkShape{
+			{From: 0, To: 1, Drop: true}, {From: 3, To: 1, Partition: true}, // both from worker 0
+		}}, false},
+		{"shaped link", Composition{Plan: base, Links: []LinkShape{{From: 0, To: 1, Drop: true}}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.comp.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: error expected", tc.name)
+		}
+	}
+}
+
+// TestCompositionJSONRoundTrip pins the declarative schema: the plan
+// fields inline beside workers/links, and load validates.
+func TestCompositionJSONRoundTrip(t *testing.T) {
+	comp := Composition{
+		Plan:    faultsim.Plan{Seed: 3, Nodes: 6, Batches: 2},
+		Workers: 3,
+		Links:   []LinkShape{{From: 0, To: 1, Delay: 0.05}},
+	}
+	path := filepath.Join(t.TempDir(), "comp.json")
+	if err := SaveComposition(path, comp); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		t.Fatal(err)
+	}
+	if _, nested := flat["Plan"]; nested {
+		t.Fatal("plan fields not inlined in composition JSON")
+	}
+	if flat["seed"] != float64(3) || flat["workers"] != float64(3) {
+		t.Fatalf("schema fields missing: %v", flat)
+	}
+	got, err := LoadComposition(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != comp.Seed || got.Workers != comp.Workers || len(got.Links) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+// TestRingRouterWalk pins the deterministic ring walk and its churn
+// response.
+func TestRingRouterWalk(t *testing.T) {
+	r := NewRingRouter(6)
+	// From 0 toward responder 3: next clockwise non-self hop is 1.
+	if hop, deliver := r.NextHop(0, 0, 0, 3, 1, 1, 6); deliver || hop != 1 {
+		t.Fatalf("hop=%d deliver=%v", hop, deliver)
+	}
+	r.MarkDead(1)
+	if hop, deliver := r.NextHop(0, 0, 0, 3, 1, 1, 6); deliver || hop != 2 {
+		t.Fatalf("around corpse: hop=%d deliver=%v", hop, deliver)
+	}
+	// From 2, responder 3 is adjacent: deliver.
+	if hop, deliver := r.NextHop(2, 0, 0, 3, 1, 1, 6); !deliver || hop != 3 {
+		t.Fatalf("delivery: hop=%d deliver=%v", hop, deliver)
+	}
+	r.MarkLive(1)
+	if hop, deliver := r.NextHop(0, 0, 0, 3, 1, 1, 6); deliver || hop != 1 {
+		t.Fatalf("revived: hop=%d deliver=%v", hop, deliver)
+	}
+}
+
+// TestFaultBoundary pins the fold from virtual fault times onto batch
+// boundaries and the crash/restart filter.
+func TestFaultBoundary(t *testing.T) {
+	comp := Composition{Plan: faultsim.Plan{Nodes: 6, Batches: 4, Faults: []faultsim.Fault{
+		{Kind: faultsim.FaultCrash, At: 1, Node: 2},
+		{Kind: faultsim.FaultRestart, At: 2, Node: 2},
+		{Kind: faultsim.FaultDrop, Batch: 2, Conn: 1, Msg: 1}, // sim-only: ignored
+		{Kind: faultsim.FaultCrash, At: 5, Node: 3},           // 1 + 5%4 = 2
+	}}}.Normalize()
+	if fs := comp.BoundaryFaults(2); len(fs) != 2 || fs[0].Node != 2 || fs[1].Node != 3 {
+		t.Fatalf("boundary 2: %+v", fs)
+	}
+	if fs := comp.BoundaryFaults(3); len(fs) != 1 || fs[0].Kind != faultsim.FaultRestart {
+		t.Fatalf("boundary 3: %+v", fs)
+	}
+	if fs := comp.BoundaryFaults(1); len(fs) != 0 {
+		t.Fatalf("boundary 1: %+v", fs)
+	}
+}

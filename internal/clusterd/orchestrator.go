@@ -1,0 +1,529 @@
+package clusterd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"p2panon/internal/faultsim"
+	"p2panon/internal/telemetry"
+)
+
+// SpawnFunc builds the (unstarted) command for one worker process. The
+// command must eventually call RunWorker(orchAddr, worker) — typically
+// by re-executing the current binary with a worker flag. The
+// orchestrator attaches per-worker log files (when an artifact
+// directory is set) and starts the command itself.
+type SpawnFunc func(worker int, orchAddr string) (*exec.Cmd, error)
+
+// RunResult is the merged artifact of one cluster run: every batch's
+// outcome with the credits its contract owes, the credits the workers
+// observed landing, the causally merged span log, and the invariant
+// violations found over all of it.
+type RunResult struct {
+	Batches    []faultsim.ClusterBatch  `json:"batches"`
+	Observed   []faultsim.ClusterCredit `json:"observed,omitempty"`
+	Violations []faultsim.Violation     `json:"violations,omitempty"`
+	Duplicates int                      `json:"duplicate_spans"`
+	Dropped    int                      `json:"dropped_spans,omitempty"`
+
+	Spans []telemetry.Span `json:"-"` // written separately as spans.jsonl
+}
+
+// Orchestrator runs one composition across real worker processes: it
+// spawns them, coordinates batch start/settle over the control
+// protocol's signal/await/release barriers, applies boundary faults,
+// shapes declared links at relays, and collects every worker's span
+// log and telemetry snapshot into the merged run artifact. Workers
+// exit on their own when the control connection dies, so children
+// never outlive a crashed orchestrator; Run additionally kills and
+// reaps whatever is still running before it returns.
+type Orchestrator struct {
+	Comp  Composition
+	Spawn SpawnFunc
+
+	// Dir receives the run artifact: per-worker logs, span logs and
+	// telemetry snapshots, the merged spans.jsonl and results.json.
+	// Empty means nothing is written.
+	Dir string
+
+	// OpTimeout bounds each wait for one expected control message
+	// (default 30s).
+	OpTimeout time.Duration
+
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Orchestrator) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// workerConn is the orchestrator's handle on one worker process: the
+// control connection, a reader goroutine feeding the inbox, and a
+// write lock.
+type workerConn struct {
+	index int
+	conn  net.Conn
+	inbox chan *Msg
+	wmu   sync.Mutex
+}
+
+func (w *workerConn) readLoop() {
+	for {
+		m, _, err := ReadMsg(w.conn)
+		if err != nil {
+			close(w.inbox)
+			return
+		}
+		w.inbox <- m
+	}
+}
+
+func (w *workerConn) send(m *Msg) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	_, err := WriteMsg(w.conn, m)
+	if err != nil {
+		return fmt.Errorf("clusterd: worker %d: send %s: %w", w.index, m.Kind, err)
+	}
+	return nil
+}
+
+// recv waits for the worker's next control message, honoring the op
+// timeout and the run context. A worker-reported MsgError surfaces as
+// an error here, whatever was expected.
+func (o *Orchestrator) recv(ctx context.Context, w *workerConn) (*Msg, error) {
+	timeout := o.OpTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m, ok := <-w.inbox:
+		if !ok {
+			return nil, fmt.Errorf("clusterd: worker %d: control connection closed", w.index)
+		}
+		if m.Kind == MsgError {
+			return nil, fmt.Errorf("clusterd: worker %d: %s", w.index, m.Text)
+		}
+		return m, nil
+	case <-t.C:
+		return nil, fmt.Errorf("clusterd: worker %d: timed out waiting for control message", w.index)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// expect is recv constrained to one kind.
+func (o *Orchestrator) expect(ctx context.Context, w *workerConn, kind MsgKind) (*Msg, error) {
+	m, err := o.recv(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != kind {
+		return nil, fmt.Errorf("clusterd: worker %d: got %s, want %s", w.index, m.Kind, kind)
+	}
+	return m, nil
+}
+
+// barrier awaits every worker's signal for name, then releases them
+// all — the await-N half of the sync protocol.
+func (o *Orchestrator) barrier(ctx context.Context, workers []*workerConn, name string) error {
+	for _, w := range workers {
+		m, err := o.expect(ctx, w, MsgSignal)
+		if err != nil {
+			return fmt.Errorf("barrier %q: %w", name, err)
+		}
+		if m.Name != name {
+			return fmt.Errorf("clusterd: worker %d signalled %q at barrier %q", w.index, m.Name, name)
+		}
+	}
+	for _, w := range workers {
+		if err := w.send(&Msg{Kind: MsgRelease, Name: name}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the composition and returns the merged artifact.
+func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
+	comp := o.Comp.Normalize()
+	if err := comp.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Spawn == nil {
+		return nil, fmt.Errorf("clusterd: no spawn function")
+	}
+	compJSON, err := json.Marshal(comp)
+	if err != nil {
+		return nil, err
+	}
+	if o.Dir != "" {
+		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+
+	cmds := make([]*exec.Cmd, comp.Workers)
+	workers := make([]*workerConn, comp.Workers)
+	var relays []*relay
+	var logs []*os.File
+	defer func() {
+		// Teardown in dependency order: control connections first (a
+		// worker that lost its connection exits by itself), then the
+		// relays, then reap every child that is still around.
+		for _, w := range workers {
+			if w != nil {
+				w.conn.Close()
+			}
+		}
+		for _, r := range relays {
+			r.Close()
+		}
+		reap(cmds)
+		for _, f := range logs {
+			f.Close()
+		}
+	}()
+
+	// Spawn the worker processes.
+	for i := range cmds {
+		cmd, err := o.Spawn(i, ln.Addr().String())
+		if err != nil {
+			return nil, fmt.Errorf("clusterd: spawn worker %d: %w", i, err)
+		}
+		if o.Dir != "" && cmd.Stdout == nil && cmd.Stderr == nil {
+			f, err := os.Create(filepath.Join(o.Dir, fmt.Sprintf("worker-%d.log", i)))
+			if err != nil {
+				return nil, err
+			}
+			logs = append(logs, f)
+			cmd.Stdout, cmd.Stderr = f, f
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("clusterd: start worker %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+	o.logf("spawned %d workers", comp.Workers)
+
+	// Accept each worker's control connection and hello.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(30 * time.Second))
+	}
+	for i := 0; i < comp.Workers; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("clusterd: waiting for workers: %w", err)
+		}
+		m, _, err := ReadMsg(conn)
+		if err != nil || m.Kind != MsgHello {
+			conn.Close()
+			return nil, fmt.Errorf("clusterd: bad hello: %v", err)
+		}
+		if m.Worker < 0 || m.Worker >= comp.Workers || workers[m.Worker] != nil {
+			conn.Close()
+			return nil, fmt.Errorf("clusterd: unexpected worker index %d", m.Worker)
+		}
+		w := &workerConn{index: m.Worker, conn: conn, inbox: make(chan *Msg, 64)}
+		workers[m.Worker] = w
+		go w.readLoop()
+	}
+
+	// Configure, then collect each worker's dial-back directory
+	// fragment into the live directory the relays also resolve from.
+	for _, w := range workers {
+		if err := w.send(&Msg{Kind: MsgConfig, Worker: w.index, Workers: comp.Workers, Comp: compJSON}); err != nil {
+			return nil, err
+		}
+	}
+	var dirMu sync.Mutex
+	dir := make(map[int]string)
+	for _, w := range workers {
+		m, err := o.expect(ctx, w, MsgAddrs)
+		if err != nil {
+			return nil, err
+		}
+		dirMu.Lock()
+		for _, e := range m.Addrs {
+			dir[e.Node] = e.Addr
+		}
+		dirMu.Unlock()
+	}
+	if len(dir) != comp.Nodes {
+		return nil, fmt.Errorf("clusterd: directory has %d nodes, want %d", len(dir), comp.Nodes)
+	}
+
+	// Start relays for shaped links and compute per-worker views:
+	// a shaped sender's entry for the target points at the relay.
+	relayFor := make(map[[2]int]*relay)
+	for _, l := range comp.Links {
+		key := [2]int{comp.Owner(l.From), l.To}
+		if _, dup := relayFor[key]; dup {
+			continue
+		}
+		to := l.To
+		r, err := newRelay(l, func() (string, bool) {
+			dirMu.Lock()
+			defer dirMu.Unlock()
+			a, ok := dir[to]
+			return a, ok
+		})
+		if err != nil {
+			return nil, err
+		}
+		relayFor[key] = r
+		relays = append(relays, r)
+	}
+	broadcastDirs := func() error {
+		dirMu.Lock()
+		snap := make(map[int]string, len(dir))
+		for n, a := range dir {
+			snap[n] = a
+		}
+		dirMu.Unlock()
+		for _, w := range workers {
+			view := make(map[int]string, len(snap))
+			for n, a := range snap {
+				view[n] = a
+			}
+			for key, r := range relayFor {
+				if key[0] == w.index {
+					view[key[1]] = r.Addr()
+				}
+			}
+			if err := w.send(&Msg{Kind: MsgAddrs, Addrs: sortedAddrEntries(view)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := broadcastDirs(); err != nil {
+		return nil, err
+	}
+	if err := o.barrier(ctx, workers, "ready"); err != nil {
+		return nil, err
+	}
+	o.logf("cluster ready: %d nodes across %d workers", comp.Nodes, comp.Workers)
+
+	// Drive the batch schedule.
+	result := &RunResult{}
+	for _, spec := range comp.Workload() {
+		b := spec.Batch
+		for _, f := range comp.BoundaryFaults(b) {
+			fm := &Msg{Kind: MsgFault, Fault: f.Kind, Node: f.Node, Batch: b}
+			for _, w := range workers {
+				if err := w.send(fm); err != nil {
+					return nil, err
+				}
+			}
+			if f.Kind == faultsim.FaultRestart {
+				owner := workers[comp.Owner(f.Node)]
+				m, err := o.expect(ctx, owner, MsgAddrs)
+				if err != nil {
+					return nil, fmt.Errorf("restart of node %d: %w", f.Node, err)
+				}
+				dirMu.Lock()
+				for _, e := range m.Addrs {
+					dir[e.Node] = e.Addr
+				}
+				dirMu.Unlock()
+				if err := broadcastDirs(); err != nil {
+					return nil, err
+				}
+			}
+			o.logf("batch %d: applied %s of node %d", b, f.Kind, f.Node)
+		}
+
+		// Per-connection ordering makes an await-free release safe here:
+		// every fault and directory update above is already queued ahead
+		// of it on each control connection.
+		for _, w := range workers {
+			if err := w.send(&Msg{Kind: MsgRelease, Name: fmt.Sprintf("start-%d", b)}); err != nil {
+				return nil, err
+			}
+		}
+		owner := workers[comp.Owner(int(spec.Initiator))]
+		rm, err := o.expect(ctx, owner, MsgResult)
+		if err != nil {
+			return nil, fmt.Errorf("batch %d: %w", b, err)
+		}
+		if rm.Batch != b {
+			return nil, fmt.Errorf("clusterd: result for batch %d, want %d", rm.Batch, b)
+		}
+		cb := faultsim.ClusterBatch{
+			Batch: b, Initiator: int(spec.Initiator), Responder: int(spec.Responder),
+			SetSize: rm.SetSize, Failed: rm.Failed,
+		}
+		for _, e := range rm.Credits {
+			cb.Expected = append(cb.Expected, faultsim.ClusterCredit{
+				Batch: b, Node: e.Node, Forwards: e.Forwards, PayoffBits: e.PayoffBits,
+			})
+		}
+		result.Batches = append(result.Batches, cb)
+
+		// Credit confirmation: each worker polls its nodes until the
+		// expected settle frames landed, reports what it saw, and the
+		// done barrier fences the batch off from the next boundary.
+		for _, w := range workers {
+			var mine []CreditEntry
+			for _, e := range rm.Credits {
+				if comp.Owner(e.Node) == w.index {
+					mine = append(mine, e)
+				}
+			}
+			if err := w.send(&Msg{Kind: MsgCollect, Batch: b, Credits: mine}); err != nil {
+				return nil, err
+			}
+		}
+		for _, w := range workers {
+			cm, err := o.expect(ctx, w, MsgCredits)
+			if err != nil {
+				return nil, err
+			}
+			if cm.Batch != b {
+				return nil, fmt.Errorf("clusterd: worker %d: credits for batch %d, want %d", w.index, cm.Batch, b)
+			}
+			for _, e := range cm.Credits {
+				result.Observed = append(result.Observed, faultsim.ClusterCredit{
+					Batch: b, Node: e.Node, Forwards: e.Forwards, PayoffBits: e.PayoffBits,
+				})
+			}
+		}
+		if err := o.barrier(ctx, workers, fmt.Sprintf("done-%d", b)); err != nil {
+			return nil, err
+		}
+		o.logf("batch %d settled: ‖π‖=%d failed=%v", b, rm.SetSize, rm.Failed)
+	}
+
+	// Shutdown: every worker uploads its artifacts and exits.
+	for _, w := range workers {
+		if err := w.send(&Msg{Kind: MsgShutdown}); err != nil {
+			return nil, err
+		}
+	}
+	spansByWorker := make([][]telemetry.Span, comp.Workers)
+	for _, w := range workers {
+		var gotSpans, gotTel bool
+		for !gotSpans || !gotTel {
+			m, err := o.recv(ctx, w)
+			if err != nil {
+				return nil, fmt.Errorf("collecting artifacts: %w", err)
+			}
+			if m.Kind != MsgArtifact {
+				return nil, fmt.Errorf("clusterd: worker %d: got %s during shutdown", w.index, m.Kind)
+			}
+			switch m.ArtifactKind {
+			case "spans":
+				spans, err := parseSpanJSONL(m.Data)
+				if err != nil {
+					return nil, fmt.Errorf("clusterd: worker %d spans: %w", w.index, err)
+				}
+				spansByWorker[w.index] = spans
+				gotSpans = true
+				o.saveArtifact(fmt.Sprintf("worker-%d.spans.jsonl", w.index), m.Data)
+			case "telemetry":
+				gotTel = true
+				o.saveArtifact(fmt.Sprintf("worker-%d.telemetry.json", w.index), m.Data)
+			case "dropped":
+				n, _ := strconv.Atoi(string(m.Data))
+				result.Dropped += n
+			default:
+				o.saveArtifact(fmt.Sprintf("worker-%d.%s", w.index, m.ArtifactKind), m.Data)
+			}
+		}
+	}
+
+	merged, dups := telemetry.MergeSpans(spansByWorker...)
+	result.Spans = merged
+	result.Duplicates = dups
+	result.Violations = faultsim.CheckClusterArtifact(comp.Plan, result.Batches, result.Observed, merged, result.Dropped)
+	if o.Dir != "" {
+		var buf bytes.Buffer
+		for _, s := range merged {
+			line, err := json.Marshal(s)
+			if err != nil {
+				return nil, err
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		o.saveArtifact("spans.jsonl", buf.Bytes())
+		res, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		o.saveArtifact("results.json", append(res, '\n'))
+	}
+	o.logf("run complete: %d spans (%d duplicate), %d violations", len(merged), dups, len(result.Violations))
+	return result, nil
+}
+
+// saveArtifact writes one artifact file when a directory is set.
+func (o *Orchestrator) saveArtifact(name string, data []byte) {
+	if o.Dir == "" {
+		return
+	}
+	os.WriteFile(filepath.Join(o.Dir, name), data, 0o644)
+}
+
+// reap waits briefly for every child, then kills and reaps whatever is
+// left — the orchestrator never exits with live children behind it.
+func reap(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(c *exec.Cmd) {
+			c.Wait()
+			close(done)
+		}(cmd)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// parseSpanJSONL decodes a span-per-line log, the SpanRecorder's
+// WriteJSONL format.
+func parseSpanJSONL(data []byte) ([]telemetry.Span, error) {
+	var out []telemetry.Span
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s telemetry.Span
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,587 @@
+// Package clusterd is the multi-process cluster orchestrator: it
+// launches real node processes from a declarative composition (the
+// faultsim Plan schema plus a worker count and link-shaping rules),
+// coordinates batch start/settle across them with a small length-
+// prefixed sync/barrier protocol, shapes per-link behavior at
+// orchestrator-run relays, and collects every process's span log and
+// telemetry snapshot into one causally merged run artifact. The data
+// plane is internal/netwire unchanged — each worker hosts a subset of
+// the world's nodes in its own netwire.Cluster and reaches remote
+// peers through dial-back addresses the orchestrator broadcasts.
+package clusterd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Control-protocol constants. The codec follows the netwire frame
+// discipline: a 4-byte big-endian length prefix, then a body of
+// version byte, kind byte, and a canonical payload. Canonical means
+// decode∘encode is the identity on every valid body: fixed field
+// order, minimal lengths, strictly ascending entry lists, no trailing
+// bytes — the property FuzzBarrierWire pins.
+const (
+	WireVersion = 1
+
+	maxBody         = 1 << 22 // absolute body bound (artifact uploads)
+	maxName         = 128     // barrier names
+	maxFaultKind    = 32
+	maxArtifactKind = 32
+	maxText         = 4096 // error messages
+	maxAddr         = 256  // dial-back addresses
+	maxEntries      = 1 << 16
+	maxComp         = 1 << 20 // composition JSON
+)
+
+// MsgKind enumerates the control-protocol messages.
+type MsgKind byte
+
+const (
+	// MsgHello introduces a worker to the orchestrator (worker index).
+	MsgHello MsgKind = 1 + iota
+	// MsgConfig carries the composition JSON and this worker's identity.
+	// The node assignment is derived from (worker, workers) by both
+	// sides, so it never travels.
+	MsgConfig
+	// MsgAddrs carries a node→address directory fragment: a worker's
+	// dial-back addresses after joining its nodes, or the orchestrator's
+	// merged (possibly relay-shaped) view broadcast to every worker.
+	MsgAddrs
+	// MsgSignal is a worker's arrival at a named barrier.
+	MsgSignal
+	// MsgRelease opens a named barrier once every live worker signalled.
+	MsgRelease
+	// MsgFault directs a node fault: "crash" kills the node at its owner
+	// and marks it dead everywhere; "restart" re-joins it at its owner.
+	MsgFault
+	// MsgResult reports a settled batch from the initiator's owner: the
+	// outcome's forwarder set with per-node forwards and payoff bits.
+	MsgResult
+	// MsgCollect asks a worker to confirm the expected settle credits
+	// for its locally hosted nodes have landed.
+	MsgCollect
+	// MsgCredits is the worker's observed-credit reply to MsgCollect.
+	MsgCredits
+	// MsgArtifact uploads one run artifact (span JSONL, telemetry JSON,
+	// debug log) from a worker during shutdown.
+	MsgArtifact
+	// MsgShutdown tells a worker to upload artifacts and exit.
+	MsgShutdown
+	// MsgError reports a fatal worker-side error to the orchestrator.
+	MsgError
+
+	msgEnd
+)
+
+// String names the kind for logs and errors.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgHello:
+		return "hello"
+	case MsgConfig:
+		return "config"
+	case MsgAddrs:
+		return "addrs"
+	case MsgSignal:
+		return "signal"
+	case MsgRelease:
+		return "release"
+	case MsgFault:
+		return "fault"
+	case MsgResult:
+		return "result"
+	case MsgCollect:
+		return "collect"
+	case MsgCredits:
+		return "credits"
+	case MsgArtifact:
+		return "artifact"
+	case MsgShutdown:
+		return "shutdown"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Codec errors, in the netwire style: each names exactly one way a body
+// can be malformed, so tests and the fuzzer can assert the right one.
+var (
+	ErrMsgShort      = errors.New("clusterd: message body too short")
+	ErrMsgVersion    = errors.New("clusterd: unsupported protocol version")
+	ErrMsgKind       = errors.New("clusterd: unknown message kind")
+	ErrMsgOversized  = errors.New("clusterd: message exceeds its size cap")
+	ErrMsgTrailing   = errors.New("clusterd: trailing bytes after message payload")
+	ErrMsgField      = errors.New("clusterd: field too long or empty")
+	ErrMsgOrder      = errors.New("clusterd: entry list not strictly ascending")
+	ErrMsgEntryCount = errors.New("clusterd: entry count exceeds bound")
+)
+
+// AddrEntry is one directory line: a node and its dial-back address.
+type AddrEntry struct {
+	Node int
+	Addr string
+}
+
+// CreditEntry is one settle line: a forwarder, its accepted forwarding
+// count for the batch, and the exact payoff float bits it is owed (or
+// was observed to receive). Bits, not floats, travel: settlement
+// equality is bit equality.
+type CreditEntry struct {
+	Node       int
+	Forwards   int
+	PayoffBits uint64
+}
+
+// Payoff returns the payoff as a float64.
+func (e CreditEntry) Payoff() float64 { return math.Float64frombits(e.PayoffBits) }
+
+// Msg is one control-protocol message; which fields matter depends on
+// Kind (see the MsgKind constants).
+type Msg struct {
+	Kind MsgKind
+
+	Worker  int // hello, config
+	Workers int // config
+
+	Comp []byte // config: composition JSON
+
+	Addrs []AddrEntry // addrs: strictly ascending by Node
+
+	Name string // signal, release: barrier name
+
+	Fault string // fault: "crash" | "restart"
+	Node  int    // fault
+
+	Batch                         int  // result, collect, credits; fault boundary
+	Initiator, Responder, SetSize int  // result
+	Failed                        bool // result
+	Credits                       []CreditEntry
+	ArtifactKind                  string // artifact
+	Data                          []byte // artifact
+	Text                          string // error
+}
+
+// bodyCap bounds a kind's body size before allocation, like netwire's
+// BodyCap: fixed-layout kinds get exact caps, variable kinds the global
+// bound.
+func bodyCap(k MsgKind) int {
+	switch k {
+	case MsgHello:
+		return 2 + 4
+	case MsgShutdown:
+		return 2
+	case MsgSignal, MsgRelease:
+		return 2 + 2 + maxName
+	case MsgFault:
+		return 2 + 2 + maxFaultKind + 4 + 4
+	case MsgError:
+		return 2 + 2 + maxText
+	case MsgConfig, MsgAddrs, MsgResult, MsgCollect, MsgCredits, MsgArtifact:
+		return maxBody
+	default:
+		return 0
+	}
+}
+
+// appendString appends a u16 length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes appends a u32 length-prefixed byte field.
+func appendBytes(b []byte, p []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// EncodeMsg renders the canonical body (version, kind, payload) for m.
+// It validates the same bounds DecodeMsg enforces, so every encodable
+// message round-trips.
+func EncodeMsg(m *Msg) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = append(b, WireVersion, byte(m.Kind))
+	switch m.Kind {
+	case MsgHello:
+		if m.Worker < 0 {
+			return nil, ErrMsgField
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Worker))
+	case MsgConfig:
+		if m.Worker < 0 || m.Workers < 1 || len(m.Comp) == 0 || len(m.Comp) > maxComp {
+			return nil, ErrMsgField
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Worker))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Workers))
+		b = appendBytes(b, m.Comp)
+	case MsgAddrs:
+		if len(m.Addrs) > maxEntries {
+			return nil, ErrMsgEntryCount
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Addrs)))
+		prev := -1
+		for _, e := range m.Addrs {
+			if e.Node < 0 || e.Node <= prev {
+				return nil, ErrMsgOrder
+			}
+			if len(e.Addr) == 0 || len(e.Addr) > maxAddr {
+				return nil, ErrMsgField
+			}
+			prev = e.Node
+			b = binary.BigEndian.AppendUint32(b, uint32(e.Node))
+			b = appendString(b, e.Addr)
+		}
+	case MsgSignal, MsgRelease:
+		if len(m.Name) == 0 || len(m.Name) > maxName {
+			return nil, ErrMsgField
+		}
+		b = appendString(b, m.Name)
+	case MsgFault:
+		if len(m.Fault) == 0 || len(m.Fault) > maxFaultKind || m.Node < 0 || m.Batch < 0 {
+			return nil, ErrMsgField
+		}
+		b = appendString(b, m.Fault)
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Node))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Batch))
+	case MsgResult:
+		if m.Batch < 0 || m.Initiator < 0 || m.Responder < 0 || m.SetSize < 0 {
+			return nil, ErrMsgField
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Batch))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Initiator))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Responder))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.SetSize))
+		if m.Failed {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		var err error
+		if b, err = appendCredits(b, m.Credits); err != nil {
+			return nil, err
+		}
+	case MsgCollect, MsgCredits:
+		if m.Batch < 0 {
+			return nil, ErrMsgField
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Batch))
+		var err error
+		if b, err = appendCredits(b, m.Credits); err != nil {
+			return nil, err
+		}
+	case MsgArtifact:
+		if len(m.ArtifactKind) == 0 || len(m.ArtifactKind) > maxArtifactKind {
+			return nil, ErrMsgField
+		}
+		b = appendString(b, m.ArtifactKind)
+		b = appendBytes(b, m.Data)
+	case MsgShutdown:
+	case MsgError:
+		if len(m.Text) == 0 || len(m.Text) > maxText {
+			return nil, ErrMsgField
+		}
+		b = appendString(b, m.Text)
+	default:
+		return nil, ErrMsgKind
+	}
+	if len(b) > bodyCap(m.Kind) || len(b) > maxBody {
+		return nil, ErrMsgOversized
+	}
+	return b, nil
+}
+
+func appendCredits(b []byte, entries []CreditEntry) ([]byte, error) {
+	if len(entries) > maxEntries {
+		return nil, ErrMsgEntryCount
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(entries)))
+	prev := -1
+	for _, e := range entries {
+		if e.Node < 0 || e.Node <= prev {
+			return nil, ErrMsgOrder
+		}
+		if e.Forwards < 0 {
+			return nil, ErrMsgField
+		}
+		prev = e.Node
+		b = binary.BigEndian.AppendUint32(b, uint32(e.Node))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.Forwards))
+		b = binary.BigEndian.AppendUint64(b, e.PayoffBits)
+	}
+	return b, nil
+}
+
+// decoder walks a body with bounds checks.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.off+1 > len(d.b) {
+		return 0, ErrMsgShort
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.b) {
+		return 0, ErrMsgShort
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.off+8 > len(d.b) {
+		return 0, ErrMsgShort
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) str(max int) (string, error) {
+	if d.off+2 > len(d.b) {
+		return "", ErrMsgShort
+	}
+	n := int(binary.BigEndian.Uint16(d.b[d.off:]))
+	d.off += 2
+	if n > max {
+		return "", ErrMsgField
+	}
+	if d.off+n > len(d.b) {
+		return "", ErrMsgShort
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) bytes(max int) ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > max {
+		return nil, ErrMsgField
+	}
+	if d.off+int(n) > len(d.b) {
+		return nil, ErrMsgShort
+	}
+	p := append([]byte(nil), d.b[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return p, nil
+}
+
+func (d *decoder) credits() ([]CreditEntry, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > maxEntries {
+		return nil, ErrMsgEntryCount
+	}
+	if d.off+int(n)*16 > len(d.b) {
+		return nil, ErrMsgShort
+	}
+	entries := make([]CreditEntry, 0, n)
+	prev := -1
+	for i := 0; i < int(n); i++ {
+		node, _ := d.u32()
+		fwd, _ := d.u32()
+		bits, _ := d.u64()
+		if int(node) <= prev {
+			return nil, ErrMsgOrder
+		}
+		prev = int(node)
+		entries = append(entries, CreditEntry{Node: int(node), Forwards: int(fwd), PayoffBits: bits})
+	}
+	return entries, nil
+}
+
+// DecodeMsg parses one canonical body. Every violation of the canonical
+// form — wrong version, unknown kind, short or trailing bytes, overlong
+// or empty fields, unsorted entries — is an error, never a guess.
+func DecodeMsg(body []byte) (*Msg, error) {
+	if len(body) < 2 {
+		return nil, ErrMsgShort
+	}
+	if body[0] != WireVersion {
+		return nil, ErrMsgVersion
+	}
+	k := MsgKind(body[1])
+	if k == 0 || k >= msgEnd {
+		return nil, ErrMsgKind
+	}
+	if len(body) > bodyCap(k) {
+		return nil, ErrMsgOversized
+	}
+	d := &decoder{b: body, off: 2}
+	m := &Msg{Kind: k}
+	var err error
+	switch k {
+	case MsgHello:
+		var w uint32
+		if w, err = d.u32(); err == nil {
+			m.Worker = int(w)
+		}
+	case MsgConfig:
+		var w, ws uint32
+		if w, err = d.u32(); err != nil {
+			break
+		}
+		if ws, err = d.u32(); err != nil {
+			break
+		}
+		m.Worker, m.Workers = int(w), int(ws)
+		if m.Workers < 1 {
+			return nil, ErrMsgField
+		}
+		if m.Comp, err = d.bytes(maxComp); err == nil && len(m.Comp) == 0 {
+			return nil, ErrMsgField
+		}
+	case MsgAddrs:
+		var n uint32
+		if n, err = d.u32(); err != nil {
+			break
+		}
+		if int(n) > maxEntries {
+			return nil, ErrMsgEntryCount
+		}
+		prev := -1
+		for i := 0; i < int(n); i++ {
+			var node uint32
+			if node, err = d.u32(); err != nil {
+				break
+			}
+			var addr string
+			if addr, err = d.str(maxAddr); err != nil {
+				break
+			}
+			if len(addr) == 0 {
+				return nil, ErrMsgField
+			}
+			if int(node) <= prev {
+				return nil, ErrMsgOrder
+			}
+			prev = int(node)
+			m.Addrs = append(m.Addrs, AddrEntry{Node: int(node), Addr: addr})
+		}
+	case MsgSignal, MsgRelease:
+		if m.Name, err = d.str(maxName); err == nil && len(m.Name) == 0 {
+			return nil, ErrMsgField
+		}
+	case MsgFault:
+		if m.Fault, err = d.str(maxFaultKind); err != nil {
+			break
+		}
+		if len(m.Fault) == 0 {
+			return nil, ErrMsgField
+		}
+		var node, batch uint32
+		if node, err = d.u32(); err != nil {
+			break
+		}
+		if batch, err = d.u32(); err != nil {
+			break
+		}
+		m.Node, m.Batch = int(node), int(batch)
+	case MsgResult:
+		var b, i2, r, s uint32
+		if b, err = d.u32(); err != nil {
+			break
+		}
+		if i2, err = d.u32(); err != nil {
+			break
+		}
+		if r, err = d.u32(); err != nil {
+			break
+		}
+		if s, err = d.u32(); err != nil {
+			break
+		}
+		var f byte
+		if f, err = d.u8(); err != nil {
+			break
+		}
+		if f > 1 {
+			return nil, ErrMsgField
+		}
+		m.Batch, m.Initiator, m.Responder, m.SetSize, m.Failed = int(b), int(i2), int(r), int(s), f == 1
+		m.Credits, err = d.credits()
+	case MsgCollect, MsgCredits:
+		var b uint32
+		if b, err = d.u32(); err != nil {
+			break
+		}
+		m.Batch = int(b)
+		m.Credits, err = d.credits()
+	case MsgArtifact:
+		if m.ArtifactKind, err = d.str(maxArtifactKind); err != nil {
+			break
+		}
+		if len(m.ArtifactKind) == 0 {
+			return nil, ErrMsgField
+		}
+		m.Data, err = d.bytes(maxBody)
+	case MsgShutdown:
+	case MsgError:
+		if m.Text, err = d.str(maxText); err == nil && len(m.Text) == 0 {
+			return nil, ErrMsgField
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(body) {
+		return nil, ErrMsgTrailing
+	}
+	return m, nil
+}
+
+// WriteMsg frames and writes one message, returning bytes written.
+func WriteMsg(w io.Writer, m *Msg) (int, error) {
+	body, err := EncodeMsg(m)
+	if err != nil {
+		return 0, err
+	}
+	frame := make([]byte, 0, 4+len(body))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	return w.Write(frame)
+}
+
+// ReadMsg reads one length-prefixed message, enforcing the body cap
+// before any body allocation. Returns the message and bytes consumed.
+func ReadMsg(r io.Reader) (*Msg, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > maxBody {
+		return nil, 4, ErrMsgOversized
+	}
+	if n < 2 {
+		return nil, 4, ErrMsgShort
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 4, err
+	}
+	m, err := DecodeMsg(body)
+	if err != nil {
+		return nil, 4 + n, err
+	}
+	return m, 4 + n, nil
+}

@@ -4,12 +4,16 @@ import (
 	"testing"
 	"time"
 
+	"p2panon/internal/clusterd"
 	"p2panon/internal/netwire"
 	"p2panon/internal/transport"
 )
 
-// Backends returns the two production backends: the in-process
-// goroutine-per-peer runtime and the TCP loopback cluster.
+// Backends returns the three production backends: the in-process
+// goroutine-per-peer runtime, the TCP loopback cluster, and the
+// partitioned multi-runtime topology behind the process cluster —
+// every node lives in one of three netwire runtimes and frames between
+// them cross dial-back TCP links, exactly as clusterd workers talk.
 func Backends() []Backend {
 	return []Backend{
 		{
@@ -28,10 +32,18 @@ func Backends() []Backend {
 				return c
 			},
 		},
+		{
+			Name: "multiproc",
+			New: func(t testing.TB, latency time.Duration) transport.Conductor {
+				m := clusterd.NewMultiCluster(3, netwire.Config{Latency: latency})
+				t.Cleanup(m.Close)
+				return m
+			},
+		},
 	}
 }
 
-// TestBackendConformance runs the shared behavioral table against both
+// TestBackendConformance runs the shared behavioral table against all
 // backends and asserts the deterministic transcripts are byte-identical.
 func TestBackendConformance(t *testing.T) {
 	Run(t, Backends())

@@ -288,6 +288,36 @@ func (c *Cluster) addrOf(id overlay.NodeID) (string, bool) {
 	return a, ok
 }
 
+// RegisterPeer records the dial-back address of a node hosted outside
+// this cluster — another Cluster in the same process or a spawned worker
+// process. Links resolve addresses through the live directory on every
+// dial, so registration (and re-registration after a remote restart)
+// takes effect immediately. A node currently hosted locally keeps its
+// own listener address; stale broadcasts cannot shadow it.
+func (c *Cluster) RegisterPeer(id overlay.NodeID, addr string) {
+	c.mu.Lock()
+	if _, local := c.nodes[id]; !local {
+		c.addrs[id] = addr
+	}
+	c.mu.Unlock()
+}
+
+// NoteDead feeds an externally learned death (an orchestrator's fault
+// notice for a peer in another process) to every ChurnAware router, the
+// same signal a failed local delivery produces.
+func (c *Cluster) NoteDead(id overlay.NodeID) { c.markDead(id) }
+
+// NoteLive is NoteDead's inverse: a restarted remote peer is marked live
+// again so routers may draw it.
+func (c *Cluster) NoteLive(id overlay.NodeID) {
+	c.mu.RLock()
+	ms := append([]transport.ChurnAware(nil), c.markers...)
+	c.mu.RUnlock()
+	for _, m := range ms {
+		m.MarkLive(id)
+	}
+}
+
 // RemovePeer models an abrupt departure: the node's listener and every
 // connection close immediately; peers discover the corpse by failed
 // delivery and NACK/reform, just like the in-process backend. The
@@ -376,7 +406,12 @@ func (c *Cluster) connect(initiator, responder overlay.NodeID, batch, conn, budg
 		return wireResult{}, 0, fmt.Errorf("netwire: unknown initiator %d", initiator)
 	}
 	if c.Node(responder) == nil {
-		return wireResult{}, 0, fmt.Errorf("netwire: unknown responder %d", responder)
+		// A responder hosted by another cluster (RegisterPeer) is reachable
+		// through the directory; only a node no one knows an address for is
+		// rejected early, like the in-process backend rejects unknown peers.
+		if _, ok := c.addrOf(responder); !ok {
+			return wireResult{}, 0, fmt.Errorf("netwire: unknown responder %d", responder)
+		}
 	}
 	if initiator == responder {
 		return wireResult{}, 0, errors.New("netwire: initiator == responder")

@@ -153,6 +153,12 @@ type Settlement struct {
 	Minter    *ReceiptMinter
 	Initiator AccountID
 	Pf, Pr    Amount
+
+	// SerialDeposits restores the historical one-Deposit-per-token
+	// payout path. By default the whole batch's tokens go through one
+	// Bank.DepositBatch call, so signature checks ride the bank's
+	// parallel verify pool instead of running one RSA verify at a time.
+	SerialDeposits bool
 }
 
 // Payout records one forwarder's settled amount.
@@ -190,13 +196,46 @@ func (s *Settlement) Run(claims []Claim) ([]Payout, error) {
 		accepted[i].Amount = Amount(accepted[i].Forwards)*s.Pf + share
 	}
 	// Second pass: move the money through blind tokens.
-	for i := range accepted {
-		if err := s.payBlind(accepted[i].Forwarder, accepted[i].Amount); err != nil {
-			return accepted[:i], fmt.Errorf("payment: paying forwarder %d: %w", accepted[i].Forwarder, err)
+	if s.SerialDeposits {
+		for i := range accepted {
+			if err := s.payBlind(accepted[i].Forwarder, accepted[i].Amount); err != nil {
+				return accepted[:i], fmt.Errorf("payment: paying forwarder %d: %w", accepted[i].Forwarder, err)
+			}
 		}
+	} else if err := s.payBlindBatch(accepted); err != nil {
+		return nil, err
 	}
 	s.Bank.noteSettlement(accepted, countRejected(claims, accepted))
 	return accepted, nil
+}
+
+// payBlindBatch withdraws every forwarder's tokens (withdrawal is a
+// per-token blind-signing exchange and stays serial), then deposits
+// the whole epoch in one Bank.DepositBatch call. Token values and the
+// final balances are identical to the serial path; only the deposit
+// verification is batched. On a deposit error the failing token's
+// forwarder is named, but unlike the serial path later deposits in
+// the epoch have already been applied.
+func (s *Settlement) payBlindBatch(accepted []Payout) error {
+	var reqs []DepositRequest
+	for i := range accepted {
+		if accepted[i].Amount <= 0 {
+			continue
+		}
+		tokens, err := s.Bank.WithdrawAmount(s.Initiator, accepted[i].Amount, nil)
+		if err != nil {
+			return fmt.Errorf("payment: paying forwarder %d: %w", accepted[i].Forwarder, err)
+		}
+		for _, tk := range tokens {
+			reqs = append(reqs, DepositRequest{Account: accepted[i].Forwarder, Token: tk})
+		}
+	}
+	for j, err := range s.Bank.DepositBatch(reqs) {
+		if err != nil {
+			return fmt.Errorf("payment: paying forwarder %d: %w", reqs[j].Account, err)
+		}
+	}
+	return nil
 }
 
 // payBlind moves amt from the initiator to the forwarder through blind

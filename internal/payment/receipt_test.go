@@ -1,6 +1,7 @@
 package payment
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -240,5 +241,53 @@ func TestQuickCountValidBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSettlementBatchVsSerialBalances pins the batched deposit path
+// against the historical serial one: the same claims settled on two
+// identically configured banks leave identical payouts and identical
+// per-account balances, whether the epoch's tokens go through one
+// DepositBatch call (the default) or one Deposit per token.
+func TestSettlementBatchVsSerialBalances(t *testing.T) {
+	run := func(serial bool) ([]Payout, map[AccountID]Amount) {
+		t.Helper()
+		b := freshBank(t)
+		b.OpenAccount(1, 100000)
+		for id := AccountID(10); id <= 13; id++ {
+			b.OpenAccount(id, 7)
+		}
+		m := minter(t)
+		claims := []Claim{
+			{Forwarder: 10, Receipts: []Receipt{m.Mint(1, 1, 10), m.Mint(2, 1, 10), m.Mint(3, 1, 10)}},
+			{Forwarder: 11, Receipts: []Receipt{m.Mint(1, 2, 11)}},
+			{Forwarder: 12, Receipts: []Receipt{m.Mint(2, 2, 12), m.Mint(3, 2, 12)}},
+			{Forwarder: 13}, // nothing valid: unpaid, not in ‖π‖
+		}
+		s := &Settlement{Bank: b, Minter: m, Initiator: 1, Pf: 35, Pr: 100, SerialDeposits: serial}
+		payouts, err := s.Run(claims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bal := make(map[AccountID]Amount)
+		for _, id := range []AccountID{1, 10, 11, 12, 13} {
+			v, err := b.Balance(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bal[id] = v
+		}
+		return payouts, bal
+	}
+	batchPay, batchBal := run(false)
+	serialPay, serialBal := run(true)
+	if !reflect.DeepEqual(batchPay, serialPay) {
+		t.Fatalf("payouts diverge: batch %v, serial %v", batchPay, serialPay)
+	}
+	if !reflect.DeepEqual(batchBal, serialBal) {
+		t.Fatalf("balances diverge: batch %v, serial %v", batchBal, serialBal)
+	}
+	if len(batchPay) != 3 {
+		t.Fatalf("payouts = %v, want 3 forwarders paid", batchPay)
 	}
 }

@@ -274,8 +274,17 @@ func (r *SpanRecorder) Spans() []Span {
 	r.mu.Lock()
 	out := append([]Span(nil), r.spans...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortSpans(out)
+	return out
+}
+
+// SortSpans orders spans canonically in place: by (trace, batch, conn,
+// attempt, kind rank, hop, node, detail, id) — a total order over causal
+// coordinates, independent of arrival order or which process recorded a
+// span. It is the comparator behind Spans and MergeSpans.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
 		if a.Trace != b.Trace {
 			return a.Trace < b.Trace
 		}
@@ -302,7 +311,37 @@ func (r *SpanRecorder) Spans() []Span {
 		}
 		return a.ID < b.ID
 	})
-	return out
+}
+
+// MergeSpans combines per-process span logs into one canonically ordered
+// log, deduplicating by span id — the cross-process analogue of a single
+// SpanRecorder. Every process on a connection's path records the spans it
+// witnessed (a frame's trace context lets two processes mint the same
+// id), so the union with id-dedup reconstructs the causal tree exactly
+// once, and the canonical sort makes the merged artifact byte-identical
+// across runs of the same seeded workload regardless of which process
+// recorded which span first. Returns the merged log and how many
+// duplicate records were collapsed.
+func MergeSpans(logs ...[]Span) ([]Span, int) {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	seen := make(map[SpanID]struct{}, total)
+	merged := make([]Span, 0, total)
+	dups := 0
+	for _, l := range logs {
+		for _, s := range l {
+			if _, dup := seen[s.ID]; dup {
+				dups++
+				continue
+			}
+			seen[s.ID] = struct{}{}
+			merged = append(merged, s)
+		}
+	}
+	SortSpans(merged)
+	return merged, dups
 }
 
 // WriteSpansJSONL writes spans in the given order, one JSON object per
